@@ -1,0 +1,19 @@
+// Command allocdelay prints Figure 12 of the paper: the delay of the
+// combined virtual-channel + speculative switch allocation stage of a
+// speculative VC router, over the paper's (p, v) grid, for each
+// routing-function range.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"routersim/internal/experiments"
+)
+
+func main() {
+	if err := experiments.WriteFigure12(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

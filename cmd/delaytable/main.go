@@ -1,0 +1,56 @@
+// Command delaytable prints Table 1 of the paper: the parameterized
+// delay equations of every router atomic module evaluated at a chosen
+// parameter point, alongside the values the paper reports.
+//
+// Usage:
+//
+//	delaytable            # the paper's point: p=5 w=32 v=2 clk=20τ4
+//	delaytable -p 7 -v 4  # evaluate the equations elsewhere
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"routersim/internal/core"
+	"routersim/internal/experiments"
+	"routersim/internal/logicaleffort"
+)
+
+func main() {
+	p := flag.Int("p", 5, "physical channels")
+	v := flag.Int("v", 2, "virtual channels per physical channel")
+	w := flag.Int("w", 32, "channel width (bits)")
+	flag.Parse()
+
+	if *p == 5 && *v == 2 && *w == 32 {
+		if err := experiments.WriteTable1(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	t4 := logicaleffort.TauToTau4
+	fmt.Printf("Module delays at p=%d, v=%d, w=%d (t+h, τ4)\n", *p, *v, *w)
+	rows := []struct {
+		name string
+		t, h float64
+	}{
+		{"switch arbiter (SB)", core.TSwitchArbiterWH(*p), core.HSwitchArbiterWH(*p)},
+		{"crossbar traversal (XB)", core.TCrossbar(*p, *w), core.HCrossbar(*p, *w)},
+		{"vc allocator (R->v)", core.TVCAlloc(core.RangeVC, *p, *v), core.HVCAlloc(core.RangeVC, *p, *v)},
+		{"vc allocator (R->p)", core.TVCAlloc(core.RangePC, *p, *v), core.HVCAlloc(core.RangePC, *p, *v)},
+		{"vc allocator (R->pv)", core.TVCAlloc(core.RangeAll, *p, *v), core.HVCAlloc(core.RangeAll, *p, *v)},
+		{"switch allocator (SL)", core.TSwitchAllocVC(*p, *v), core.HSwitchAllocVC(*p, *v)},
+		{"spec switch allocator (SS)", core.TSpecSwitchAlloc(*p, *v), core.HSpecSwitchAlloc(*p, *v)},
+		{"grant combine (CB)", core.TCombine(*p, *v), core.HCombine(*p, *v)},
+		{"spec combined stage (R->v)", core.SpecAllocStageTau(core.RangeVC, *p, *v), 0},
+		{"spec combined stage (R->p)", core.SpecAllocStageTau(core.RangePC, *p, *v), 0},
+		{"spec combined stage (R->pv)", core.SpecAllocStageTau(core.RangeAll, *p, *v), 0},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-30s %8.2f τ4\n", r.name, t4(r.t+r.h))
+	}
+}

@@ -1,0 +1,95 @@
+// Command netsim runs one network simulation at a chosen load and
+// prints the latency/throughput summary — the building block of the
+// paper's latency-throughput curves.
+//
+// Usage:
+//
+//	netsim -router specvc -vcs 2 -buf 4 -load 0.4
+//	netsim -router wormhole -buf 8 -load 0.45 -packets 100000
+//	netsim -router specvc -probe-turnaround -load 0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"routersim"
+)
+
+func kindFromString(s string) (routersim.RouterKind, bool) {
+	switch s {
+	case "wormhole":
+		return routersim.WormholeRouter, true
+	case "vc":
+		return routersim.VCRouter, true
+	case "specvc":
+		return routersim.SpecVCRouter, true
+	case "wormhole-1cycle":
+		return routersim.SingleCycleWormhole, true
+	case "vc-1cycle":
+		return routersim.SingleCycleVC, true
+	default:
+		return 0, false
+	}
+}
+
+func main() {
+	kindStr := flag.String("router", "specvc", "router: wormhole, vc, specvc, wormhole-1cycle, vc-1cycle")
+	vcs := flag.Int("vcs", 0, "virtual channels per port (default: paper config)")
+	buf := flag.Int("buf", 0, "flit buffers per VC (default: paper config)")
+	load := flag.Float64("load", 0.4, "offered load as a fraction of capacity")
+	k := flag.Int("k", 8, "mesh radix")
+	pkt := flag.Int("packetsize", 5, "flits per packet")
+	creditDelay := flag.Int("credit-delay", 1, "credit propagation delay (cycles)")
+	warmup := flag.Int64("warmup", 10000, "warm-up cycles")
+	packets := flag.Int("packets", 20000, "tagged sample size")
+	seed := flag.Uint64("seed", 1, "random seed")
+	probe := flag.Bool("probe-turnaround", false, "measure the buffer turnaround time (Figure 16)")
+	flag.Parse()
+
+	kind, ok := kindFromString(*kindStr)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown router %q\n", *kindStr)
+		os.Exit(2)
+	}
+	cfg := routersim.DefaultSimConfig(kind)
+	if *vcs > 0 {
+		cfg.VCs = *vcs
+	}
+	if *buf > 0 {
+		cfg.BufPerVC = *buf
+	}
+	cfg.MeshRadix = *k
+	cfg.PacketSize = *pkt
+	cfg.CreditDelay = *creditDelay
+	cfg.LoadFraction = *load
+	cfg.WarmupCycles = *warmup
+	cfg.MeasurePackets = *packets
+	cfg.Seed = *seed
+
+	var (
+		res routersim.SimResult
+		err error
+	)
+	if *probe {
+		res, err = routersim.SimulateWithTurnaroundProbe(cfg)
+	} else {
+		res, err = routersim.Simulate(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("router=%s vcs=%d buf=%d mesh=%dx%d load=%.2f seed=%d\n",
+		*kindStr, cfg.VCs, cfg.BufPerVC, *k, *k, *load, *seed)
+	fmt.Printf("  offered   %.3f of capacity\n", res.OfferedLoad)
+	fmt.Printf("  accepted  %.3f of capacity\n", res.AcceptedLoad)
+	fmt.Printf("  latency   mean=%.1f p50=%d p95=%d max=%d cycles (%d packets)\n",
+		res.Latency.MeanLatency, res.Latency.P50, res.Latency.P95, res.Latency.MaxLatency, res.Latency.Packets)
+	fmt.Printf("  cycles    %d (saturated=%t)\n", res.Cycles, res.Saturated)
+	if *probe {
+		fmt.Printf("  buffer turnaround (min) %d cycles\n", res.MinTurnaround)
+	}
+}

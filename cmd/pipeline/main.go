@@ -1,0 +1,83 @@
+// Command pipeline prints the router pipelines prescribed by the delay
+// model (Figure 11 of the paper): the per-hop stage count and per-stage
+// utilization for wormhole, virtual-channel, and speculative
+// virtual-channel routers over the paper's (p, v) grid, or for a single
+// configuration.
+//
+// Usage:
+//
+//	pipeline -router vc               # Figure 11(a), R->pv
+//	pipeline -router specvc           # Figure 11(b), R->v
+//	pipeline -router specvc -p 7 -v 8 -clk 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"routersim/internal/core"
+	"routersim/internal/experiments"
+)
+
+func main() {
+	kind := flag.String("router", "vc", "router: wormhole, vc, or specvc")
+	p := flag.Int("p", 0, "physical channels (0 = sweep the paper's grid)")
+	v := flag.Int("v", 2, "virtual channels per physical channel")
+	w := flag.Int("w", 32, "channel width (bits)")
+	clk := flag.Float64("clk", core.DefaultClockTau4, "clock cycle in τ4")
+	rng := flag.String("range", "", "routing range: v, p, or pv (default: figure conventions)")
+	flag.Parse()
+
+	var fc core.FlowControl
+	rrange := core.RangeAll
+	switch *kind {
+	case "wormhole":
+		fc = core.Wormhole
+	case "vc":
+		fc = core.VirtualChannel
+		rrange = core.RangeAll // Figure 11(a) uses the most general range
+	case "specvc":
+		fc = core.SpeculativeVC
+		rrange = core.RangeVC // Figure 11(b) assumes R->v
+	default:
+		fmt.Fprintf(os.Stderr, "unknown router %q\n", *kind)
+		os.Exit(2)
+	}
+	switch *rng {
+	case "v":
+		rrange = core.RangeVC
+	case "p":
+		rrange = core.RangePC
+	case "pv":
+		rrange = core.RangeAll
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown routing range %q\n", *rng)
+		os.Exit(2)
+	}
+
+	if *p != 0 {
+		params := core.Params{P: *p, V: *v, W: *w, ClockTau4: *clk, Range: rrange}
+		pl, err := core.DesignPipeline(fc, params, core.DefaultSpecOptions())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(pl)
+		return
+	}
+
+	fmt.Printf("Pipelines for %v routers (clk=%.4g τ4, routing range %v)\n\n", fc, *clk, rrange)
+	var pts []core.PipelinePoint
+	if fc == core.SpeculativeVC {
+		pts = core.Figure11b(*clk, rrange, *w, core.DefaultSpecOptions())
+	} else {
+		pts = core.Figure11a(*clk, rrange, *w)
+	}
+	ref := core.WormholeReference(*clk, 5, *w)
+	if err := experiments.WriteFigure11(os.Stdout, pts, ref); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,75 @@
+// Command sweep regenerates the simulated figures of the paper's
+// evaluation (Figures 13, 14, 15, 17, 18): for each curve it sweeps the
+// offered load and prints the latency-throughput series as a table, an
+// ASCII plot, and optionally CSV.
+//
+// Usage:
+//
+//	sweep -figure 13              # quick protocol (scaled sample)
+//	sweep -figure 14 -full        # the paper's exact protocol
+//	sweep -figure 18 -csv out.csv
+//	sweep -all                    # all five simulated figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"routersim"
+)
+
+func main() {
+	figure := flag.String("figure", "", "figure to regenerate: 13, 14, 15, 17, or 18")
+	all := flag.Bool("all", false, "regenerate every simulated figure")
+	full := flag.Bool("full", false, "use the paper's full protocol (10k warmup, 100k packets)")
+	csvPath := flag.String("csv", "", "also write the series as CSV to this file")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	pr := routersim.QuickProtocol()
+	if *full {
+		pr = routersim.PaperProtocol()
+	}
+	pr.Seed = *seed
+
+	var ids []string
+	switch {
+	case *all:
+		ids = []string{"figure13", "figure14", "figure15", "figure17", "figure18"}
+	case *figure != "":
+		ids = []string{"figure" + *figure}
+	default:
+		fmt.Fprintln(os.Stderr, "specify -figure N or -all")
+		os.Exit(2)
+	}
+
+	var csvFile *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvFile = f
+	}
+
+	for _, id := range ids {
+		fig, err := routersim.Reproduce(id, pr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := routersim.WriteFigure(os.Stdout, fig); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if csvFile != nil {
+			if err := routersim.WriteFigureCSV(csvFile, fig); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Delay-model walkthrough: use the model the way a router architect
+// would — explore how physical channels, virtual channels, routing-
+// function range, and clock period trade off against per-hop pipeline
+// depth (the study of Section 4 of the paper).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"routersim"
+)
+
+func main() {
+	fmt.Println("Per-hop pipeline depth (cycles) prescribed by the delay model")
+	fmt.Println()
+
+	// Sweep VC count for a 5-port (2-D mesh) router at the typical
+	// 20 τ4 clock, for each flow control method.
+	fmt.Printf("%-22s", "router \\ vcs")
+	vcs := []int{1, 2, 4, 8, 16, 32}
+	for _, v := range vcs {
+		fmt.Printf("%5d", v)
+	}
+	fmt.Println()
+	for _, fc := range []routersim.FlowControl{
+		routersim.WormholeFlow, routersim.VirtualChannelFlow, routersim.SpeculativeVCFlow,
+	} {
+		fmt.Printf("%-22s", fc.String())
+		for _, v := range vcs {
+			params := routersim.DelayParams{P: 5, V: v, W: 32, ClockTau4: 20, Range: routersim.RangeVC}
+			if fc == routersim.WormholeFlow {
+				params.V = 1
+			}
+			pipe, err := routersim.DesignPipeline(fc, params)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%5d", pipe.Depth())
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	// A slower clock absorbs more logic per stage: show the speculative
+	// router's depth across clock periods (the "cycle time fixed,
+	// stages variable" regime the paper argues real designs live in).
+	fmt.Println("Speculative VC router (p=5, v=8, R->v) vs clock period:")
+	for _, clk := range []float64{10, 14, 16, 20, 28, 40} {
+		params := routersim.DelayParams{P: 5, V: 8, W: 32, ClockTau4: clk, Range: routersim.RangeVC}
+		pipe, err := routersim.DesignPipeline(routersim.SpeculativeVCFlow, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  clk=%4.4g τ4  ->  %d stages\n", clk, pipe.Depth())
+	}
+	fmt.Println()
+
+	// Routing-function range effect on the allocation stage (Figure 12).
+	fmt.Println("Allocation stage of the speculative router under each routing range (p=5, v=8):")
+	for _, r := range []routersim.RoutingRange{routersim.RangeVC, routersim.RangePC, routersim.RangeAll} {
+		params := routersim.DelayParams{P: 5, V: 8, W: 32, ClockTau4: 20, Range: r}
+		pipe, err := routersim.DesignPipeline(routersim.SpeculativeVCFlow, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s -> %d stages\n", r, pipe.Depth())
+	}
+}

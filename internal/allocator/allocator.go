@@ -1,0 +1,121 @@
+// Package allocator implements the switch and virtual-channel allocators
+// of the canonical router architectures (Figures 7 and 8 of the paper):
+//
+//   - the wormhole switch arbiter, which holds output ports for whole
+//     packets (Figure 7a),
+//   - the separable input-first switch allocator of a virtual-channel
+//     router, which allocates crossbar passage flit by flit (Figure 7b),
+//   - the separable virtual-channel allocator (Figure 8),
+//   - the speculative switch allocator: two parallel separable
+//     allocators with non-speculative priority (Figure 7c).
+//
+// All allocators are built from the arbiters in internal/arbiter; the
+// arbiter policy is injectable (matrix arbiters by default, matching the
+// paper's gate-level designs).
+package allocator
+
+import (
+	"fmt"
+
+	"routersim/internal/arbiter"
+)
+
+// SwitchRequest asks for one flit's passage from input port In (virtual
+// channel VC) to output port Out.
+type SwitchRequest struct {
+	In, VC, Out int
+}
+
+// SwitchGrant reports a won switch passage.
+type SwitchGrant struct {
+	In, VC, Out int
+}
+
+// SeparableSwitch is the input-first separable switch allocator of a
+// virtual-channel router (Figure 7b): a v:1 arbiter per input port
+// selects which VC bids for its output port, then a p:1 arbiter per
+// output port selects among the bidding inputs.
+type SeparableSwitch struct {
+	p, v       int
+	inputArbs  []arbiter.Arbiter // one per input port, over v VCs
+	outputArbs []arbiter.Arbiter // one per output port, over p inputs
+
+	// scratch, reused across Allocate calls
+	inReqs   []uint64
+	inWinner []int // winning VC per input port, -1 if none
+	outReqs  []uint64
+}
+
+// NewSeparableSwitch returns an allocator for p ports and v VCs per
+// port, using arbiters from factory (nil means matrix arbiters).
+func NewSeparableSwitch(p, v int, factory arbiter.Factory) *SeparableSwitch {
+	if factory == nil {
+		factory = arbiter.MatrixFactory
+	}
+	if p < 1 || v < 1 {
+		panic(fmt.Sprintf("allocator: invalid switch allocator size p=%d v=%d", p, v))
+	}
+	s := &SeparableSwitch{
+		p: p, v: v,
+		inputArbs:  make([]arbiter.Arbiter, p),
+		outputArbs: make([]arbiter.Arbiter, p),
+		inReqs:     make([]uint64, p),
+		inWinner:   make([]int, p),
+		outReqs:    make([]uint64, p),
+	}
+	for i := 0; i < p; i++ {
+		s.inputArbs[i] = factory(v)
+		s.outputArbs[i] = factory(p)
+	}
+	return s
+}
+
+// Allocate performs one allocation cycle over the given requests and
+// returns the grants. At most one request per (In, VC) pair and one Out
+// per (In, VC) may be submitted; duplicate (In, VC) submissions panic,
+// as they indicate a router state-machine bug.
+func (s *SeparableSwitch) Allocate(reqs []SwitchRequest) []SwitchGrant {
+	// Stage 1: per input port, arbitrate among requesting VCs.
+	reqOut := make(map[[2]int]int, len(reqs)) // (in, vc) -> out
+	for i := range s.inReqs {
+		s.inReqs[i] = 0
+		s.inWinner[i] = -1
+		s.outReqs[i] = 0
+	}
+	for _, r := range reqs {
+		s.check(r)
+		key := [2]int{r.In, r.VC}
+		if _, dup := reqOut[key]; dup {
+			panic(fmt.Sprintf("allocator: duplicate switch request from input %d vc %d", r.In, r.VC))
+		}
+		reqOut[key] = r.Out
+		s.inReqs[r.In] |= 1 << r.VC
+	}
+	for in := 0; in < s.p; in++ {
+		if s.inReqs[in] == 0 {
+			continue
+		}
+		if w, ok := s.inputArbs[in].Grant(s.inReqs[in]); ok {
+			s.inWinner[in] = w
+			out := reqOut[[2]int{in, w}]
+			s.outReqs[out] |= 1 << in
+		}
+	}
+	// Stage 2: per output port, arbitrate among winning inputs.
+	var grants []SwitchGrant
+	for out := 0; out < s.p; out++ {
+		if s.outReqs[out] == 0 {
+			continue
+		}
+		if in, ok := s.outputArbs[out].Grant(s.outReqs[out]); ok {
+			grants = append(grants, SwitchGrant{In: in, VC: s.inWinner[in], Out: out})
+		}
+	}
+	return grants
+}
+
+func (s *SeparableSwitch) check(r SwitchRequest) {
+	if r.In < 0 || r.In >= s.p || r.Out < 0 || r.Out >= s.p || r.VC < 0 || r.VC >= s.v {
+		panic(fmt.Sprintf("allocator: switch request out of range: %+v (p=%d v=%d)", r, s.p, s.v))
+	}
+}

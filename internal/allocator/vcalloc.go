@@ -1,0 +1,141 @@
+package allocator
+
+import (
+	"fmt"
+	"math/bits"
+
+	"routersim/internal/arbiter"
+)
+
+// VCRequest asks to allocate an output virtual channel for the packet at
+// input port In, input VC VC. Candidates is a bitmask over the v output
+// VCs of output port Out that the routing function permits and that are
+// currently free (outvc_state). With the paper's R→p routing range —
+// the most general possible for a deterministic router (footnote 14) —
+// Candidates holds every free VC of the routed port.
+type VCRequest struct {
+	In, VC, Out int
+	Candidates  uint64
+}
+
+// VCGrant reports a granted output virtual channel.
+type VCGrant struct {
+	In, VC, Out, OutVC int
+}
+
+// VCAllocator is the separable virtual-channel allocator of Figure 8(b):
+// a first stage of v:1 arbiters (one per input VC) chooses which
+// candidate output VC each input VC bids for, and a second stage of
+// (p·v):1 arbiters (one per output VC) chooses among the bidders.
+type VCAllocator struct {
+	p, v      int
+	stage1    []arbiter.Arbiter // per input VC (p·v of them), over v candidates
+	stage2    []arbiter.Arbiter // per output VC (p·v of them), over p·v bidders
+	bids      []uint64          // per output VC: bitmask of bidding input VCs
+	bidder    []VCRequest       // request by flattened input-VC index
+	hasBidder []bool
+}
+
+// NewVCAllocator returns a VC allocator for p ports and v VCs per port.
+func NewVCAllocator(p, v int, factory arbiter.Factory) *VCAllocator {
+	if factory == nil {
+		factory = arbiter.MatrixFactory
+	}
+	if p < 1 || v < 1 {
+		panic(fmt.Sprintf("allocator: invalid VC allocator size p=%d v=%d", p, v))
+	}
+	n := p * v
+	a := &VCAllocator{
+		p: p, v: v,
+		stage1:    make([]arbiter.Arbiter, n),
+		stage2:    make([]arbiter.Arbiter, n),
+		bids:      make([]uint64, n),
+		bidder:    make([]VCRequest, n),
+		hasBidder: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		a.stage1[i] = factory(v)
+		a.stage2[i] = factory(n)
+	}
+	return a
+}
+
+func (a *VCAllocator) ivc(in, vc int) int { return in*a.v + vc }
+func (a *VCAllocator) ovc(out, w int) int { return out*a.v + w }
+
+// Allocate performs one VC-allocation cycle. Each request bids for one
+// of its candidate output VCs (stage 1); each output VC grants one
+// bidder (stage 2). Losers simply retry in a later cycle. At most one
+// output VC is granted per input VC and each output VC is granted to at
+// most one input VC per cycle.
+func (a *VCAllocator) Allocate(reqs []VCRequest) []VCGrant {
+	for i := range a.bids {
+		a.bids[i] = 0
+		a.hasBidder[i] = false
+	}
+	// Stage 1: each input VC picks one candidate output VC.
+	for _, r := range reqs {
+		a.check(r)
+		cands := r.Candidates & mask64(a.v)
+		if cands == 0 {
+			continue // no free candidate VC this cycle
+		}
+		iIdx := a.ivc(r.In, r.VC)
+		if a.hasBidder[iIdx] {
+			panic(fmt.Sprintf("allocator: duplicate VC request from input %d vc %d", r.In, r.VC))
+		}
+		w, ok := a.stage1[iIdx].Grant(cands)
+		if !ok {
+			continue
+		}
+		a.hasBidder[iIdx] = true
+		a.bidder[iIdx] = r
+		a.bids[a.ovc(r.Out, w)] |= 1 << iIdx
+	}
+	// Stage 2: each output VC grants one bidding input VC.
+	var grants []VCGrant
+	for out := 0; out < a.p; out++ {
+		for w := 0; w < a.v; w++ {
+			oIdx := a.ovc(out, w)
+			if a.bids[oIdx] == 0 {
+				continue
+			}
+			iIdx, ok := a.stage2[oIdx].Grant(a.bids[oIdx])
+			if !ok {
+				continue
+			}
+			r := a.bidder[iIdx]
+			grants = append(grants, VCGrant{In: r.In, VC: r.VC, Out: out, OutVC: w})
+		}
+	}
+	return grants
+}
+
+func (a *VCAllocator) check(r VCRequest) {
+	if r.In < 0 || r.In >= a.p || r.Out < 0 || r.Out >= a.p || r.VC < 0 || r.VC >= a.v {
+		panic(fmt.Sprintf("allocator: VC request out of range: %+v (p=%d v=%d)", r, a.p, a.v))
+	}
+}
+
+func mask64(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << n) - 1
+}
+
+// FreeCandidates builds the candidate mask for a request: the free
+// output VCs of a port, given the busy state. It is a convenience for
+// routers implementing the R→p routing range.
+func FreeCandidates(busy []bool) uint64 {
+	var m uint64
+	for i, b := range busy {
+		if !b {
+			m |= 1 << i
+		}
+	}
+	return m
+}
+
+// PopcountCandidates reports the number of candidate VCs in a mask.
+func PopcountCandidates(m uint64) int { return bits.OnesCount64(m) }

@@ -1,0 +1,87 @@
+package allocator
+
+import (
+	"fmt"
+
+	"routersim/internal/arbiter"
+)
+
+// PortRequest asks to acquire output port Out for the whole duration of
+// a packet at input port In (wormhole flow control).
+type PortRequest struct {
+	In, Out int
+}
+
+// WormholeSwitch is the switch arbiter of a wormhole router (Figure 7a):
+// one p:1 matrix arbiter per output port plus a status flip-flop; a
+// granted output port is held by the winning input until released by the
+// packet's tail flit.
+type WormholeSwitch struct {
+	p       int
+	arbs    []arbiter.Arbiter
+	holder  []int // input port holding each output, -1 if free
+	reqBits []uint64
+}
+
+// NewWormholeSwitch returns a wormhole switch arbiter over p ports.
+func NewWormholeSwitch(p int, factory arbiter.Factory) *WormholeSwitch {
+	if factory == nil {
+		factory = arbiter.MatrixFactory
+	}
+	w := &WormholeSwitch{
+		p:       p,
+		arbs:    make([]arbiter.Arbiter, p),
+		holder:  make([]int, p),
+		reqBits: make([]uint64, p),
+	}
+	for i := range w.arbs {
+		w.arbs[i] = factory(p)
+		w.holder[i] = -1
+	}
+	return w
+}
+
+// Holder returns the input port currently holding output out, or -1.
+func (w *WormholeSwitch) Holder(out int) int { return w.holder[out] }
+
+// Held reports whether output out is held.
+func (w *WormholeSwitch) Held(out int) bool { return w.holder[out] >= 0 }
+
+// Arbitrate processes one cycle of port requests. Requests for held
+// ports lose (the status flip-flop masks them); each free output port
+// grants at most one input, which then holds the port until Release.
+func (w *WormholeSwitch) Arbitrate(reqs []PortRequest) []PortRequest {
+	for i := range w.reqBits {
+		w.reqBits[i] = 0
+	}
+	for _, r := range reqs {
+		if r.In < 0 || r.In >= w.p || r.Out < 0 || r.Out >= w.p {
+			panic(fmt.Sprintf("allocator: wormhole request out of range: %+v (p=%d)", r, w.p))
+		}
+		if w.holder[r.Out] >= 0 {
+			continue // port unavailable; status bit masks the request
+		}
+		w.reqBits[r.Out] |= 1 << r.In
+	}
+	var grants []PortRequest
+	for out := 0; out < w.p; out++ {
+		if w.reqBits[out] == 0 {
+			continue
+		}
+		if in, ok := w.arbs[out].Grant(w.reqBits[out]); ok {
+			w.holder[out] = in
+			grants = append(grants, PortRequest{In: in, Out: out})
+		}
+	}
+	return grants
+}
+
+// Release frees output port out when a tail flit departs. Releasing a
+// free port panics: it indicates a double release in the router state
+// machine.
+func (w *WormholeSwitch) Release(out int) {
+	if w.holder[out] < 0 {
+		panic(fmt.Sprintf("allocator: release of free wormhole port %d", out))
+	}
+	w.holder[out] = -1
+}

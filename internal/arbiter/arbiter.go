@@ -1,0 +1,165 @@
+// Package arbiter implements the arbiters used by the router allocators:
+// the matrix (least-recently-served) arbiter the paper's gate-level
+// model is built on (Figure 10), plus round-robin and fixed-priority
+// arbiters for ablation studies.
+//
+// Requests are presented as a bitmask; Grant returns the winning
+// requestor and updates the arbiter's internal priority state, exactly
+// as the hardware would on a grant cycle (the priority update is the
+// h = 9τ overhead in the delay model).
+package arbiter
+
+import "fmt"
+
+// Arbiter selects one winner among up to N requestors per grant cycle.
+type Arbiter interface {
+	// Grant arbitrates among the set bits of requests (bit i =
+	// requestor i). It returns the winner and true, or (-1, false) when
+	// requests is empty. A successful grant updates priority state.
+	Grant(requests uint64) (winner int, ok bool)
+	// N returns the number of requestor slots.
+	N() int
+}
+
+func checkN(n int) {
+	if n < 1 || n > 64 {
+		panic(fmt.Sprintf("arbiter: n = %d outside [1, 64]", n))
+	}
+}
+
+// Matrix is an n:1 matrix arbiter: an upper-triangular matrix of
+// priority bits records a strict total order between requestors; the
+// winner is the requestor that beats all other requestors, and is then
+// demoted to the lowest priority (least-recently-served policy).
+type Matrix struct {
+	n int
+	// beats[i] has bit j set when i has priority over j.
+	beats []uint64
+}
+
+// NewMatrix returns a matrix arbiter over n requestors, initialized with
+// requestor 0 at the highest priority.
+func NewMatrix(n int) *Matrix {
+	checkN(n)
+	m := &Matrix{n: n, beats: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		// i beats all j > i initially (upper triangular).
+		m.beats[i] = (^uint64(0) << (i + 1)) & mask(n)
+	}
+	return m
+}
+
+func mask(n int) uint64 {
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << n) - 1
+}
+
+// N returns the number of requestor slots.
+func (m *Matrix) N() int { return m.n }
+
+// Grant implements Arbiter.
+func (m *Matrix) Grant(requests uint64) (int, bool) {
+	requests &= mask(m.n)
+	if requests == 0 {
+		return -1, false
+	}
+	for i := 0; i < m.n; i++ {
+		if requests&(1<<i) == 0 {
+			continue
+		}
+		// i wins if it beats every other requestor.
+		others := requests &^ (1 << i)
+		if m.beats[i]&others == others {
+			m.demote(i)
+			return i, true
+		}
+	}
+	// Unreachable while the matrix encodes a total order.
+	panic("arbiter: matrix order corrupted; no winner among requestors")
+}
+
+// demote moves winner to the bottom of the priority order: everyone now
+// beats the winner, and the winner beats no one.
+func (m *Matrix) demote(winner int) {
+	m.beats[winner] = 0
+	for j := 0; j < m.n; j++ {
+		if j != winner {
+			m.beats[j] |= 1 << winner
+		}
+	}
+}
+
+// RoundRobin is a rotating-priority arbiter: after a grant, the slot
+// after the winner becomes the highest priority.
+type RoundRobin struct {
+	n    int
+	next int
+}
+
+// NewRoundRobin returns a round-robin arbiter over n requestors.
+func NewRoundRobin(n int) *RoundRobin {
+	checkN(n)
+	return &RoundRobin{n: n}
+}
+
+// N returns the number of requestor slots.
+func (r *RoundRobin) N() int { return r.n }
+
+// Grant implements Arbiter.
+func (r *RoundRobin) Grant(requests uint64) (int, bool) {
+	requests &= mask(r.n)
+	if requests == 0 {
+		return -1, false
+	}
+	for k := 0; k < r.n; k++ {
+		i := (r.next + k) % r.n
+		if requests&(1<<i) != 0 {
+			r.next = (i + 1) % r.n
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Fixed is a static-priority arbiter: lower indices always win. It
+// exists to demonstrate (in ablation benches) the starvation a
+// priority-updating arbiter avoids.
+type Fixed struct{ n int }
+
+// NewFixed returns a fixed-priority arbiter over n requestors.
+func NewFixed(n int) *Fixed {
+	checkN(n)
+	return &Fixed{n: n}
+}
+
+// N returns the number of requestor slots.
+func (f *Fixed) N() int { return f.n }
+
+// Grant implements Arbiter.
+func (f *Fixed) Grant(requests uint64) (int, bool) {
+	requests &= mask(f.n)
+	if requests == 0 {
+		return -1, false
+	}
+	for i := 0; i < f.n; i++ {
+		if requests&(1<<i) != 0 {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Factory builds an arbiter of a given size; allocators take a Factory
+// so the arbiter policy is swappable.
+type Factory func(n int) Arbiter
+
+// MatrixFactory builds matrix arbiters (the paper's design).
+func MatrixFactory(n int) Arbiter { return NewMatrix(n) }
+
+// RoundRobinFactory builds round-robin arbiters.
+func RoundRobinFactory(n int) Arbiter { return NewRoundRobin(n) }
+
+// FixedFactory builds fixed-priority arbiters.
+func FixedFactory(n int) Arbiter { return NewFixed(n) }

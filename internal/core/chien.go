@@ -1,0 +1,67 @@
+package core
+
+// This file quantifies the paper's Section 2 critique of Chien's router
+// model using our calibrated delay equations. Chien's canonical
+// architecture (Figure 1 of the paper) differs from the paper's
+// virtual-channel router in two ways that matter for delay:
+//
+//   - the crossbar provides a separate port per virtual channel (p·v
+//     ports instead of p), because passage is arbitrated per packet and
+//     held for its duration;
+//   - switch arbitration happens over all p·v requestors.
+//
+// Evaluating the same gate-calibrated equations under those structural
+// assumptions shows how quickly the Chien-style datapath slows down with
+// the number of VCs — the motivation for the paper's shared-crossbar
+// canonical architecture.
+
+// ChienCrossbarDelay returns the crossbar traversal latency, in τ, of a
+// Chien-style crossbar with one port per virtual channel: t_XB(p·v, w).
+func ChienCrossbarDelay(p, v, w int) float64 {
+	return TCrossbar(p*v, w)
+}
+
+// ChienSwitchArbiterDelay returns the switch arbitration latency, in τ,
+// of a Chien-style arbiter over p·v requestors holding ports per
+// packet: t_SB(p·v).
+func ChienSwitchArbiterDelay(p, v int) float64 {
+	return TSwitchArbiterWH(p * v)
+}
+
+// ChienComparison contrasts the Chien-style architecture against the
+// paper's shared-crossbar architecture at one parameter point.
+type ChienComparison struct {
+	P, V, W int
+	// Chien-style: p·v-port crossbar, p·v-requestor packet arbitration.
+	ChienCrossbarTau4 float64
+	ChienArbiterTau4  float64
+	// The paper's architecture: p-port crossbar shared across VCs,
+	// separable flit-by-flit switch allocation.
+	SharedCrossbarTau4 float64
+	SwitchAllocTau4    float64
+}
+
+// CompareWithChien evaluates both architectures with the same calibrated
+// equations.
+func CompareWithChien(p, v, w int) ChienComparison {
+	const tau4 = 5.0
+	return ChienComparison{
+		P: p, V: v, W: w,
+		ChienCrossbarTau4:  (ChienCrossbarDelay(p, v, w) + HCrossbar(p*v, w)) / tau4,
+		ChienArbiterTau4:   (ChienSwitchArbiterDelay(p, v) + HSwitchArbiterWH(p*v)) / tau4,
+		SharedCrossbarTau4: (TCrossbar(p, w) + HCrossbar(p, w)) / tau4,
+		SwitchAllocTau4:    (TSwitchAllocVC(p, v) + HSwitchAllocVC(p, v)) / tau4,
+	}
+}
+
+// ChienSweep evaluates the comparison over the paper's VC grid for a
+// 5-port router, showing the divergence the paper's Section 2 describes:
+// the per-VC-port crossbar and arbiter grow with p·v while the shared
+// design grows only with v inside the allocator's first stage.
+func ChienSweep(w int) []ChienComparison {
+	var out []ChienComparison
+	for _, v := range Figure11Grid.V {
+		out = append(out, CompareWithChien(5, v, w))
+	}
+	return out
+}

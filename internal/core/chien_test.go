@@ -1,0 +1,60 @@
+package core
+
+import "testing"
+
+// TestChienArchitectureSlowerWithVCs verifies the paper's Section 2
+// argument quantitatively: under identical calibrated equations, the
+// Chien-style per-VC-port crossbar and packet arbiter grow much faster
+// with the VC count than the paper's shared-crossbar datapath.
+func TestChienArchitectureSlowerWithVCs(t *testing.T) {
+	cmp2 := CompareWithChien(5, 2, 32)
+	cmp16 := CompareWithChien(5, 16, 32)
+
+	// The shared crossbar is independent of v.
+	if cmp2.SharedCrossbarTau4 != cmp16.SharedCrossbarTau4 {
+		t.Errorf("shared crossbar delay should not depend on v: %v vs %v",
+			cmp2.SharedCrossbarTau4, cmp16.SharedCrossbarTau4)
+	}
+	// The Chien crossbar grows with v.
+	if cmp16.ChienCrossbarTau4 <= cmp2.ChienCrossbarTau4 {
+		t.Errorf("Chien crossbar should grow with v: %v vs %v",
+			cmp16.ChienCrossbarTau4, cmp2.ChienCrossbarTau4)
+	}
+	// At 16 VCs the Chien crossbar alone exceeds the paper's 20 τ4
+	// clock cycle, while the shared crossbar still fits with slack.
+	if cmp16.ChienCrossbarTau4 < 12 {
+		t.Errorf("Chien crossbar at 16 VCs = %.1f τ4; expected a large penalty", cmp16.ChienCrossbarTau4)
+	}
+	if cmp16.SharedCrossbarTau4 > 10 {
+		t.Errorf("shared crossbar = %.1f τ4; should fit easily", cmp16.SharedCrossbarTau4)
+	}
+	// Arbitration latency grows with v in both designs (Chien: a p·v
+	// matrix arbiter; the paper: the separable allocator's v:1 first
+	// stage) — the decisive difference is that Chien's arbitration is
+	// per packet, holding the port for the whole packet, while the
+	// separable allocator reallocates the switch every cycle. Assert
+	// only the structural facts the equations encode.
+	if cmp16.ChienArbiterTau4 <= cmp2.ChienArbiterTau4 {
+		t.Errorf("Chien arbiter should grow with v: %v vs %v",
+			cmp16.ChienArbiterTau4, cmp2.ChienArbiterTau4)
+	}
+	if cmp16.SwitchAllocTau4 <= cmp2.SwitchAllocTau4 {
+		t.Errorf("separable allocator should grow with v: %v vs %v",
+			cmp16.SwitchAllocTau4, cmp2.SwitchAllocTau4)
+	}
+}
+
+func TestChienSweepShape(t *testing.T) {
+	sweep := ChienSweep(32)
+	if len(sweep) != len(Figure11Grid.V) {
+		t.Fatalf("%d points, want %d", len(sweep), len(Figure11Grid.V))
+	}
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].ChienCrossbarTau4 <= sweep[i-1].ChienCrossbarTau4 {
+			t.Errorf("Chien crossbar not monotone at v=%d", sweep[i].V)
+		}
+		if sweep[i].ChienArbiterTau4 <= sweep[i-1].ChienArbiterTau4 {
+			t.Errorf("Chien arbiter not monotone at v=%d", sweep[i].V)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import "routersim/internal/logicaleffort"
+
+// This file regenerates the analytic tables and figures of the paper:
+// Table 1 (module delays), Figure 11 (pipeline designs), and Figure 12
+// (combined speculative-allocation stage delay).
+
+// Table1Row is one row of Table 1: a module's computed (t+h) in τ4 at
+// the paper's evaluation point, alongside the values the paper reports
+// for its model and for the Synopsys timing analyzer.
+type Table1Row struct {
+	Router   string  // "wormhole", "virtual-channel", "speculative vc"
+	Module   string  // module label as in the paper
+	Tau      float64 // t in τ
+	OverTau  float64 // h in τ
+	Model    float64 // computed (t+h) in τ4
+	Paper    float64 // value reported in the paper's Model column (τ4)
+	Synopsys float64 // value reported in the paper's Synopsys column (τ4)
+}
+
+// Table1 evaluates the delay model at the paper's point (p=5, w=32, v=2)
+// and returns every row of Table 1 with the paper's reference values.
+func Table1() []Table1Row {
+	const p, w, v = 5, 32, 2
+	t4 := logicaleffort.TauToTau4
+	rows := []Table1Row{
+		{"wormhole", "switch arbiter (SB)", TSwitchArbiterWH(p), HSwitchArbiterWH(p), 0, 9.6, 9.9},
+		{"wormhole", "crossbar traversal (XB)", TCrossbar(p, w), HCrossbar(p, w), 0, 8.4, 10.5},
+		{"virtual-channel", "vc allocator (VC: R->v)", TVCAlloc(RangeVC, p, v), HVCAlloc(RangeVC, p, v), 0, 11.8, 11.0},
+		{"virtual-channel", "vc allocator (VC: R->p)", TVCAlloc(RangePC, p, v), HVCAlloc(RangePC, p, v), 0, 13.1, 13.3},
+		{"virtual-channel", "vc allocator (VC: R->pv)", TVCAlloc(RangeAll, p, v), HVCAlloc(RangeAll, p, v), 0, 16.9, 15.3},
+		{"virtual-channel", "switch allocator (SL)", TSwitchAllocVC(p, v), HSwitchAllocVC(p, v), 0, 10.9, 12.0},
+		{"speculative vc", "combined alloc stage (R->v)", SpecAllocStageTau(RangeVC, p, v), 0, 0, 14.6, 16.2},
+		{"speculative vc", "combined alloc stage (R->p)", SpecAllocStageTau(RangePC, p, v), 0, 0, 14.6, 16.2},
+		{"speculative vc", "combined alloc stage (R->pv)", SpecAllocStageTau(RangeAll, p, v), 0, 0, 18.3, 16.8},
+	}
+	for i := range rows {
+		rows[i].Model = t4(rows[i].Tau + rows[i].OverTau)
+	}
+	return rows
+}
+
+// PipelinePoint is one bar of Figure 11: the pipeline prescribed for a
+// (p, v) configuration.
+type PipelinePoint struct {
+	P, V     int
+	Pipeline Pipeline
+}
+
+// Figure11Grid is the paper's sweep: p ∈ {5, 7} physical channels and
+// v ∈ {2, 4, 8, 16, 32} virtual channels per physical channel.
+var Figure11Grid = struct {
+	P []int
+	V []int
+}{P: []int{5, 7}, V: []int{2, 4, 8, 16, 32}}
+
+// Figure11a returns the pipelines of non-speculative virtual-channel
+// routers over the paper's (p, v) grid at the given clock and routing
+// range. The paper's figure uses clk = 20 τ4 and the most general range
+// R→pv; the reference wormhole pipeline is returned separately by
+// WormholeReference.
+func Figure11a(clockTau4 float64, r RoutingRange, w int) []PipelinePoint {
+	return sweepPipelines(VirtualChannel, clockTau4, r, w, DefaultSpecOptions())
+}
+
+// Figure11b returns the pipelines of speculative virtual-channel routers
+// over the paper's grid. The paper's figure assumes the R→v routing
+// function.
+func Figure11b(clockTau4 float64, r RoutingRange, w int, spec SpecOptions) []PipelinePoint {
+	return sweepPipelines(SpeculativeVC, clockTau4, r, w, spec)
+}
+
+func sweepPipelines(fc FlowControl, clockTau4 float64, r RoutingRange, w int, spec SpecOptions) []PipelinePoint {
+	var out []PipelinePoint
+	for _, p := range Figure11Grid.P {
+		for _, v := range Figure11Grid.V {
+			params := Params{P: p, V: v, W: w, ClockTau4: clockTau4, Range: r}
+			out = append(out, PipelinePoint{P: p, V: v, Pipeline: MustDesignPipeline(fc, params, spec)})
+		}
+	}
+	return out
+}
+
+// WormholeReference returns the wormhole pipeline graphed for reference
+// in Figure 11 (3 stages at the paper's parameters).
+func WormholeReference(clockTau4 float64, p, w int) Pipeline {
+	params := Params{P: p, V: 1, W: w, ClockTau4: clockTau4, Range: RangeVC}
+	return MustDesignPipeline(Wormhole, params, DefaultSpecOptions())
+}
+
+// Figure12Point is one group of bars in Figure 12: the delay of the
+// combined VC + speculative switch allocation stage for a (p, v)
+// configuration under each routing-function range, in τ4.
+type Figure12Point struct {
+	P, V     int
+	DelayRv  float64 // R→v
+	DelayRp  float64 // R→p
+	DelayRpv float64 // R→pv
+}
+
+// Figure12 sweeps the combined allocation stage delay over the paper's
+// (p, v) grid for the three routing-function ranges.
+func Figure12() []Figure12Point {
+	var out []Figure12Point
+	for _, p := range Figure11Grid.P {
+		for _, v := range Figure11Grid.V {
+			out = append(out, Figure12Point{
+				P: p, V: v,
+				DelayRv:  SpecAllocStageTau4(RangeVC, p, v),
+				DelayRp:  SpecAllocStageTau4(RangePC, p, v),
+				DelayRpv: SpecAllocStageTau4(RangeAll, p, v),
+			})
+		}
+	}
+	return out
+}

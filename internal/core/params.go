@@ -1,0 +1,122 @@
+// Package core implements the paper's primary contribution: the router
+// delay model of Peh and Dally, "A Delay Model and Speculative
+// Architecture for Pipelined Routers" (HPCA 2001).
+//
+// The model has two parts:
+//
+//   - A specific router model: technology-independent parametric delay
+//     equations (Table 1 of the paper) for each atomic module of a
+//     wormhole, virtual-channel, or speculative virtual-channel router,
+//     expressed in τ (1 τ4 = 5 τ). See equations.go.
+//   - A general router model: given a clock cycle time, EQ 1 packs the
+//     atomic modules on the router's critical path into pipeline stages,
+//     prescribing the per-hop router latency in cycles. See pipeline.go.
+package core
+
+import "fmt"
+
+// FlowControl selects the flow-control method and hence the canonical
+// router architecture whose critical path the model evaluates.
+type FlowControl int
+
+const (
+	// Wormhole is wormhole flow control (Figure 2): per-port input
+	// queues, a switch arbiter that holds output ports for whole packets.
+	Wormhole FlowControl = iota
+	// VirtualChannel is virtual-channel flow control (Figure 3):
+	// per-VC input queues, a VC allocator, and a cycle-by-cycle switch
+	// allocator sharing one crossbar port per physical channel.
+	VirtualChannel
+	// SpeculativeVC is the paper's speculative virtual-channel router:
+	// switch allocation proceeds in parallel with VC allocation
+	// (Figure 4c), with non-speculative requests prioritized.
+	SpeculativeVC
+)
+
+func (fc FlowControl) String() string {
+	switch fc {
+	case Wormhole:
+		return "wormhole"
+	case VirtualChannel:
+		return "virtual-channel"
+	case SpeculativeVC:
+		return "speculative-vc"
+	default:
+		return fmt.Sprintf("FlowControl(%d)", int(fc))
+	}
+}
+
+// RoutingRange is the range of the routing function, which determines
+// the complexity of the virtual-channel allocator (Figure 8).
+type RoutingRange int
+
+const (
+	// RangeVC (R→v): routing returns a single candidate output virtual
+	// channel. The VC allocator needs one pv:1 arbiter per output VC.
+	RangeVC RoutingRange = iota
+	// RangePC (R→p): routing returns the candidate VCs of a single
+	// physical channel — the most general range possible for a
+	// deterministic router (footnote 14 of the paper).
+	RangePC
+	// RangeAll (R→pv): routing returns candidate VCs of any physical
+	// channel; the allocator needs two stages of pv:1 arbiters.
+	RangeAll
+)
+
+func (r RoutingRange) String() string {
+	switch r {
+	case RangeVC:
+		return "R->v"
+	case RangePC:
+		return "R->p"
+	case RangeAll:
+		return "R->pv"
+	default:
+		return fmt.Sprintf("RoutingRange(%d)", int(r))
+	}
+}
+
+// Params are the architectural parameters of the delay model.
+type Params struct {
+	// P is the number of physical channels (ports on the crossbar).
+	// A 2-dimensional mesh router has P = 5 (4 directions + local).
+	P int
+	// V is the number of virtual channels per physical channel.
+	// Ignored by the wormhole router.
+	V int
+	// W is the channel width in bits (phit/flit size).
+	W int
+	// ClockTau4 is the clock cycle time in τ4 units. The paper assumes
+	// a typical cycle of 20 τ4 (≈2 ns at 0.18 µm, a 500 MHz clock).
+	ClockTau4 float64
+	// Range is the routing-function range, which sets the VC allocator
+	// complexity. Ignored by the wormhole router.
+	Range RoutingRange
+}
+
+// DefaultClockTau4 is the paper's typical clock cycle of 20 τ4.
+const DefaultClockTau4 = 20.0
+
+// Validate reports whether the parameters are usable by the model.
+func (p Params) Validate() error {
+	if p.P < 2 {
+		return fmt.Errorf("core: P = %d physical channels; need at least 2", p.P)
+	}
+	if p.V < 1 {
+		return fmt.Errorf("core: V = %d virtual channels; need at least 1", p.V)
+	}
+	if p.W < 1 {
+		return fmt.Errorf("core: W = %d channel width; need at least 1 bit", p.W)
+	}
+	if p.ClockTau4 <= 0 {
+		return fmt.Errorf("core: clock cycle %v τ4 must be positive", p.ClockTau4)
+	}
+	return nil
+}
+
+// PaperParams returns the parameter point at which Table 1 of the paper
+// is evaluated: p=5, w=32, v=2, clk=20 τ4, routing range R→pv for the
+// most complex allocator unless overridden.
+func PaperParams() Params {
+	return Params{P: 5, V: 2, W: 32, ClockTau4: DefaultClockTau4, Range: RangeAll}
+}

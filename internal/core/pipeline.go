@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"routersim/internal/logicaleffort"
+)
+
+// Stage is one pipeline stage produced by the EQ-1 packer. A stage holds
+// one or more whole atomic modules, or one share of an oversized atomic
+// module that had to straddle multiple cycles.
+type Stage struct {
+	// Modules are the atomic modules resident in this stage, in critical
+	// path order. For a straddling module the same module appears in
+	// each of its stages with Split > 1.
+	Modules []Module
+	// UsedTau is Σ t_i (+ h of the last module) charged to this stage,
+	// in τ. For split stages it is the per-stage share.
+	UsedTau float64
+	// ClockTau is the clock period in τ.
+	ClockTau float64
+	// Split is 1 for normal stages; for an atomic module that cannot fit
+	// a single cycle, Split is the total number of stages it occupies.
+	Split int
+}
+
+// Utilization returns the fraction of the clock cycle used by the stage.
+func (s Stage) Utilization() float64 {
+	if s.ClockTau == 0 {
+		return 0
+	}
+	return s.UsedTau / s.ClockTau
+}
+
+// Names returns the module names resident in the stage.
+func (s Stage) Names() []string {
+	names := make([]string, len(s.Modules))
+	for i, m := range s.Modules {
+		names[i] = m.Kind.String()
+	}
+	return names
+}
+
+// Pipeline is the pipeline design prescribed by the general router model
+// for a given flow control, parameters, and clock.
+type Pipeline struct {
+	FlowControl FlowControl
+	Params      Params
+	Stages      []Stage
+}
+
+// Depth returns the per-hop router latency in cycles (the number of
+// pipeline stages).
+func (p Pipeline) Depth() int { return len(p.Stages) }
+
+// String renders the pipeline as one stage per line with utilization.
+func (p Pipeline) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s router, p=%d v=%d w=%d clk=%.4gτ4: %d stages\n",
+		p.FlowControl, p.Params.P, p.Params.V, p.Params.W, p.Params.ClockTau4, p.Depth())
+	for i, s := range p.Stages {
+		fmt.Fprintf(&b, "  stage %d: %-40s %5.1f%% of cycle",
+			i+1, strings.Join(s.Names(), " + "), 100*s.Utilization())
+		if s.Split > 1 {
+			fmt.Fprintf(&b, " (atomic module split over %d stages)", s.Split)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DesignPipeline applies EQ 1: starting from the first atomic module on
+// the critical path, modules are packed greedily into a stage while
+//
+//	Σ_{i=a..b} t_i + h_b ≤ clk
+//
+// and a new stage begins at the first module that would overflow.
+// Full-stage modules (routing, crossbar) always occupy exactly one whole
+// stage. An atomic module with t+h > clk cannot be subdivided cleanly
+// (Section 3.1); the model charges it ⌈(t+h)/clk⌉ consecutive stages.
+func DesignPipeline(fc FlowControl, p Params, spec SpecOptions) (Pipeline, error) {
+	if err := p.Validate(); err != nil {
+		return Pipeline{}, err
+	}
+	modules := CriticalPath(fc, p, spec)
+	clk := logicaleffort.Tau4ToTau(p.ClockTau4)
+	pl := Pipeline{FlowControl: fc, Params: p}
+
+	var cur []Module
+	var curT float64 // Σ t_i of modules in the open stage
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		last := cur[len(cur)-1]
+		pl.Stages = append(pl.Stages, Stage{
+			Modules:  append([]Module(nil), cur...),
+			UsedTau:  curT + last.H,
+			ClockTau: clk,
+			Split:    1,
+		})
+		cur, curT = nil, 0
+	}
+
+	for _, m := range modules {
+		if m.FullStage {
+			flush()
+			pl.Stages = append(pl.Stages, Stage{
+				Modules: []Module{m},
+				// Full-stage modules own the whole cycle by convention:
+				// routing is a one-cycle black box and the crossbar
+				// stage absorbs unmodelled wire delay (Section 3.2).
+				UsedTau:  clk,
+				ClockTau: clk,
+				Split:    1,
+			})
+			continue
+		}
+		if m.T+m.H > clk {
+			// Oversized atomic module: straddles multiple stages.
+			flush()
+			n := int(math.Ceil((m.T + m.H) / clk))
+			for i := 0; i < n; i++ {
+				pl.Stages = append(pl.Stages, Stage{
+					Modules:  []Module{m},
+					UsedTau:  (m.T + m.H) / float64(n),
+					ClockTau: clk,
+					Split:    n,
+				})
+			}
+			continue
+		}
+		if len(cur) > 0 && curT+m.T+m.H > clk {
+			flush()
+		}
+		cur = append(cur, m)
+		curT += m.T
+	}
+	flush()
+	return pl, nil
+}
+
+// MustDesignPipeline is DesignPipeline for known-good parameters; it
+// panics on validation errors. Intended for tables/figure generators
+// whose parameter grids are fixed.
+func MustDesignPipeline(fc FlowControl, p Params, spec SpecOptions) Pipeline {
+	pl, err := DesignPipeline(fc, p, spec)
+	if err != nil {
+		panic(err)
+	}
+	return pl
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"routersim/internal/logicaleffort"
+)
+
+func mustPipeline(t *testing.T, fc FlowControl, p Params) Pipeline {
+	t.Helper()
+	pl, err := DesignPipeline(fc, p, DefaultSpecOptions())
+	if err != nil {
+		t.Fatalf("DesignPipeline(%v, %+v): %v", fc, p, err)
+	}
+	return pl
+}
+
+func TestWormholePipelineIsThreeStages(t *testing.T) {
+	// Section 4: "a wormhole router fits within a 3-stage pipeline".
+	for _, p := range []int{5, 7} {
+		pl := mustPipeline(t, Wormhole, Params{P: p, V: 1, W: 32, ClockTau4: 20})
+		if pl.Depth() != 3 {
+			t.Errorf("wormhole p=%d: %d stages, want 3\n%s", p, pl.Depth(), pl)
+		}
+	}
+}
+
+func TestVCPipelineIsFourStagesAtPaperPoint(t *testing.T) {
+	// Figure 11(a): the non-speculative VC router at p=5, v=2 requires
+	// 4 stages (routing, VC alloc, switch alloc, crossbar).
+	pl := mustPipeline(t, VirtualChannel, PaperParams())
+	if pl.Depth() != 4 {
+		t.Fatalf("VC router at paper point: %d stages, want 4\n%s", pl.Depth(), pl)
+	}
+	wantOrder := []ModuleKind{ModRouting, ModVCAlloc, ModSwitchAllocVC, ModCrossbar}
+	for i, st := range pl.Stages {
+		if len(st.Modules) != 1 || st.Modules[0].Kind != wantOrder[i] {
+			t.Errorf("stage %d holds %v, want %v", i+1, st.Names(), wantOrder[i])
+		}
+	}
+}
+
+func TestSpecVCPipelineIsThreeStages(t *testing.T) {
+	// Section 4 / Figure 11(b): with the R→v routing function and the
+	// combine mux folded into the crossbar stage, a speculative VC
+	// router with up to 16 VCs per PC (p ∈ {5,7}) fits 3 stages — the
+	// same per-hop latency as a wormhole router.
+	for _, p := range []int{5, 7} {
+		for _, v := range []int{2, 4, 8, 16} {
+			params := Params{P: p, V: v, W: 32, ClockTau4: 20, Range: RangeVC}
+			pl := mustPipeline(t, SpeculativeVC, params)
+			if pl.Depth() != 3 {
+				t.Errorf("specVC p=%d v=%d: %d stages, want 3\n%s", p, v, pl.Depth(), pl)
+			}
+		}
+	}
+	// ...and 32 VCs no longer fits (the speculative switch allocator
+	// exceeds the 20 τ4 cycle).
+	for _, p := range []int{5, 7} {
+		params := Params{P: p, V: 32, W: 32, ClockTau4: 20, Range: RangeVC}
+		if pl := mustPipeline(t, SpeculativeVC, params); pl.Depth() != 4 {
+			t.Errorf("specVC p=%d v=32: %d stages, want 4 (allocator split)\n%s", p, pl.Depth(), pl)
+		}
+	}
+}
+
+func TestVCPipelineGrowsWithVCs(t *testing.T) {
+	// Figure 11(a): with the R→pv allocator, large VC counts force the
+	// allocator across two stages, growing per-hop latency to 5 cycles.
+	for _, v := range []int{16, 32} {
+		params := Params{P: 5, V: v, W: 32, ClockTau4: 20, Range: RangeAll}
+		pl := mustPipeline(t, VirtualChannel, params)
+		if pl.Depth() < 5 {
+			t.Errorf("VC router v=%d R->pv: %d stages, want ≥5\n%s", v, pl.Depth(), pl)
+		}
+	}
+}
+
+func TestEQ1StageBudgetsRespectClock(t *testing.T) {
+	// Every stage must fit the clock except stages of split atomic
+	// modules, which record Split > 1.
+	cfgs := []struct {
+		fc FlowControl
+		r  RoutingRange
+	}{{Wormhole, RangeVC}, {VirtualChannel, RangeVC}, {VirtualChannel, RangePC},
+		{VirtualChannel, RangeAll}, {SpeculativeVC, RangeVC}, {SpeculativeVC, RangeAll}}
+	for _, cfg := range cfgs {
+		for _, p := range []int{2, 3, 5, 7, 9, 17} {
+			for _, v := range []int{1, 2, 4, 8, 16, 32, 64} {
+				params := Params{P: p, V: v, W: 32, ClockTau4: 20, Range: cfg.r}
+				pl := mustPipeline(t, cfg.fc, params)
+				clk := logicaleffort.Tau4ToTau(params.ClockTau4)
+				for i, st := range pl.Stages {
+					if st.Split == 1 && st.UsedTau > clk+1e-9 {
+						t.Fatalf("%v p=%d v=%d %v: stage %d uses %.1fτ > clk %.1fτ",
+							cfg.fc, p, v, cfg.r, i+1, st.UsedTau, clk)
+					}
+					if st.Split > 1 && len(st.Modules) != 1 {
+						t.Fatalf("split stage %d holds %d modules, want 1", i+1, len(st.Modules))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEQ1PackingIsMaximal(t *testing.T) {
+	// EQ 1's second condition: the packer must be greedy — module b+1
+	// must not have fit in the stage that ends at b. We verify for the
+	// VC router across a parameter sweep: for every stage boundary
+	// between two non-full-stage modules, adding the next module would
+	// overflow the clock.
+	for _, p := range []int{3, 5, 7} {
+		for _, v := range []int{1, 2, 4, 8} {
+			params := Params{P: p, V: v, W: 32, ClockTau4: 20, Range: RangeAll}
+			pl := mustPipeline(t, VirtualChannel, params)
+			clk := logicaleffort.Tau4ToTau(params.ClockTau4)
+			for i := 0; i+1 < len(pl.Stages); i++ {
+				a, b := pl.Stages[i], pl.Stages[i+1]
+				if a.Split > 1 || b.Split > 1 {
+					continue
+				}
+				if a.Modules[0].FullStage || b.Modules[0].FullStage {
+					continue
+				}
+				next := b.Modules[0]
+				var sumT float64
+				for _, m := range a.Modules {
+					sumT += m.T
+				}
+				if sumT+next.T+next.H <= clk {
+					t.Errorf("p=%d v=%d: module %v fit stage %d but was not packed (EQ 1 violated)",
+						p, v, next.Kind, i+1)
+				}
+			}
+		}
+	}
+}
+
+func TestPipelinePreservesModuleOrder(t *testing.T) {
+	// The packer must never reorder the critical path.
+	params := PaperParams()
+	for _, fc := range []FlowControl{Wormhole, VirtualChannel, SpeculativeVC} {
+		pl := mustPipeline(t, fc, params)
+		want := CriticalPath(fc, params, DefaultSpecOptions())
+		var got []ModuleKind
+		for _, st := range pl.Stages {
+			for _, m := range st.Modules {
+				if st.Split > 1 && len(got) > 0 && got[len(got)-1] == m.Kind {
+					continue // split module appears once per stage
+				}
+				got = append(got, m.Kind)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d modules placed, want %d", fc, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i].Kind {
+				t.Fatalf("%v: module %d is %v, want %v", fc, i, got[i], want[i].Kind)
+			}
+		}
+	}
+}
+
+func TestDeeperClockMeansFewerStages(t *testing.T) {
+	// Property: pipeline depth is nonincreasing in the clock period.
+	prop := func(pRaw, vRaw uint8) bool {
+		p := 2 + int(pRaw%8)
+		v := 1 + int(vRaw%16)
+		prev := math.MaxInt32
+		for _, clk := range []float64{10, 15, 20, 30, 40, 80} {
+			params := Params{P: p, V: v, W: 32, ClockTau4: clk, Range: RangeAll}
+			pl, err := DesignPipeline(VirtualChannel, params, DefaultSpecOptions())
+			if err != nil {
+				return false
+			}
+			if pl.Depth() > prev {
+				return false
+			}
+			prev = pl.Depth()
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpecOptionsTable1Semantics(t *testing.T) {
+	// With CombineInCrossbarStage=false the allocation stage carries the
+	// full Table 1 combined delay, so fewer VC counts fit 3 stages.
+	params := Params{P: 5, V: 16, W: 32, ClockTau4: 20, Range: RangeVC}
+	strict, err := DesignPipeline(SpeculativeVC, params, SpecOptions{CombineInCrossbarStage: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Depth() != 4 {
+		t.Errorf("strict spec pipeline v=16: %d stages, want 4 (23.5 τ4 allocator)\n%s", strict.Depth(), strict)
+	}
+	folded := MustDesignPipeline(SpeculativeVC, params, DefaultSpecOptions())
+	if folded.Depth() != 3 {
+		t.Errorf("folded spec pipeline v=16: %d stages, want 3", folded.Depth())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Params{
+		{P: 1, V: 1, W: 32, ClockTau4: 20},
+		{P: 5, V: 0, W: 32, ClockTau4: 20},
+		{P: 5, V: 2, W: 0, ClockTau4: 20},
+		{P: 5, V: 2, W: 32, ClockTau4: 0},
+	}
+	for _, b := range bad {
+		if _, err := DesignPipeline(Wormhole, b, DefaultSpecOptions()); err == nil {
+			t.Errorf("expected validation error for %+v", b)
+		}
+	}
+}
+
+func TestPipelineString(t *testing.T) {
+	pl := mustPipeline(t, VirtualChannel, PaperParams())
+	s := pl.String()
+	for _, want := range []string{"virtual-channel", "vc allocation", "sw allocation", "crossbar", "stage 4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("pipeline rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigure11Generators(t *testing.T) {
+	a := Figure11a(20, RangeAll, 32)
+	if len(a) != len(Figure11Grid.P)*len(Figure11Grid.V) {
+		t.Fatalf("Figure11a: %d points, want %d", len(a), len(Figure11Grid.P)*len(Figure11Grid.V))
+	}
+	b := Figure11b(20, RangeVC, 32, DefaultSpecOptions())
+	for _, pt := range b {
+		if pt.V <= 16 && pt.Pipeline.Depth() != 3 {
+			t.Errorf("Figure11b p=%d v=%d: depth %d, want 3", pt.P, pt.V, pt.Pipeline.Depth())
+		}
+	}
+	wh := WormholeReference(20, 5, 32)
+	if wh.Depth() != 3 {
+		t.Errorf("wormhole reference depth %d, want 3", wh.Depth())
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	pts := Figure12()
+	if len(pts) == 0 {
+		t.Fatal("empty figure 12")
+	}
+	for _, pt := range pts {
+		// The three routing ranges must be ordered Rv ≤ Rp ≤ Rpv in
+		// combined-stage delay (the SS arm is common to all three).
+		if pt.DelayRv > pt.DelayRp+1e-9 || pt.DelayRp > pt.DelayRpv+1e-9 {
+			t.Errorf("p=%d v=%d: ordering violated: %v %v %v", pt.P, pt.V, pt.DelayRv, pt.DelayRp, pt.DelayRpv)
+		}
+		// Figure 12's y-axis spans 0..40 τ4; all values must lie there.
+		if pt.DelayRpv <= 0 || pt.DelayRpv > 40 {
+			t.Errorf("p=%d v=%d: R->pv delay %.1f τ4 outside the figure's range", pt.P, pt.V, pt.DelayRpv)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyProtocol keeps unit tests fast; shape assertions use wide
+// tolerances accordingly.
+func tinyProtocol() Protocol {
+	return Protocol{
+		Warmup:  2000,
+		Packets: 1500,
+		Loads:   []float64{0.2, 0.4, 0.5, 0.55, 0.6, 0.65, 0.7, 0.75},
+		Seed:    1,
+	}
+}
+
+func TestProtocols(t *testing.T) {
+	p := PaperProtocol()
+	if p.Warmup != 10000 || p.Packets != 100000 {
+		t.Errorf("paper protocol wrong: %+v", p)
+	}
+	q := QuickProtocol()
+	if q.Packets >= p.Packets {
+		t.Error("quick protocol should be smaller than the paper's")
+	}
+	if len(p.Loads) == 0 || p.Loads[0] != 0.10 {
+		t.Errorf("load grid should start at 0.10: %v", p.Loads)
+	}
+}
+
+// TestFigure14Shape checks the paper's headline ordering on the
+// 16-buffer configuration: speculative ≥ VC > wormhole in saturation
+// throughput, and speculative ≈ wormhole in zero-load latency.
+func TestFigure14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	fig, err := Figure14(tinyProtocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Curves) != 3 {
+		t.Fatalf("%d curves, want 3", len(fig.Curves))
+	}
+	wh, vc, spec := fig.Curves[0], fig.Curves[1], fig.Curves[2]
+	if !(spec.Saturation >= vc.Saturation && vc.Saturation > wh.Saturation) {
+		t.Errorf("saturation ordering broken: WH %.2f, VC %.2f, spec %.2f",
+			wh.Saturation, vc.Saturation, spec.Saturation)
+	}
+	if spec.Saturation < wh.Saturation*1.2 {
+		t.Errorf("speculative VC should substantially beat wormhole: %.2f vs %.2f",
+			spec.Saturation, wh.Saturation)
+	}
+	if diff := spec.ZeroLoad - wh.ZeroLoad; diff > 1.5 || diff < -1.5 {
+		t.Errorf("speculative zero-load %.1f should match wormhole %.1f", spec.ZeroLoad, wh.ZeroLoad)
+	}
+	if vc.ZeroLoad < wh.ZeroLoad+4 {
+		t.Errorf("non-spec VC zero-load %.1f should exceed wormhole %.1f by ≈1 cycle/hop",
+			vc.ZeroLoad, wh.ZeroLoad)
+	}
+}
+
+// TestFigure18Shape checks the credit-propagation experiment: the slow
+// credit path must cost roughly the paper's 18% of throughput.
+func TestFigure18Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	fig, err := Figure18(tinyProtocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := fig.Curves[0], fig.Curves[1]
+	if slow.Saturation >= fast.Saturation {
+		t.Errorf("4-cycle credits should lower saturation: %.2f vs %.2f", slow.Saturation, fast.Saturation)
+	}
+	drop := (fast.Saturation - slow.Saturation) / fast.Saturation
+	if drop < 0.08 || drop > 0.35 {
+		t.Errorf("throughput drop %.0f%%, paper ≈18%%", 100*drop)
+	}
+}
+
+func TestFigure16TurnaroundValues(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation probe")
+	}
+	turns, err := Figure16Turnaround(tinyProtocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{"wormhole": 4, "vc": 5, "specvc": 4, "single-cycle": 2}
+	for k, w := range want {
+		if turns[k] != w {
+			t.Errorf("%s turnaround %d, want %d", k, turns[k], w)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	// Synthetic figure exercises the renderers without simulation.
+	fig := FigureResult{
+		ID:    "figureX",
+		Title: "synthetic",
+		Curves: []Curve{
+			{Name: "a", Saturation: 0.5, ZeroLoad: 29},
+			{Name: "b", Saturation: 0.7, ZeroLoad: 35},
+		},
+	}
+	var tbl strings.Builder
+	if err := WriteTable(&tbl, fig); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"figureX", "a", "b", "50%", "70%"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, tbl.String())
+		}
+	}
+	var csv strings.Builder
+	if err := WriteCSV(&csv, fig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "figure,curve,offered_load") {
+		t.Errorf("csv header wrong: %q", csv.String())
+	}
+	var plot strings.Builder
+	if err := PlotASCII(&plot, fig); err != nil {
+		t.Fatal(err)
+	}
+	var t1 strings.Builder
+	if err := WriteTable1(&t1); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"switch arbiter", "9.6", "crossbar", "8.4"} {
+		if !strings.Contains(t1.String(), want) {
+			t.Errorf("table 1 rendering missing %q", want)
+		}
+	}
+	var f12 strings.Builder
+	if err := WriteFigure12(&f12); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f12.String(), "2vcs,5pcs") {
+		t.Error("figure 12 rendering missing grid labels")
+	}
+}
+
+func TestSortedTurnaroundKeys(t *testing.T) {
+	keys := SortedTurnaroundKeys(map[string]int64{"z": 1, "a": 2, "m": 3})
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "z" {
+		t.Errorf("keys %v", keys)
+	}
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"routersim/internal/core"
+	"routersim/internal/logicaleffort"
+)
+
+// WriteCSV emits a figure's curves as CSV: one row per (curve, load).
+func WriteCSV(w io.Writer, fig FigureResult) error {
+	if _, err := fmt.Fprintln(w, "figure,curve,offered_load,mean_latency,p95_latency,accepted_load,saturated"); err != nil {
+		return err
+	}
+	for _, c := range fig.Curves {
+		for _, p := range c.Points {
+			lat := p.Result.Latency
+			if _, err := fmt.Fprintf(w, "%s,%q,%.3f,%.2f,%d,%.4f,%t\n",
+				fig.ID, c.Name, p.Load, lat.MeanLatency, lat.P95, p.Result.AcceptedLoad, p.Result.Saturated); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTable renders a figure as an aligned text table with a summary
+// line per curve (zero-load latency and saturation point), the quantities
+// the paper's prose quotes from each figure.
+func WriteTable(w io.Writer, fig FigureResult) error {
+	fmt.Fprintf(w, "%s: %s\n", fig.ID, fig.Title)
+	fmt.Fprintf(w, "%-36s %12s %12s\n", "curve", "zero-load", "saturation")
+	for _, c := range fig.Curves {
+		fmt.Fprintf(w, "%-36s %9.1f cy %11.0f%%\n", c.Name, c.ZeroLoad, 100*c.Saturation)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-36s", "offered load (frac. of capacity)")
+	if len(fig.Curves) > 0 {
+		for _, p := range fig.Curves[0].Points {
+			fmt.Fprintf(w, "%7.2f", p.Load)
+		}
+	}
+	fmt.Fprintln(w)
+	for _, c := range fig.Curves {
+		fmt.Fprintf(w, "%-36s", c.Name)
+		for _, p := range c.Points {
+			lat := p.Result.Latency.MeanLatency
+			switch {
+			case p.Result.Latency.Packets == 0 || math.IsNaN(lat):
+				fmt.Fprintf(w, "%7s", "-")
+			case p.Result.Saturated || lat > 999:
+				fmt.Fprintf(w, "%7s", "sat")
+			default:
+				fmt.Fprintf(w, "%7.1f", lat)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// PlotASCII renders a figure as an ASCII latency-vs-load plot in the
+// style of the paper's graphs (y clipped at 140 cycles).
+func PlotASCII(w io.Writer, fig FigureResult) error {
+	const (
+		height = 20
+		yMax   = 140.0
+	)
+	if len(fig.Curves) == 0 {
+		return nil
+	}
+	cols := len(fig.Curves[0].Points)
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols*3))
+	}
+	marks := []byte{'W', 'V', 'S', 'w', 'v', 's', 'x', 'o'}
+	for ci, c := range fig.Curves {
+		for pi, p := range c.Points {
+			lat := p.Result.Latency.MeanLatency
+			if p.Result.Latency.Packets == 0 || math.IsNaN(lat) {
+				continue
+			}
+			if lat > yMax {
+				lat = yMax
+			}
+			row := height - 1 - int((lat/yMax)*float64(height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			grid[row][pi*3+1] = marks[ci%len(marks)]
+		}
+	}
+	fmt.Fprintf(w, "%s (y: latency 0..%v cycles, x: offered load)\n", fig.Title, yMax)
+	for i, line := range grid {
+		y := yMax * float64(height-1-i) / float64(height-1)
+		fmt.Fprintf(w, "%5.0f |%s\n", y, line)
+	}
+	fmt.Fprintf(w, "      +%s\n       ", strings.Repeat("-", cols*3))
+	for _, p := range fig.Curves[0].Points {
+		fmt.Fprintf(w, "%-3.0f", p.Load*100)
+	}
+	fmt.Fprintln(w, " (% capacity)")
+	for ci, c := range fig.Curves {
+		fmt.Fprintf(w, "   %c = %s\n", marks[ci%len(marks)], c.Name)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteTable1 renders the delay-model table with the paper's reference
+// columns (Table 1 of the paper).
+func WriteTable1(w io.Writer) error {
+	fmt.Fprintln(w, "Table 1: parameterized delay equations evaluated at p=5, w=32, v=2, clk=20τ4")
+	fmt.Fprintf(w, "%-18s %-30s %10s %10s %10s %10s\n",
+		"router", "module", "t (τ)", "h (τ)", "model(τ4)", "paper(τ4)")
+	for _, row := range core.Table1() {
+		fmt.Fprintf(w, "%-18s %-30s %10.2f %10.1f %10.2f %10.1f\n",
+			row.Router, row.Module, row.Tau, row.OverTau, row.Model, row.Paper)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteFigure11 renders the pipeline bars of Figure 11 for a router
+// kind: per-(p, v) pipeline depth and per-stage utilization.
+func WriteFigure11(w io.Writer, points []core.PipelinePoint, wormholeRef core.Pipeline) error {
+	fmt.Fprintf(w, "%-14s %7s   %s\n", "config", "stages", "stage utilization (module: % of 20τ4 cycle)")
+	fmt.Fprintf(w, "%-14s %7d   %s\n", "wormhole", wormholeRef.Depth(), stageSummary(wormholeRef))
+	for _, pt := range points {
+		name := fmt.Sprintf("%dvcs,%dpcs", pt.V, pt.P)
+		fmt.Fprintf(w, "%-14s %7d   %s\n", name, pt.Pipeline.Depth(), stageSummary(pt.Pipeline))
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func stageSummary(p core.Pipeline) string {
+	var parts []string
+	for _, s := range p.Stages {
+		parts = append(parts, fmt.Sprintf("%s:%.0f%%", strings.Join(s.Names(), "+"), 100*s.Utilization()))
+	}
+	return strings.Join(parts, " | ")
+}
+
+// WriteFigure12 renders the combined-allocation-stage delays per routing
+// range, in τ4 (Figure 12), and flags configurations exceeding the
+// paper's 20 τ4 clock.
+func WriteFigure12(w io.Writer) error {
+	pts := core.Figure12()
+	fmt.Fprintf(w, "%-14s %10s %10s %10s   (delay of combined VC+SS allocation stage, τ4; clk=%.0f)\n",
+		"config", "R->v", "R->p", "R->pv", core.DefaultClockTau4)
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%-14s %10.1f %10.1f %10.1f\n",
+			fmt.Sprintf("%dvcs,%dpcs", pt.V, pt.P), pt.DelayRv, pt.DelayRp, pt.DelayRpv)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// SortedTurnaroundKeys returns map keys in stable order for rendering.
+func SortedTurnaroundKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Tau4 re-exports the τ4 constant for presentation layers.
+const Tau4 = logicaleffort.Tau4

@@ -1,0 +1,70 @@
+// Package link models the wires between routers: fixed-delay pipelines
+// carrying flits downstream and credits upstream. The paper assumes a
+// one-cycle flit propagation delay; credit propagation is one cycle
+// except in the Figure 18 experiment, where it is four.
+package link
+
+import "fmt"
+
+// Wire is a fixed-latency delay line. Items pushed during cycle t become
+// deliverable at cycle t+delay. Because the delay is constant, arrivals
+// are FIFO-ordered and the implementation is a simple ring of pending
+// entries.
+type Wire[T any] struct {
+	delay int64
+	buf   []entry[T]
+	head  int
+	n     int
+}
+
+type entry[T any] struct {
+	due int64
+	v   T
+}
+
+// NewWire returns a wire with the given propagation delay in cycles
+// (must be ≥ 1: combinational links would break the simulator's
+// registered-stage semantics).
+func NewWire[T any](delay int) *Wire[T] {
+	if delay < 1 {
+		panic(fmt.Sprintf("link: wire delay %d; need >= 1 cycle", delay))
+	}
+	return &Wire[T]{delay: int64(delay), buf: make([]entry[T], 8)}
+}
+
+// Delay returns the propagation delay in cycles.
+func (w *Wire[T]) Delay() int { return int(w.delay) }
+
+// Len returns the number of items in flight.
+func (w *Wire[T]) Len() int { return w.n }
+
+// Push places v on the wire during cycle now; it arrives at now+delay.
+// Calls must use nondecreasing now values (the simulator advances cycle
+// by cycle), which keeps arrivals FIFO-ordered.
+func (w *Wire[T]) Push(now int64, v T) {
+	if w.n == len(w.buf) {
+		grown := make([]entry[T], 2*len(w.buf))
+		for i := 0; i < w.n; i++ {
+			grown[i] = w.buf[(w.head+i)%len(w.buf)]
+		}
+		w.buf = grown
+		w.head = 0
+	}
+	w.buf[(w.head+w.n)%len(w.buf)] = entry[T]{due: now + w.delay, v: v}
+	w.n++
+}
+
+// Deliver invokes fn for every item due at or before cycle now, in
+// arrival order, removing them from the wire.
+func (w *Wire[T]) Deliver(now int64, fn func(T)) {
+	for w.n > 0 {
+		e := w.buf[w.head]
+		if e.due > now {
+			return
+		}
+		w.buf[w.head] = entry[T]{}
+		w.head = (w.head + 1) % len(w.buf)
+		w.n--
+		fn(e.v)
+	}
+}

@@ -1,0 +1,103 @@
+package link
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func drain(w *Wire[int], now int64) []int {
+	var got []int
+	w.Deliver(now, func(v int) { got = append(got, v) })
+	return got
+}
+
+func TestWireDelay(t *testing.T) {
+	w := NewWire[int](3)
+	w.Push(10, 42)
+	for now := int64(10); now < 13; now++ {
+		if got := drain(w, now); len(got) != 0 {
+			t.Fatalf("cycle %d: early delivery %v", now, got)
+		}
+	}
+	if got := drain(w, 13); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("cycle 13: got %v, want [42]", got)
+	}
+}
+
+func TestWireFIFOOrder(t *testing.T) {
+	w := NewWire[int](1)
+	for i := 0; i < 10; i++ {
+		w.Push(int64(i), i)
+	}
+	var got []int
+	for now := int64(0); now < 12; now++ {
+		got = append(got, drain(w, now)...)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+	if len(got) != 10 {
+		t.Fatalf("delivered %d, want 10", len(got))
+	}
+}
+
+func TestWireGrowth(t *testing.T) {
+	// Push far more than the initial ring capacity in one cycle.
+	w := NewWire[int](2)
+	for i := 0; i < 1000; i++ {
+		w.Push(5, i)
+	}
+	if w.Len() != 1000 {
+		t.Fatalf("in flight %d, want 1000", w.Len())
+	}
+	got := drain(w, 7)
+	if len(got) != 1000 {
+		t.Fatalf("delivered %d, want 1000", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("growth broke FIFO order at %d: %d", i, v)
+		}
+	}
+}
+
+func TestWirePropertyConservation(t *testing.T) {
+	// Everything pushed is delivered exactly once, at push time + delay.
+	// Pushes must be at nondecreasing cycles (simulator invariant).
+	prop := func(pushCycles []uint8, delayRaw uint8) bool {
+		delay := 1 + int(delayRaw%5)
+		w := NewWire[int](delay)
+		sort.Slice(pushCycles, func(i, j int) bool { return pushCycles[i] < pushCycles[j] })
+		type ev struct{ due int64 }
+		var evs []ev
+		for i, c := range pushCycles {
+			w.Push(int64(c), i)
+			evs = append(evs, ev{due: int64(c) + int64(delay)})
+		}
+		delivered := 0
+		for now := int64(0); now <= 300; now++ {
+			w.Deliver(now, func(v int) {
+				if evs[v].due > now {
+					t.Errorf("item %d delivered at %d before due %d", v, now, evs[v].due)
+				}
+				delivered++
+			})
+		}
+		return delivered == len(pushCycles) && w.Len() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWireValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-delay wire must panic")
+		}
+	}()
+	NewWire[int](0)
+}

@@ -1,0 +1,66 @@
+package logicaleffort
+
+// This file contains a gate-level composition of the n:1 matrix arbiter
+// sketched in Figure 10 of the paper, built from the primitive stages in
+// this package. It is a cross-check for the closed-form Table 1
+// equations carried by internal/core: the paper derived its closed forms
+// from designs of this shape (EQ 4–6); we reproduce the structure and
+// verify that both agree in growth rate and magnitude.
+
+// MatrixArbiterLatency estimates, in τ, the request→grant latency of an
+// n:1 matrix arbiter along the critical path of EQ 5 / Figure 10:
+//
+//   - the resource status latch fans out to the n request-qualification
+//     circuits (buffered fanout-of-4 chain),
+//   - a 2-input NAND qualifies each request with the status,
+//   - the qualified request fans out to the n grant circuits,
+//   - an AOI gate combines the matrix priority bit with each competing
+//     request,
+//   - a NAND/NOR tree of width n reduces "no higher-priority requestor"
+//     to a single grant signal,
+//   - the grant is driven out through an inverter.
+func MatrixArbiterLatency(n int) float64 {
+	if n <= 1 {
+		// A single requestor is granted combinationally.
+		return Inverter(1).Delay()
+	}
+	d := FanoutChainDelay(float64(n), 4) // status fanout to n request circuits
+	d += NAND(2, 2).Delay()              // request qualification
+	d += FanoutChainDelay(float64(n), 4) // request fanout to n grant circuits
+	d += AOI(2).Delay()                  // priority compare
+	d += NANDTreeDelay(n)                // grant reduction tree
+	d += Inverter(4).Delay()             // grant driver
+	return d
+}
+
+// MatrixArbiterOverhead estimates, in τ, the arbiter overhead h: the
+// delay to update the matrix priority flip-flops after a grant (winner
+// demoted to lowest priority) before the next set of requests can be
+// arbitrated. The grant fans out to the n priority-update circuits; the
+// update itself is a NOR pair into the flip-flop inputs. The paper's
+// closed forms use h = 9τ for matrix-arbiter based modules.
+func MatrixArbiterOverhead(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	d := FanoutChainDelay(float64(n), 4) // grant fanout to update circuits
+	d += NOR(2, 1).Delay()               // priority update gating
+	return d
+}
+
+// CrossbarLatency estimates, in τ, the select→output latency of a p-port
+// crossbar with w-bit ports (Figure 9): the select signal is buffered
+// through a fanout-of-8 chain to the w bit-slice multiplexers of its
+// output port, then passes through a log2(p)-deep tree of 2:1
+// multiplexers.
+func CrossbarLatency(p, w int) float64 {
+	if p <= 0 || w <= 0 {
+		return 0
+	}
+	d := FanoutChainDelay(float64(w*p)/2, 8) // select fanout to bit slices
+	levels := int(Log2(float64(p)) + 0.999999)
+	for i := 0; i < levels; i++ {
+		d += Mux2(1).Delay()
+	}
+	return d
+}

@@ -1,0 +1,139 @@
+// Package logicaleffort implements the method of logical effort used by
+// the Peh–Dally router delay model (HPCA 2001, Section 3.2, EQ 2–3).
+//
+// All delays are expressed in units of τ, the delay of an inverter
+// driving an identical inverter. The delay of a path is
+//
+//	T = T_eff + T_par = Σ g_i·h_i + Σ p_i
+//
+// where g is the logical effort of a stage (ratio of the gate's delay to
+// that of an inverter with identical input capacitance), h the electrical
+// effort (fanout), and p the parasitic delay (intrinsic delay relative to
+// an inverter). The paper grounds its model in τ4, the delay of an
+// inverter driving four identical inverters: τ4 = (1·4 + 1)τ = 5τ.
+package logicaleffort
+
+import "math"
+
+// Tau4 is the delay, in τ, of an inverter driving four identical
+// inverters (EQ 3 of the paper): g·h + p = 1·4 + 1 = 5.
+const Tau4 = 5.0
+
+// TauToTau4 converts a delay in τ to τ4 units.
+func TauToTau4(tau float64) float64 { return tau / Tau4 }
+
+// Tau4ToTau converts a delay in τ4 units to τ.
+func Tau4ToTau(tau4 float64) float64 { return tau4 * Tau4 }
+
+// Stage is one logic stage on a path: a gate with logical effort G and
+// parasitic delay P, driving an electrical effort (fanout) H.
+type Stage struct {
+	Name string  // optional label for diagnostics
+	G    float64 // logical effort
+	H    float64 // electrical effort (fanout)
+	P    float64 // parasitic delay
+}
+
+// Delay returns the stage delay g·h + p in τ.
+func (s Stage) Delay() float64 { return s.G*s.H + s.P }
+
+// Path is an ordered sequence of logic stages.
+type Path []Stage
+
+// EffortDelay returns Σ g_i·h_i in τ.
+func (p Path) EffortDelay() float64 {
+	var t float64
+	for _, s := range p {
+		t += s.G * s.H
+	}
+	return t
+}
+
+// ParasiticDelay returns Σ p_i in τ.
+func (p Path) ParasiticDelay() float64 {
+	var t float64
+	for _, s := range p {
+		t += s.P
+	}
+	return t
+}
+
+// Delay returns the total path delay T = T_eff + T_par in τ (EQ 2).
+func (p Path) Delay() float64 { return p.EffortDelay() + p.ParasiticDelay() }
+
+// Inverter returns an inverter stage driving fanout h.
+func Inverter(h float64) Stage { return Stage{Name: "inv", G: 1, H: h, P: 1} }
+
+// NAND returns an n-input static CMOS NAND driving fanout h.
+// Logical effort (n+2)/3, parasitic n (Sutherland–Sproull).
+func NAND(n int, h float64) Stage {
+	return Stage{Name: "nand", G: float64(n+2) / 3, H: h, P: float64(n)}
+}
+
+// NOR returns an n-input static CMOS NOR driving fanout h.
+// Logical effort (2n+1)/3, parasitic n.
+func NOR(n int, h float64) Stage {
+	return Stage{Name: "nor", G: float64(2*n+1) / 3, H: h, P: float64(n)}
+}
+
+// AOI returns a 2-wide AND-OR-INVERT gate stage driving fanout h, the
+// gate the paper uses in the matrix-arbiter grant circuit. Logical
+// effort 2, parasitic 4 (symmetric 2-2 AOI).
+func AOI(h float64) Stage { return Stage{Name: "aoi", G: 2, H: h, P: 4} }
+
+// Mux2 returns a 2:1 select multiplexer stage driving fanout h.
+// Logical effort 2, parasitic 4 (transmission-gate mux with buffer).
+func Mux2(h float64) Stage { return Stage{Name: "mux2", G: 2, H: h, P: 4} }
+
+// Log2, Log4 and Log8 are real-valued logarithms used throughout the
+// parametric delay equations. By convention in the model they are never
+// negative: arguments ≤ 1 yield 0 (a 1-input "tree" has no stages).
+func Log2(x float64) float64 { return logClamped(x, 2) }
+
+// Log4 returns max(0, log base 4 of x).
+func Log4(x float64) float64 { return logClamped(x, 4) }
+
+// Log8 returns max(0, log base 8 of x).
+func Log8(x float64) float64 { return logClamped(x, 8) }
+
+func logClamped(x, base float64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Log(x) / math.Log(base)
+}
+
+// FanoutChainDelay returns the delay, in τ, of an optimally staged
+// inverter chain driving a total fanout of f with a per-stage fanout of
+// stageFanout. Each stage has delay stageFanout+1 (g=1 inverter); the
+// number of stages is log_stageFanout(f). Fractional stage counts model
+// the continuous approximation used by the paper (e.g. 9·log8(F) for
+// fanout-of-8 buffering, 5·log4(F) for fanout-of-4 buffering).
+func FanoutChainDelay(f, stageFanout float64) float64 {
+	if f <= 1 {
+		return 0
+	}
+	stages := math.Log(f) / math.Log(stageFanout)
+	return stages * (stageFanout + 1)
+}
+
+// NANDTreeDelay returns the delay, in τ, of a balanced tree of 2-input
+// NAND/NOR pairs reducing n inputs to one output, each stage driving a
+// fanout of 1 internally. Used to estimate wide AND/OR reductions such
+// as the "any request" and "no higher-priority request" terms in
+// arbiters.
+func NANDTreeDelay(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	levels := math.Ceil(math.Log2(float64(n)))
+	var d float64
+	for i := 0; i < int(levels); i++ {
+		if i%2 == 0 {
+			d += NAND(2, 1).Delay()
+		} else {
+			d += NOR(2, 1).Delay()
+		}
+	}
+	return d
+}

@@ -1,0 +1,220 @@
+// Package network assembles routers into the paper's evaluation system:
+// a k×k mesh with dimension-ordered routing, credit-based flow control
+// on every link, constant-rate traffic sources with infinite source
+// queues, and immediate ejection at destinations (Section 5).
+package network
+
+import (
+	"fmt"
+
+	"routersim/internal/flit"
+	"routersim/internal/link"
+	"routersim/internal/rng"
+	"routersim/internal/router"
+	"routersim/internal/stats"
+	"routersim/internal/topology"
+	"routersim/internal/traffic"
+)
+
+// Config parameterizes a network simulation instance.
+type Config struct {
+	// K is the mesh radix (the paper uses an 8×8 mesh).
+	K int
+	// Router configures every router in the mesh.
+	Router router.Config
+	// PacketSize is the packet length in flits (paper: 5).
+	PacketSize int
+	// InjectionRate is the offered load in packets per node per cycle.
+	InjectionRate float64
+	// Pattern chooses destinations (nil = uniform random).
+	Pattern traffic.Pattern
+	// Bernoulli switches the injection process from the paper's
+	// constant-rate source to a Bernoulli process.
+	Bernoulli bool
+	// FlitDelay is the link propagation delay in cycles (paper: 1).
+	FlitDelay int
+	// CreditDelay is the credit propagation delay in cycles (paper: 1;
+	// 4 in the Figure 18 experiment).
+	CreditDelay int
+	// Topo overrides the topology (nil = K×K mesh). A torus requires a
+	// VC router kind with an even VC count ≥ 2: deadlock freedom on the
+	// wraparound rings comes from dateline VC classes, which wormhole
+	// flow control cannot provide.
+	Topo topology.Topology
+	// Seed makes the simulation exactly reproducible.
+	Seed uint64
+}
+
+// Normalize fills defaults and validates.
+func (c *Config) Normalize() error {
+	if c.K == 0 {
+		c.K = 8
+	}
+	if c.K < 2 {
+		return fmt.Errorf("network: mesh radix %d; need >= 2", c.K)
+	}
+	if c.PacketSize == 0 {
+		c.PacketSize = 5
+	}
+	if c.PacketSize < 1 {
+		return fmt.Errorf("network: packet size %d; need >= 1", c.PacketSize)
+	}
+	if c.FlitDelay == 0 {
+		c.FlitDelay = 1
+	}
+	if c.CreditDelay == 0 {
+		c.CreditDelay = 1
+	}
+	if c.FlitDelay < 1 || c.CreditDelay < 1 {
+		return fmt.Errorf("network: propagation delays must be >= 1 cycle")
+	}
+	if c.Pattern == nil {
+		c.Pattern = traffic.Uniform{}
+	}
+	if c.InjectionRate < 0 {
+		return fmt.Errorf("network: negative injection rate")
+	}
+	if c.Router.Ports == 0 {
+		c.Router.Ports = topology.NumPorts
+	}
+	if c.Router.Ports != topology.NumPorts {
+		return fmt.Errorf("network: mesh routers need %d ports, got %d", topology.NumPorts, c.Router.Ports)
+	}
+	if c.Topo == nil {
+		c.Topo = topology.NewMesh(c.K)
+	}
+	if _, torus := c.Topo.(topology.Torus); torus {
+		if !c.Router.Kind.UsesVCs() {
+			return fmt.Errorf("network: %v routers deadlock on a torus; use a VC router kind", c.Router.Kind)
+		}
+		if c.Router.VCs < 2 || c.Router.VCs%2 != 0 {
+			return fmt.Errorf("network: torus dateline classes need an even VC count >= 2, got %d", c.Router.VCs)
+		}
+	}
+	return c.Router.Validate()
+}
+
+// Network is a running mesh or torus of routers, sources, and sinks.
+type Network struct {
+	cfg     Config
+	topo    topology.Topology
+	routers []*router.Router
+	sources []*source
+
+	// OnPacketCreated is called when a source generates a packet
+	// (before queueing); the simulator uses it to tag the sample space.
+	OnPacketCreated func(p *flit.Packet, now int64)
+	// OnFlitEjected is called for every flit leaving the network.
+	OnFlitEjected func(f flit.Flit, now int64)
+	// OnPacketDone is called when a packet's last flit is ejected.
+	OnPacketDone func(p *flit.Packet, now int64)
+
+	nextPacketID int64
+}
+
+// New builds the network. The configuration is normalized in place.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	n := &Network{cfg: cfg, topo: cfg.Topo}
+	nodes := n.topo.Nodes()
+	master := rng.New(cfg.Seed)
+
+	n.routers = make([]*router.Router, nodes)
+	for id := 0; id < nodes; id++ {
+		id := id
+		n.routers[id] = router.New(id, cfg.Router,
+			func(dst int) int { return n.topo.Route(id, dst) },
+			func(f flit.Flit, now int64) { n.handleEject(id, f, now) })
+		if tor, ok := n.topo.(topology.Torus); ok {
+			vcs := cfg.Router.VCs
+			n.routers[id].SetVCClassPolicy(func(dst, port int) uint64 {
+				return tor.VCMask(id, dst, port, vcs)
+			})
+		}
+	}
+
+	// Inter-router links: for every directional output port with a
+	// neighbour, a flit wire (us → them) and a credit wire (them → us).
+	for id := 0; id < nodes; id++ {
+		for port := topology.PortEast; port <= topology.PortSouth; port++ {
+			next, ok := n.topo.Neighbor(id, port)
+			if !ok {
+				continue
+			}
+			fw := link.NewWire[flit.Flit](cfg.FlitDelay)
+			cw := link.NewWire[router.Credit](cfg.CreditDelay)
+			inPort := topology.Opposite(port)
+			n.routers[id].ConnectOutput(port, fw, cw)
+			n.routers[next].ConnectInput(inPort, fw, cw)
+		}
+	}
+
+	// Sources: one per node, feeding the router's local input port
+	// through an injection channel with the same propagation delays.
+	n.sources = make([]*source, nodes)
+	for id := 0; id < nodes; id++ {
+		fw := link.NewWire[flit.Flit](cfg.FlitDelay)
+		cw := link.NewWire[router.Credit](cfg.CreditDelay)
+		n.routers[id].ConnectInput(topology.PortLocal, fw, cw)
+		nodeRNG := master.Split(uint64(id))
+		var inj traffic.Injector
+		if cfg.Bernoulli {
+			inj = traffic.NewBernoulli(cfg.InjectionRate, nodeRNG.Split(1))
+		} else {
+			inj = traffic.NewConstantRate(cfg.InjectionRate, nodeRNG.Float64())
+		}
+		n.sources[id] = newSource(n, id, inj, nodeRNG, fw, cw)
+	}
+	return n, nil
+}
+
+// Config returns the (normalized) configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Nodes returns the number of network nodes.
+func (n *Network) Nodes() int { return n.topo.Nodes() }
+
+// Capacity returns the uniform-traffic capacity in flits/node/cycle.
+func (n *Network) Capacity() float64 { return n.topo.UniformCapacity() }
+
+// Topology returns the network's topology.
+func (n *Network) Topology() topology.Topology { return n.topo }
+
+// Router returns the router at a node (for tests and probes).
+func (n *Network) Router(id int) *router.Router { return n.routers[id] }
+
+// SourceQueueLen returns the source-queue depth at a node (for tests).
+func (n *Network) SourceQueueLen(id int) int { return n.sources[id].queueLen() }
+
+// SetProbes installs buffer-turnaround probes on every router.
+func (n *Network) SetProbes(t *stats.Turnaround) {
+	for _, r := range n.routers {
+		r.SetProbe(t)
+	}
+}
+
+// Step advances the whole network one cycle. Routers exchange all state
+// through ≥1-cycle wires, so the visit order within a cycle is
+// immaterial.
+func (n *Network) Step(now int64) {
+	for _, r := range n.routers {
+		r.Step(now)
+	}
+	for _, s := range n.sources {
+		s.step(now)
+	}
+}
+
+func (n *Network) handleEject(at int, f flit.Flit, now int64) {
+	if f.Pkt.Dst != at {
+		panic(fmt.Sprintf("network: flit of packet %d (dst %d) ejected at node %d", f.Pkt.ID, f.Pkt.Dst, at))
+	}
+	if n.OnFlitEjected != nil {
+		n.OnFlitEjected(f, now)
+	}
+	if f.Pkt.Done() && n.OnPacketDone != nil {
+		n.OnPacketDone(f.Pkt, now)
+	}
+}

@@ -1,0 +1,124 @@
+package network
+
+import (
+	"routersim/internal/flit"
+	"routersim/internal/link"
+	"routersim/internal/rng"
+	"routersim/internal/router"
+	"routersim/internal/traffic"
+)
+
+// source is a constant-rate traffic source with an infinite source
+// queue, feeding the router's local input port over an injection channel
+// with credit-based flow control. It acts as the upstream end of that
+// channel: it tracks credits and VC busy state for the router's local
+// input VCs, assigns queued packets to free VCs, and injects at most one
+// flit per cycle (the injection channel has one flit of bandwidth, like
+// every other physical channel).
+type source struct {
+	net  *Network
+	node int
+	inj  traffic.Injector
+	rng  *rng.RNG
+
+	flitOut   *link.Wire[flit.Flit]
+	creditIn  *link.Wire[router.Credit]
+	credits   []int
+	busy      []bool // VC assigned to an in-flight packet stream
+	streams   []stream
+	rrNext    int // round-robin pointer over VCs for injection bandwidth
+	queue     []*flit.Packet
+	queueHead int
+}
+
+// stream is an in-progress packet being streamed onto one VC.
+type stream struct {
+	flits []flit.Flit
+	next  int
+}
+
+func newSource(net *Network, node int, inj traffic.Injector, r *rng.RNG,
+	flitOut *link.Wire[flit.Flit], creditIn *link.Wire[router.Credit]) *source {
+
+	v := net.cfg.Router.VCs
+	s := &source{
+		net: net, node: node, inj: inj, rng: r,
+		flitOut: flitOut, creditIn: creditIn,
+		credits: make([]int, v),
+		busy:    make([]bool, v),
+		streams: make([]stream, v),
+	}
+	for i := range s.credits {
+		s.credits[i] = net.cfg.Router.BufPerVC
+	}
+	return s
+}
+
+func (s *source) queueLen() int { return len(s.queue) - s.queueHead }
+
+// step advances the source one cycle: receive returned credits, generate
+// new packets, bind queued packets to free VCs, and inject one flit.
+func (s *source) step(now int64) {
+	s.creditIn.Deliver(now, func(c router.Credit) { s.credits[c.VC]++ })
+
+	for i := s.inj.Tick(); i > 0; i-- {
+		s.generate(now)
+	}
+
+	// Bind head-of-queue packets to free virtual channels. A packet
+	// holds its VC until its tail is injected (the source performs the
+	// VC allocation of the injection channel).
+	for vc := range s.busy {
+		if s.busy[vc] || s.queueLen() == 0 {
+			continue
+		}
+		p := s.queue[s.queueHead]
+		s.queue[s.queueHead] = nil
+		s.queueHead++
+		if s.queueHead > 1024 && s.queueHead*2 > len(s.queue) {
+			s.queue = append(s.queue[:0], s.queue[s.queueHead:]...)
+			s.queueHead = 0
+		}
+		s.busy[vc] = true
+		s.streams[vc] = stream{flits: flit.NewPacketFlits(p)}
+	}
+
+	// Inject at most one flit this cycle, round-robin over VCs with a
+	// pending flit and a credit.
+	v := len(s.busy)
+	for k := 0; k < v; k++ {
+		vc := (s.rrNext + k) % v
+		if !s.busy[vc] || s.credits[vc] <= 0 {
+			continue
+		}
+		st := &s.streams[vc]
+		f := st.flits[st.next]
+		f.VC = int8(vc)
+		s.flitOut.Push(now, f)
+		s.credits[vc]--
+		st.next++
+		if st.next == len(st.flits) {
+			s.busy[vc] = false
+			s.streams[vc] = stream{}
+		}
+		s.rrNext = (vc + 1) % v
+		return
+	}
+}
+
+// generate creates one packet and appends it to the source queue.
+func (s *source) generate(now int64) {
+	dst := s.net.cfg.Pattern.Dest(s.node, s.net.Nodes(), s.rng)
+	p := &flit.Packet{
+		ID:        s.net.nextPacketID,
+		Src:       s.node,
+		Dst:       dst,
+		Size:      s.net.cfg.PacketSize,
+		CreatedAt: now,
+	}
+	s.net.nextPacketID++
+	if cb := s.net.OnPacketCreated; cb != nil {
+		cb(p, now)
+	}
+	s.queue = append(s.queue, p)
+}

@@ -1,0 +1,153 @@
+package network
+
+import (
+	"testing"
+
+	"routersim/internal/flit"
+	"routersim/internal/router"
+	"routersim/internal/topology"
+)
+
+func torusConfig(kind router.Kind, vcs int, rate float64) Config {
+	rc := router.DefaultConfig(kind)
+	rc.VCs = vcs
+	rc.BufPerVC = 4
+	return Config{
+		K:             4,
+		Topo:          topology.NewTorus(4),
+		Router:        rc,
+		InjectionRate: rate,
+		Seed:          11,
+	}
+}
+
+// TestTorusValidation: wormhole and odd VC counts are rejected.
+func TestTorusValidation(t *testing.T) {
+	bad := []Config{
+		torusConfig(router.Wormhole, 1, 0.01),
+		torusConfig(router.SingleCycleWormhole, 1, 0.01),
+		torusConfig(router.VirtualChannel, 3, 0.01),
+		torusConfig(router.VirtualChannel, 1, 0.01),
+	}
+	// The wormhole configs carry VCs != 1 from torusConfig; rebuild
+	// them properly so only the torus rule trips.
+	bad[0].Router.VCs = 1
+	bad[1].Router.VCs = 1
+	for i, b := range bad {
+		if err := b.Normalize(); err == nil {
+			t.Errorf("bad torus config %d validated", i)
+		}
+	}
+	good := torusConfig(router.SpeculativeVC, 2, 0.01)
+	if err := good.Normalize(); err != nil {
+		t.Errorf("valid torus config rejected: %v", err)
+	}
+}
+
+// TestTorusDeliversAllTraffic: VC and speculative VC routers on a torus
+// with dateline classes must deliver all traffic without deadlock, even
+// under sustained load on the wraparound rings.
+func TestTorusDeliversAllTraffic(t *testing.T) {
+	for _, kind := range []router.Kind{router.VirtualChannel, router.SpeculativeVC} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			// 0.1 of torus capacity (= 0.2 flits/node/cycle). Dateline
+			// classes leave non-wrapping traffic only half the VCs
+			// (class 1), so the torus saturates well below its
+			// bisection bound — the cost of this deadlock-avoidance
+			// scheme. The point here is liveness, not peak throughput.
+			net, err := New(torusConfig(kind, 2, 0.1*2.0/5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			created, done := 0, 0
+			net.OnPacketCreated = func(p *flit.Packet, now int64) { created++ }
+			net.OnPacketDone = func(p *flit.Packet, now int64) { done++ }
+			for now := int64(0); now < 20000; now++ {
+				net.Step(now)
+			}
+			if created == 0 {
+				t.Fatal("no packets created")
+			}
+			if float64(done) < 0.9*float64(created) {
+				t.Fatalf("%v on torus: %d/%d packets delivered — possible deadlock",
+					kind, done, created)
+			}
+		})
+	}
+}
+
+// TestTorusUsesWrapLinks: with minimal routing on a torus, traffic
+// between opposite edges must cross the wraparound links (shorter
+// latency than the mesh path would give).
+func TestTorusUsesWrapLinks(t *testing.T) {
+	tor := topology.NewTorus(4)
+	// Node (0,0) to (3,0): one hop west around the wrap.
+	if d := tor.Distance(tor.Node(0, 0), tor.Node(3, 0)); d != 1 {
+		t.Fatalf("wrap distance %d, want 1", d)
+	}
+	net, err := New(torusConfig(router.SpeculativeVC, 2, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxLatency int64
+	net.OnPacketDone = func(p *flit.Packet, now int64) {
+		if l := p.Latency(); l > maxLatency {
+			maxLatency = l
+		}
+	}
+	for now := int64(0); now < 8000; now++ {
+		net.Step(now)
+	}
+	// On a 4x4 torus the diameter is 4 hops; with a 3-stage router the
+	// worst zero-load packet latency must stay far below the 6-hop mesh
+	// diameter equivalent (~40 cycles plus queueing).
+	if maxLatency == 0 || maxLatency > 60 {
+		t.Errorf("max latency %d cycles implausible for a 4x4 torus at near-zero load", maxLatency)
+	}
+}
+
+// TestTorusVCMaskProperties: the dateline mask must always leave at
+// least one candidate class, use class 0 only while the wrap is ahead,
+// and use class 1 on and after the crossing hop.
+func TestTorusVCMaskProperties(t *testing.T) {
+	tor := topology.NewTorus(5)
+	const v = 4
+	class0 := topology.VCClassMask(v, false)
+	class1 := topology.VCClassMask(v, true)
+	for cur := 0; cur < tor.Nodes(); cur++ {
+		for dst := 0; dst < tor.Nodes(); dst++ {
+			if cur == dst {
+				continue
+			}
+			// Walk the route, tracking when the wrap is crossed per
+			// dimension.
+			node := cur
+			crossed := map[bool]bool{} // key: isYDim
+			for node != dst {
+				port := tor.Route(node, dst)
+				mask := tor.VCMask(node, dst, port, v)
+				if mask == 0 {
+					t.Fatalf("empty VC mask at %d->%d via %s", node, dst, topology.PortName(port))
+				}
+				if mask != class0 && mask != class1 {
+					t.Fatalf("mask %b is neither class at %d->%d", mask, node, dst)
+				}
+				isY := port == topology.PortNorth || port == topology.PortSouth
+				wraps := tor.CrossesDateline(node, port)
+				if crossed[isY] && mask != class1 {
+					t.Fatalf("class 0 used after dateline at %d->%d", node, dst)
+				}
+				if wraps {
+					// The crossing hop itself must already be class 1.
+					if mask != class1 {
+						t.Fatalf("crossing hop not class 1 at %d->%d", node, dst)
+					}
+					crossed[isY] = true
+				}
+				node, _ = tor.Neighbor(node, port)
+			}
+		}
+	}
+}

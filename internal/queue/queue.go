@@ -1,0 +1,75 @@
+// Package queue implements the fixed-capacity flit FIFOs used as router
+// input buffers. Capacity is enforced by credit-based flow control; an
+// attempted push into a full queue indicates a credit-accounting bug and
+// is reported as an error so the simulator can fail loudly.
+package queue
+
+import (
+	"errors"
+
+	"routersim/internal/flit"
+)
+
+// ErrFull is returned by Push when the FIFO has no free slot; under
+// correct credit flow control this never happens.
+var ErrFull = errors.New("queue: push into full flit FIFO (credit accounting violated)")
+
+// FIFO is a fixed-capacity ring buffer of flits.
+type FIFO struct {
+	buf  []flit.Flit
+	head int
+	n    int
+}
+
+// NewFIFO returns a FIFO holding at most capacity flits.
+func NewFIFO(capacity int) *FIFO {
+	if capacity < 1 {
+		panic("queue: FIFO capacity must be at least 1")
+	}
+	return &FIFO{buf: make([]flit.Flit, capacity)}
+}
+
+// Cap returns the FIFO capacity in flits.
+func (q *FIFO) Cap() int { return len(q.buf) }
+
+// Len returns the number of buffered flits.
+func (q *FIFO) Len() int { return q.n }
+
+// Empty reports whether no flits are buffered.
+func (q *FIFO) Empty() bool { return q.n == 0 }
+
+// Full reports whether every slot is occupied.
+func (q *FIFO) Full() bool { return q.n == len(q.buf) }
+
+// Push appends a flit; it returns ErrFull if no slot is free.
+func (q *FIFO) Push(f flit.Flit) error {
+	if q.Full() {
+		return ErrFull
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = f
+	q.n++
+	return nil
+}
+
+// Peek returns a pointer to the head-of-queue flit without removing it.
+// The pointer is invalidated by the next Push or Pop. It returns nil if
+// the FIFO is empty.
+func (q *FIFO) Peek() *flit.Flit {
+	if q.n == 0 {
+		return nil
+	}
+	return &q.buf[q.head]
+}
+
+// Pop removes and returns the head-of-queue flit. The boolean is false
+// if the FIFO was empty.
+func (q *FIFO) Pop() (flit.Flit, bool) {
+	if q.n == 0 {
+		return flit.Flit{}, false
+	}
+	f := q.buf[q.head]
+	q.buf[q.head] = flit.Flit{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return f, true
+}

@@ -1,0 +1,387 @@
+package router
+
+import (
+	"fmt"
+
+	"routersim/internal/allocator"
+	"routersim/internal/flit"
+	"routersim/internal/link"
+	"routersim/internal/queue"
+	"routersim/internal/stats"
+)
+
+// Credit is the unit of buffer flow control sent upstream when a flit is
+// read out of an input buffer. VC identifies which virtual channel's
+// buffer was freed.
+type Credit struct{ VC int8 }
+
+// vcState is the per-input-VC channel state (invc_state in the paper;
+// inpc_state for wormhole routers, which have one VC per port).
+type vcState uint8
+
+const (
+	// vcIdle: no packet, or waiting for the next head flit.
+	vcIdle vcState = iota
+	// vcWaitVC: routed; waiting for an output VC (VC allocation state).
+	// For wormhole routers this state doubles as "waiting for switch
+	// arbitration" since there is no VC allocation.
+	vcWaitVC
+	// vcActive: resources held; flits flow through switch allocation.
+	vcActive
+)
+
+// inputVC is one virtual channel of an input controller: a flit FIFO
+// plus channel state.
+type inputVC struct {
+	fifo    *queue.FIFO
+	state   vcState
+	route   int   // output port chosen by the routing stage
+	outVC   int8  // allocated output VC (valid in vcActive)
+	readyAt int64 // earliest cycle of the next pipeline action
+
+	// turnaround probe bookkeeping (active only when probe != nil)
+	popTimes  []int64
+	popCount  int64
+	pushCount int64
+}
+
+// inputPort is one physical input channel.
+type inputPort struct {
+	vcs       []inputVC
+	flitIn    *link.Wire[flit.Flit] // upstream pushes flits here (nil: unconnected edge)
+	creditOut *link.Wire[Credit]    // we push freed-buffer credits here (nil: unconnected)
+}
+
+// outputPort is one physical output channel: the downstream credit
+// state (credits per VC, outvc_state) plus the outgoing flit wire.
+type outputPort struct {
+	flitOut    *link.Wire[flit.Flit] // nil for the ejection port
+	creditIn   *link.Wire[Credit]    // downstream pushes returned credits here
+	creditPipe *link.Wire[Credit]    // credit-processing pipeline (nil when depth 0)
+	credits    []int                 // per downstream VC
+	vcBusy     []bool                // outvc_state: VC allocated to a packet
+	ejection   bool                  // local port: infinite buffering, immediate ejection
+}
+
+// stGrant is a latched switch grant: the head-of-queue flit of (in, vc)
+// traverses the crossbar in the cycle after the grant.
+type stGrant struct{ in, vc int }
+
+// Router is one cycle-accurate router instance.
+type Router struct {
+	id  int
+	cfg Config
+
+	in  []inputPort
+	out []outputPort
+
+	// route maps a destination node to this router's output port.
+	route func(dst int) int
+	// eject consumes flits leaving through the local output port.
+	eject func(f flit.Flit, now int64)
+	// classMask, when set, restricts the output VCs a packet may be
+	// allocated on a given output port (dateline deadlock avoidance on
+	// tori). nil permits every VC.
+	classMask func(dst, port int) uint64
+
+	// allocators (which are instantiated depends on Kind)
+	whArb     *allocator.WormholeSwitch
+	swAlloc   *allocator.SeparableSwitch
+	vcAlloc   *allocator.VCAllocator
+	specAlloc *allocator.SpeculativeSwitch
+
+	// pending holds grants issued last cycle, executed by this cycle's
+	// switch-traversal phase; next accumulates this cycle's grants.
+	pending []stGrant
+	next    []stGrant
+
+	// probe, when set, records buffer-turnaround intervals on the
+	// directional (non-local) input ports.
+	probe *stats.Turnaround
+
+	// scratch request buffers, reused across cycles
+	portReqs    []allocator.PortRequest
+	swReqs      []allocator.SwitchRequest
+	specReqs    []allocator.SwitchRequest
+	vaReqs      []allocator.VCRequest
+	vaGrantThis []int8 // per input-VC flat index: outVC granted this cycle, -1 otherwise
+	whReleases  []int  // wormhole port releases registered this cycle
+}
+
+// New returns a router. route maps destination node to output port;
+// eject consumes flits that leave through the local port.
+func New(id int, cfg Config, route func(dst int) int, eject func(f flit.Flit, now int64)) *Router {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("router %d: %v", id, err))
+	}
+	r := &Router{id: id, cfg: cfg, route: route, eject: eject}
+	p, v := cfg.Ports, cfg.VCs
+	r.in = make([]inputPort, p)
+	r.out = make([]outputPort, p)
+	for i := 0; i < p; i++ {
+		r.in[i].vcs = make([]inputVC, v)
+		for c := 0; c < v; c++ {
+			r.in[i].vcs[c] = inputVC{fifo: queue.NewFIFO(cfg.BufPerVC), outVC: -1}
+		}
+		r.out[i].credits = make([]int, v)
+		r.out[i].vcBusy = make([]bool, v)
+		for c := 0; c < v; c++ {
+			r.out[i].credits[c] = cfg.BufPerVC
+		}
+		if d := cfg.CreditProcessDelay(); d > 0 {
+			r.out[i].creditPipe = link.NewWire[Credit](d)
+		}
+	}
+	r.out[0].ejection = true
+
+	f := cfg.arb()
+	switch cfg.Kind {
+	case Wormhole, SingleCycleWormhole:
+		r.whArb = allocator.NewWormholeSwitch(p, f)
+	case VirtualChannel, SingleCycleVC:
+		r.swAlloc = allocator.NewSeparableSwitch(p, v, f)
+		r.vcAlloc = allocator.NewVCAllocator(p, v, f)
+	case SpeculativeVC:
+		r.vcAlloc = allocator.NewVCAllocator(p, v, f)
+		r.specAlloc = allocator.NewSpeculativeSwitch(p, v, f)
+		r.specAlloc.PrioritizeNonSpec = cfg.SpecPriority
+	}
+	r.vaGrantThis = make([]int8, p*v)
+	return r
+}
+
+// ID returns the router's node id.
+func (r *Router) ID() int { return r.id }
+
+// Config returns the router's configuration.
+func (r *Router) Config() Config { return r.cfg }
+
+// ConnectInput attaches the wires of input port port: flits arrive on
+// flitIn; credits for freed buffers are pushed to creditOut.
+func (r *Router) ConnectInput(port int, flitIn *link.Wire[flit.Flit], creditOut *link.Wire[Credit]) {
+	r.in[port].flitIn = flitIn
+	r.in[port].creditOut = creditOut
+}
+
+// ConnectOutput attaches the wires of output port port: departing flits
+// are pushed to flitOut; returned credits arrive on creditIn.
+func (r *Router) ConnectOutput(port int, flitOut *link.Wire[flit.Flit], creditIn *link.Wire[Credit]) {
+	r.out[port].flitOut = flitOut
+	r.out[port].creditIn = creditIn
+}
+
+// SetVCClassPolicy restricts VC-allocation candidates per (destination,
+// output port) — used for dateline virtual-channel classes on tori. It
+// must be set before the first Step.
+func (r *Router) SetVCClassPolicy(mask func(dst, port int) uint64) {
+	r.classMask = mask
+}
+
+// vaCandidates builds the VC-allocation candidate mask for an input VC:
+// the free VCs of the routed output port, intersected with the class
+// policy.
+func (r *Router) vaCandidates(vc *inputVC) uint64 {
+	cands := allocator.FreeCandidates(r.out[vc.route].vcBusy)
+	if r.classMask != nil {
+		hoq := vc.fifo.Peek()
+		if hoq != nil {
+			cands &= r.classMask(hoq.Pkt.Dst, vc.route)
+		}
+	}
+	return cands
+}
+
+// SetProbe installs a buffer-turnaround probe on the directional input
+// ports (Figure 16 measurement).
+func (r *Router) SetProbe(p *stats.Turnaround) {
+	r.probe = p
+	for port := 1; port < r.cfg.Ports; port++ {
+		for c := range r.in[port].vcs {
+			r.in[port].vcs[c].popTimes = make([]int64, r.cfg.BufPerVC)
+		}
+	}
+}
+
+// Credits returns the credit counter of output port out toward
+// downstream VC vc (for tests and invariant checks).
+func (r *Router) Credits(out, vc int) int { return r.out[out].credits[vc] }
+
+// BufferedFlits returns the occupancy of input (port, vc) (for tests).
+func (r *Router) BufferedFlits(port, vc int) int { return r.in[port].vcs[vc].fifo.Len() }
+
+// OutVCBusy reports outvc_state for (out, vc) (for tests).
+func (r *Router) OutVCBusy(out, vc int) bool { return r.out[out].vcBusy[vc] }
+
+// Step advances the router one cycle: deliver arrivals, execute latched
+// switch traversals, then run routing and allocation. All inter-router
+// communication crosses wires with >= 1 cycle delay, so routers may step
+// in any order within a cycle.
+func (r *Router) Step(now int64) {
+	r.deliver(now)
+	r.pending, r.next = r.next, r.pending[:0]
+
+	switch r.cfg.Kind {
+	case Wormhole:
+		r.traverseWormholeGrants(now)
+		r.allocWormhole(now)
+		r.applyWormholeReleases()
+	case VirtualChannel:
+		r.traversePending(now)
+		r.allocVC(now)
+	case SpeculativeVC:
+		r.traversePending(now)
+		r.allocSpec(now)
+	case SingleCycleWormhole:
+		r.stepSingleCycleWH(now)
+	case SingleCycleVC:
+		r.stepSingleCycleVC(now)
+	}
+}
+
+// deliver pops arriving flits into input FIFOs and moves credits through
+// the credit-processing pipeline into the counters.
+func (r *Router) deliver(now int64) {
+	for port := range r.in {
+		ip := &r.in[port]
+		if ip.flitIn == nil {
+			continue
+		}
+		ip.flitIn.Deliver(now, func(f flit.Flit) {
+			r.enqueue(port, f, now)
+		})
+	}
+	for o := range r.out {
+		op := &r.out[o]
+		if op.creditPipe != nil {
+			op.creditPipe.Deliver(now, func(c Credit) { op.credits[c.VC]++ })
+		}
+		if op.creditIn == nil {
+			continue
+		}
+		op.creditIn.Deliver(now, func(c Credit) {
+			if op.creditPipe != nil {
+				op.creditPipe.Push(now, c)
+			} else {
+				op.credits[c.VC]++
+			}
+		})
+	}
+}
+
+func (r *Router) enqueue(port int, f flit.Flit, now int64) {
+	if int(f.VC) >= len(r.in[port].vcs) {
+		panic(fmt.Sprintf("router %d: flit arrived on VC %d of port %d (only %d VCs)",
+			r.id, f.VC, port, len(r.in[port].vcs)))
+	}
+	vc := &r.in[port].vcs[f.VC]
+	f.EnqueuedAt = now
+	if r.probe != nil && port != 0 && vc.popTimes != nil {
+		b := int64(len(vc.popTimes))
+		if vc.pushCount >= b {
+			r.probe.Record(now - vc.popTimes[vc.pushCount%b])
+		}
+		vc.pushCount++
+	}
+	if err := vc.fifo.Push(f); err != nil {
+		panic(fmt.Sprintf("router %d: input %d vc %d: %v", r.id, port, f.VC, err))
+	}
+}
+
+// send reads the head-of-queue flit of (in, vcIdx), rewrites its vcid to
+// the allocated output VC, forwards it (wire or ejection), returns a
+// credit upstream, and handles tail bookkeeping on the input side.
+func (r *Router) send(in, vcIdx int, now int64) {
+	vc := &r.in[in].vcs[vcIdx]
+	f, ok := vc.fifo.Pop()
+	if !ok {
+		panic(fmt.Sprintf("router %d: switch traversal from empty input %d vc %d", r.id, in, vcIdx))
+	}
+	if r.probe != nil && in != 0 && vc.popTimes != nil {
+		vc.popTimes[vc.popCount%int64(len(vc.popTimes))] = now
+		vc.popCount++
+	}
+	out := vc.route
+	f.VC = vc.outVC
+	if op := &r.out[out]; op.ejection {
+		f.Pkt.Ejected++
+		if f.Pkt.Done() {
+			f.Pkt.EjectedAt = now
+		}
+		if r.eject != nil {
+			r.eject(f, now)
+		}
+	} else {
+		op.flitOut.Push(now, f)
+	}
+	if co := r.in[in].creditOut; co != nil {
+		co.Push(now, Credit{VC: int8(vcIdx)})
+	}
+	if f.Kind.IsTail() {
+		vc.state = vcIdle
+		vc.outVC = -1
+		vc.readyAt = now
+	}
+}
+
+// traversePending executes last cycle's switch grants (VC-style routers).
+func (r *Router) traversePending(now int64) {
+	for _, g := range r.pending {
+		r.send(g.in, g.vc, now)
+	}
+}
+
+// routeHeads performs the routing/decode stage for every idle input VC
+// whose head-of-queue flit is a head flit buffered before this cycle.
+func (r *Router) routeHeads(now int64) {
+	for in := range r.in {
+		for c := range r.in[in].vcs {
+			vc := &r.in[in].vcs[c]
+			if vc.state != vcIdle {
+				continue
+			}
+			hoq := vc.fifo.Peek()
+			if hoq == nil || !hoq.Kind.IsHead() || hoq.EnqueuedAt >= now || vc.readyAt > now {
+				continue
+			}
+			vc.route = r.route(hoq.Pkt.Dst)
+			vc.state = vcWaitVC
+			vc.readyAt = now + 1
+		}
+	}
+}
+
+// hoqEligible returns the head-of-queue flit if it may traverse the
+// switch no earlier than next cycle (it was buffered before this cycle).
+func (vc *inputVC) hoqEligible(now int64) *flit.Flit {
+	hoq := vc.fifo.Peek()
+	if hoq == nil || hoq.EnqueuedAt >= now {
+		return nil
+	}
+	return hoq
+}
+
+// grantSwitch consumes a credit (unless ejecting), latches the crossbar
+// traversal for next cycle, and — when the granted flit is the packet's
+// tail — releases the output VC at grant time, as the paper specifies
+// ("once it is granted crossbar passage, it informs the virtual-channel
+// allocator to release the reserved output VC").
+func (r *Router) grantSwitch(in, vcIdx int, now int64) {
+	vc := &r.in[in].vcs[vcIdx]
+	op := &r.out[vc.route]
+	if !op.ejection {
+		op.credits[vc.outVC]--
+		if op.credits[vc.outVC] < 0 {
+			panic(fmt.Sprintf("router %d: negative credits at out %d vc %d", r.id, vc.route, vc.outVC))
+		}
+	}
+	if hoq := vc.fifo.Peek(); hoq != nil && hoq.Kind.IsTail() {
+		// Release the output VC at grant time so next cycle's VC
+		// allocation can hand it to another packet; the input-side
+		// release happens when the tail actually traverses (send).
+		op.vcBusy[vc.outVC] = false
+	}
+	r.next = append(r.next, stGrant{in: in, vc: vcIdx})
+	// Block further allocation actions for this VC until the traversal
+	// completes; body flits re-arm via vcActive state next cycle.
+	vc.readyAt = now + 1
+}

@@ -1,0 +1,409 @@
+package router
+
+import (
+	"testing"
+
+	"routersim/internal/flit"
+	"routersim/internal/link"
+)
+
+// rig wires a single router with controllable inputs and observable
+// outputs: flits pushed on the local input port, departures observed on
+// the east output wire, all other ports unconnected (as at a mesh
+// corner).
+type rig struct {
+	r        *Router
+	in       *link.Wire[flit.Flit]
+	inCred   *link.Wire[Credit]
+	out      *link.Wire[flit.Flit]
+	outCred  *link.Wire[Credit]
+	arrivals []arrival
+	ejected  []arrival
+	now      int64
+}
+
+type arrival struct {
+	f  flit.Flit
+	at int64
+}
+
+// newRig builds a router whose routing function sends every packet to
+// output port 1 (east), except packets destined to node 0, which eject.
+func newRig(cfg Config) *rig {
+	g := &rig{
+		in:      link.NewWire[flit.Flit](1),
+		inCred:  link.NewWire[Credit](1),
+		out:     link.NewWire[flit.Flit](1),
+		outCred: link.NewWire[Credit](1),
+	}
+	g.r = New(7, cfg,
+		func(dst int) int {
+			if dst == 0 {
+				return 0
+			}
+			return 1
+		},
+		func(f flit.Flit, at int64) { g.ejected = append(g.ejected, arrival{f, at}) })
+	g.r.ConnectInput(0, g.in, g.inCred)
+	g.r.ConnectOutput(1, g.out, g.outCred)
+	return g
+}
+
+// step advances one cycle, draining the output wire.
+func (g *rig) step() {
+	g.r.Step(g.now)
+	g.out.Deliver(g.now, func(f flit.Flit) {
+		g.arrivals = append(g.arrivals, arrival{f, g.now})
+	})
+	g.now++
+}
+
+// inject pushes the packet's flits one per cycle starting now.
+func (g *rig) packet(size int, dst int) *flit.Packet {
+	return &flit.Packet{ID: 1, Src: 7, Dst: dst, Size: size, CreatedAt: g.now}
+}
+
+func (g *rig) run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		g.step()
+	}
+}
+
+func pushAll(g *rig, p *flit.Packet, startAt int64) {
+	fl := flit.NewPacketFlits(p)
+	for i, f := range fl {
+		f.VC = 0
+		g.in.Push(startAt+int64(i), f)
+	}
+}
+
+// TestWormholeHeadTiming: head buffered at cycle 1 must appear on the
+// output wire at cycle 5: routing at 2, switch arbitration at 3, switch
+// traversal at 4, one cycle of link propagation — the 3-stage pipeline
+// plus the wire.
+func TestWormholeHeadTiming(t *testing.T) {
+	g := newRig(DefaultConfig(Wormhole))
+	pushAll(g, g.packet(5, 99), 0) // pushed at 0 → buffered at 1
+	g.run(20)
+	if len(g.arrivals) != 5 {
+		t.Fatalf("%d flits delivered, want 5", len(g.arrivals))
+	}
+	if g.arrivals[0].at != 5 {
+		t.Errorf("head delivered at cycle %d, want 5 (3-stage pipeline)", g.arrivals[0].at)
+	}
+	// Body flits stream one per cycle behind the head.
+	for i := 1; i < 5; i++ {
+		if g.arrivals[i].at != g.arrivals[i-1].at+1 {
+			t.Errorf("flit %d delivered at %d, want %d", i, g.arrivals[i].at, g.arrivals[i-1].at+1)
+		}
+	}
+}
+
+// TestVCHeadTiming: the 4-stage VC router delivers the head one cycle
+// later than wormhole (VC allocation stage).
+func TestVCHeadTiming(t *testing.T) {
+	cfg := DefaultConfig(VirtualChannel)
+	cfg.BufPerVC = 8 // the rig pushes blind; size for 5 in-flight flits
+	g := newRig(cfg)
+	pushAll(g, g.packet(5, 99), 0)
+	g.run(20)
+	if len(g.arrivals) != 5 {
+		t.Fatalf("%d flits delivered, want 5", len(g.arrivals))
+	}
+	if g.arrivals[0].at != 6 {
+		t.Errorf("head delivered at cycle %d, want 6 (4-stage pipeline)", g.arrivals[0].at)
+	}
+}
+
+// TestSpecHeadTiming: the speculative router collapses VC and switch
+// allocation into one stage, restoring wormhole's timing.
+func TestSpecHeadTiming(t *testing.T) {
+	cfg := DefaultConfig(SpeculativeVC)
+	cfg.BufPerVC = 8
+	g := newRig(cfg)
+	pushAll(g, g.packet(5, 99), 0)
+	g.run(20)
+	if len(g.arrivals) != 5 {
+		t.Fatalf("%d flits delivered, want 5", len(g.arrivals))
+	}
+	if g.arrivals[0].at != 5 {
+		t.Errorf("head delivered at cycle %d, want 5 (3-stage speculative pipeline)", g.arrivals[0].at)
+	}
+}
+
+// TestSingleCycleTiming: the unit-latency router forwards a flit the
+// cycle after it is buffered.
+func TestSingleCycleTiming(t *testing.T) {
+	for _, kind := range []Kind{SingleCycleWormhole, SingleCycleVC} {
+		cfg := DefaultConfig(kind)
+		cfg.BufPerVC = 8 // credits for all five blind-pushed flits
+		g := newRig(cfg)
+		pushAll(g, g.packet(5, 99), 0)
+		g.run(20)
+		if len(g.arrivals) != 5 {
+			t.Fatalf("%v: %d flits delivered, want 5", kind, len(g.arrivals))
+		}
+		if g.arrivals[0].at != 3 {
+			t.Errorf("%v: head delivered at %d, want 3 (1 router cycle + wire)", kind, g.arrivals[0].at)
+		}
+	}
+}
+
+// TestVCIDRewrittenOnDeparture: the switch-traversal stage must update
+// the flit's vcid field to the allocated output VC (Section 3.1).
+func TestVCIDRewrittenOnDeparture(t *testing.T) {
+	cfg := DefaultConfig(VirtualChannel)
+	cfg.BufPerVC = 8
+	g := newRig(cfg)
+	pushAll(g, g.packet(5, 99), 0)
+	g.run(20)
+	for _, a := range g.arrivals {
+		if a.f.VC < 0 || int(a.f.VC) >= cfg.VCs {
+			t.Fatalf("departing flit carries vcid %d outside [0,%d)", a.f.VC, cfg.VCs)
+		}
+	}
+}
+
+// TestEjection: packets routed to the local port leave through the
+// eject callback with Ejected counts maintained.
+func TestEjection(t *testing.T) {
+	g := newRig(DefaultConfig(SpeculativeVC)) // ejection needs no credits
+	p := g.packet(5, 0)                       // dst 0 → local port
+	pushAll(g, p, 0)
+	g.run(20)
+	if len(g.ejected) != 5 {
+		t.Fatalf("%d flits ejected, want 5", len(g.ejected))
+	}
+	if !p.Done() {
+		t.Error("packet not marked done after full ejection")
+	}
+	if p.EjectedAt != g.ejected[4].at {
+		t.Errorf("EjectedAt %d, want %d", p.EjectedAt, g.ejected[4].at)
+	}
+}
+
+// TestTailReleasesOutputVC: after the tail departs, the allocated output
+// VC must be free for the next packet.
+func TestTailReleasesOutputVC(t *testing.T) {
+	cfg := DefaultConfig(VirtualChannel)
+	cfg.BufPerVC = 8
+	g := newRig(cfg)
+	pushAll(g, g.packet(3, 99), 0)
+	g.run(20)
+	for w := 0; w < 2; w++ {
+		if g.r.OutVCBusy(1, w) {
+			t.Errorf("output VC %d still busy after tail departed", w)
+		}
+	}
+	// Input VC returns to idle.
+	if st := g.r.in[0].vcs[0].state; st != vcIdle {
+		t.Errorf("input VC state %v after packet, want idle", st)
+	}
+}
+
+// TestCreditsDecrementAndRecover: credits are consumed as flits are
+// granted and restored when the downstream returns them.
+func TestCreditsDecrementAndRecover(t *testing.T) {
+	cfg := DefaultConfig(SpeculativeVC) // 2 VCs × 4 buffers
+	g := newRig(cfg)
+	pushAll(g, g.packet(3, 99), 0)
+	g.run(20)
+	// All 3 flits departed on some VC; its credits must show 4-3=1.
+	vcUsed := int(g.arrivals[0].f.VC)
+	if got := g.r.Credits(1, vcUsed); got != cfg.BufPerVC-3 {
+		t.Fatalf("credits after 3 departures = %d, want %d", got, cfg.BufPerVC-3)
+	}
+	// Downstream returns the credits.
+	for i := 0; i < 3; i++ {
+		g.outCred.Push(g.now, Credit{VC: int8(vcUsed)})
+		g.step()
+	}
+	g.run(6) // credit propagation + processing pipeline
+	if got := g.r.Credits(1, vcUsed); got != cfg.BufPerVC {
+		t.Fatalf("credits after returns = %d, want %d", got, cfg.BufPerVC)
+	}
+}
+
+// TestBackpressureStopsFlow: with zero credits remaining, flits must not
+// depart until credits return. Pushes are paced so the rig never
+// overruns the 2-slot input FIFO (the upstream source would be paced by
+// its own credits the same way).
+func TestBackpressureStopsFlow(t *testing.T) {
+	cfg := DefaultConfig(SpeculativeVC)
+	cfg.VCs = 1
+	cfg.BufPerVC = 2
+	g := newRig(cfg)
+	p := g.packet(4, 99)
+	fl := flit.NewPacketFlits(p)
+	g.in.Push(0, fl[0])
+	g.in.Push(1, fl[1])
+	g.run(10) // both depart, consuming the 2 downstream credits
+	g.in.Push(g.now, fl[2])
+	g.in.Push(g.now+1, fl[3])
+	g.run(15)
+	if len(g.arrivals) != 2 {
+		t.Fatalf("%d flits departed with 2 credits and no returns, want 2", len(g.arrivals))
+	}
+	// Return one credit: exactly one more flit departs.
+	g.outCred.Push(g.now, Credit{VC: 0})
+	g.run(10)
+	if len(g.arrivals) != 3 {
+		t.Fatalf("%d flits after one credit return, want 3", len(g.arrivals))
+	}
+}
+
+// TestWormholePortHeldAgainstSecondPacket: while one packet holds an
+// output port, another input's packet for the same port must wait until
+// the tail departs.
+func TestWormholePortHeldAgainstSecondPacket(t *testing.T) {
+	cfg := DefaultConfig(Wormhole)
+	cfg.BufPerVC = 16 // credits for both packets without returns
+	g := newRig(cfg)
+	// Second input port (west = 2) also routes to east; wire it up.
+	in2 := link.NewWire[flit.Flit](1)
+	cred2 := link.NewWire[Credit](1)
+	g.r.ConnectInput(2, in2, cred2)
+
+	p1 := g.packet(5, 99)
+	pushAll(g, p1, 0)
+	p2 := &flit.Packet{ID: 2, Src: 5, Dst: 99, Size: 5}
+	fl2 := flit.NewPacketFlits(p2)
+	for i, f := range fl2 {
+		in2.Push(int64(i), f)
+	}
+	g.run(30)
+	if len(g.arrivals) != 10 {
+		t.Fatalf("%d flits delivered, want 10", len(g.arrivals))
+	}
+	// No interleaving: one packet's 5 flits fully precede the other's.
+	first := g.arrivals[0].f.Pkt.ID
+	for i := 0; i < 5; i++ {
+		if g.arrivals[i].f.Pkt.ID != first {
+			t.Fatalf("wormhole interleaved packets at position %d", i)
+		}
+	}
+	// The second packet's head waits for the tail plus re-arbitration:
+	// strictly after the first tail.
+	if !(g.arrivals[5].at > g.arrivals[4].at) {
+		t.Errorf("second head at %d not after first tail at %d", g.arrivals[5].at, g.arrivals[4].at)
+	}
+}
+
+// TestVCRoutersInterleaveFlits: with two VCs, flits of two packets can
+// interleave on the physical channel — the core benefit of VC flow
+// control over wormhole.
+func TestVCRoutersInterleaveFlits(t *testing.T) {
+	cfg := DefaultConfig(VirtualChannel)
+	cfg.BufPerVC = 8
+	g := newRig(cfg)
+	in2 := link.NewWire[flit.Flit](1)
+	cred2 := link.NewWire[Credit](1)
+	g.r.ConnectInput(2, in2, cred2)
+
+	p1 := g.packet(5, 99)
+	pushAll(g, p1, 0)
+	p2 := &flit.Packet{ID: 2, Src: 5, Dst: 99, Size: 5}
+	for i, f := range flit.NewPacketFlits(p2) {
+		f.VC = 0
+		in2.Push(int64(i), f)
+	}
+	g.run(30)
+	if len(g.arrivals) != 10 {
+		t.Fatalf("%d flits delivered, want 10", len(g.arrivals))
+	}
+	// Both packets should make progress concurrently: the first five
+	// deliveries must not all belong to one packet.
+	first := g.arrivals[0].f.Pkt.ID
+	interleaved := false
+	for i := 1; i < 5; i++ {
+		if g.arrivals[i].f.Pkt.ID != first {
+			interleaved = true
+		}
+	}
+	if !interleaved {
+		t.Error("VC router did not interleave two packets on the channel")
+	}
+}
+
+// TestSpeculationWastedPassageHarmless: two heads arrive together and
+// compete for the only free output VC; the speculation loser must not
+// lose flits or credits, and both packets are delivered.
+func TestSpeculationWastedPassageHarmless(t *testing.T) {
+	cfg := DefaultConfig(SpeculativeVC)
+	cfg.VCs = 1 // one VC → only one packet can win VC allocation
+	cfg.BufPerVC = 8
+	g := newRig(cfg)
+	in2 := link.NewWire[flit.Flit](1)
+	cred2 := link.NewWire[Credit](1)
+	g.r.ConnectInput(2, in2, cred2)
+
+	p1 := g.packet(3, 99)
+	pushAll(g, p1, 0)
+	p2 := &flit.Packet{ID: 2, Src: 5, Dst: 99, Size: 3}
+	for i, f := range flit.NewPacketFlits(p2) {
+		in2.Push(int64(i), f)
+	}
+	// Return credits for everything so the stream never stalls.
+	for c := int64(0); c < 40; c++ {
+		g.outCred.Push(c, Credit{VC: 0})
+	}
+	g.run(40)
+	if len(g.arrivals) != 6 {
+		t.Fatalf("%d flits delivered, want 6 (both packets)", len(g.arrivals))
+	}
+	// Strict per-packet flit ordering must hold.
+	seq := map[int64]int{}
+	for _, a := range g.arrivals {
+		if a.f.Seq != seq[a.f.Pkt.ID] {
+			t.Fatalf("packet %d flit out of order: got seq %d, want %d", a.f.Pkt.ID, a.f.Seq, seq[a.f.Pkt.ID])
+		}
+		seq[a.f.Pkt.ID]++
+	}
+}
+
+// TestConfigValidation exercises the error paths.
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Kind: Wormhole, Ports: 1, VCs: 1, BufPerVC: 4},
+		{Kind: Wormhole, Ports: 5, VCs: 2, BufPerVC: 4}, // WH needs 1 VC
+		{Kind: VirtualChannel, Ports: 5, VCs: 0, BufPerVC: 4},
+		{Kind: VirtualChannel, Ports: 5, VCs: 2, BufPerVC: 0},
+		{Kind: VirtualChannel, Ports: 5, VCs: 2, BufPerVC: 4, CreditProcess: -2},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v validated but should not", cfg)
+		}
+	}
+}
+
+func TestCreditProcessDelayDefaults(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		want int
+	}{
+		{Wormhole, 1}, {VirtualChannel, 2}, {SpeculativeVC, 1},
+		{SingleCycleWormhole, 0}, {SingleCycleVC, 0},
+	}
+	for _, c := range cases {
+		if got := DefaultConfig(c.kind).CreditProcessDelay(); got != c.want {
+			t.Errorf("%v: credit process delay %d, want %d", c.kind, got, c.want)
+		}
+	}
+	cfg := DefaultConfig(VirtualChannel)
+	cfg.CreditProcess = 3
+	if cfg.CreditProcessDelay() != 3 {
+		t.Error("explicit credit process delay not honored")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{Wormhole, VirtualChannel, SpeculativeVC, SingleCycleWormhole, SingleCycleVC} {
+		if k.String() == "" {
+			t.Errorf("empty name for kind %d", k)
+		}
+		if k.Stages() < 1 {
+			t.Errorf("%v: %d stages", k, k.Stages())
+		}
+	}
+}

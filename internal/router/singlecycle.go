@@ -1,0 +1,109 @@
+package router
+
+import "routersim/internal/allocator"
+
+// This file implements the idealized single-cycle ("unit latency")
+// routers used as the baseline in Figure 17: routing, allocation, and
+// crossbar traversal all complete within one cycle, and credits are
+// processed with no pipeline delay. The paper shows this commonly
+// assumed model underestimates latency and overestimates throughput.
+
+// stepSingleCycleWH is the single-cycle wormhole router: arbitration and
+// traversal in the arrival-plus-one cycle.
+func (r *Router) stepSingleCycleWH(now int64) {
+	r.routeHeads(now)
+
+	// Switch arbitration (port held per packet), same cycle as routing.
+	r.portReqs = r.portReqs[:0]
+	for in := range r.in {
+		vc := &r.in[in].vcs[0]
+		if vc.state == vcWaitVC {
+			r.portReqs = append(r.portReqs, allocator.PortRequest{In: in, Out: vc.route})
+		}
+	}
+	for _, g := range r.whArb.Arbitrate(r.portReqs) {
+		vc := &r.in[g.In].vcs[0]
+		vc.state = vcActive
+		vc.outVC = 0
+	}
+
+	// Traversal in the same cycle.
+	for in := range r.in {
+		vc := &r.in[in].vcs[0]
+		if vc.state != vcActive {
+			continue
+		}
+		hoq := vc.hoqEligible(now)
+		if hoq == nil {
+			continue
+		}
+		op := &r.out[vc.route]
+		if !op.ejection && op.credits[0] <= 0 {
+			continue
+		}
+		isTail := hoq.Kind.IsTail()
+		out := vc.route
+		if !op.ejection {
+			op.credits[0]--
+		}
+		r.send(in, 0, now)
+		if isTail {
+			r.whArb.Release(out)
+		}
+	}
+}
+
+// stepSingleCycleVC is the single-cycle virtual-channel router: routing,
+// VC allocation, switch allocation and traversal all in one cycle.
+func (r *Router) stepSingleCycleVC(now int64) {
+	r.routeHeads(now)
+
+	// VC allocation, immediately usable this cycle.
+	r.vaReqs = r.vaReqs[:0]
+	for in := range r.in {
+		for c := range r.in[in].vcs {
+			vc := &r.in[in].vcs[c]
+			if vc.state != vcWaitVC {
+				continue
+			}
+			// Only heads already buffered may proceed this cycle.
+			if vc.hoqEligible(now) == nil {
+				continue
+			}
+			r.vaReqs = append(r.vaReqs, allocator.VCRequest{In: in, VC: c, Out: vc.route, Candidates: r.vaCandidates(vc)})
+		}
+	}
+	for _, g := range r.vcAlloc.Allocate(r.vaReqs) {
+		vc := &r.in[g.In].vcs[g.VC]
+		vc.state = vcActive
+		vc.outVC = int8(g.OutVC)
+		r.out[g.Out].vcBusy[g.OutVC] = true
+	}
+
+	// Switch allocation and traversal in the same cycle.
+	r.swReqs = r.swReqs[:0]
+	for in := range r.in {
+		for c := range r.in[in].vcs {
+			vc := &r.in[in].vcs[c]
+			if vc.state != vcActive || vc.hoqEligible(now) == nil {
+				continue
+			}
+			op := &r.out[vc.route]
+			if !op.ejection && op.credits[vc.outVC] <= 0 {
+				continue
+			}
+			r.swReqs = append(r.swReqs, allocator.SwitchRequest{In: in, VC: c, Out: vc.route})
+		}
+	}
+	for _, g := range r.swAlloc.Allocate(r.swReqs) {
+		vc := &r.in[g.In].vcs[g.VC]
+		op := &r.out[vc.route]
+		if !op.ejection {
+			op.credits[vc.outVC]--
+		}
+		if hoq := vc.fifo.Peek(); hoq != nil && hoq.Kind.IsTail() {
+			op.vcBusy[vc.outVC] = false
+		}
+		r.send(g.In, g.VC, now)
+	}
+}

@@ -1,0 +1,83 @@
+package router
+
+import "routersim/internal/allocator"
+
+// This file implements the speculative virtual-channel router
+// (Section 3.1, Figure 4c): a 3-stage pipeline in which a head flit
+// requests the switch speculatively in the same cycle it requests an
+// output VC. A speculative grant is used only if VC allocation succeeded
+// in that cycle and the granted output VC has a credit; otherwise the
+// reserved crossbar slot is wasted. Non-speculative requests always take
+// priority, so speculation never reduces throughput.
+
+// allocSpec performs routing, then the combined VC + speculative switch
+// allocation stage. Requests for all three allocators are formed from
+// the state at the start of the stage (the hardware evaluates them in
+// parallel), then grants are combined.
+func (r *Router) allocSpec(now int64) {
+	r.routeHeads(now)
+
+	// Form requests from a consistent snapshot.
+	r.vaReqs = r.vaReqs[:0]
+	r.specReqs = r.specReqs[:0]
+	r.swReqs = r.swReqs[:0]
+	for in := range r.in {
+		for c := range r.in[in].vcs {
+			vc := &r.in[in].vcs[c]
+			switch {
+			case vc.state == vcWaitVC && vc.readyAt <= now:
+				r.vaReqs = append(r.vaReqs, allocator.VCRequest{
+					In: in, VC: c, Out: vc.route, Candidates: r.vaCandidates(vc),
+				})
+				// Speculative switch request in parallel with VC
+				// allocation: the output VC (and hence its credit) is
+				// not yet known; validity is checked at combine time.
+				if vc.hoqEligible(now) != nil {
+					r.specReqs = append(r.specReqs, allocator.SwitchRequest{In: in, VC: c, Out: vc.route})
+				}
+			case r.switchEligible(vc, now):
+				r.swReqs = append(r.swReqs, allocator.SwitchRequest{In: in, VC: c, Out: vc.route})
+			}
+		}
+	}
+
+	// Run the VC allocator and the dual switch allocator "in parallel".
+	vaGrants := r.vcAlloc.Allocate(r.vaReqs)
+	nsGrants, spGrants := r.specAlloc.Allocate(r.swReqs, r.specReqs)
+
+	// Apply VC allocation: winners hold an output VC and are
+	// non-speculative from the next cycle on.
+	for i := range r.vaGrantThis {
+		r.vaGrantThis[i] = -1
+	}
+	v := r.cfg.VCs
+	for _, g := range vaGrants {
+		vc := &r.in[g.In].vcs[g.VC]
+		vc.state = vcActive
+		vc.outVC = int8(g.OutVC)
+		vc.readyAt = now + 1
+		r.out[g.Out].vcBusy[g.OutVC] = true
+		r.vaGrantThis[g.In*v+g.VC] = int8(g.OutVC)
+	}
+
+	// Non-speculative grants proceed unconditionally.
+	for _, g := range nsGrants {
+		r.grantSwitch(g.In, g.VC, now)
+	}
+
+	// Speculative grants are valid only if the same input VC won VC
+	// allocation this cycle and the granted output VC has a credit;
+	// otherwise the crossbar passage is wasted (the port stays idle
+	// this cycle — non-speculative requests already had priority).
+	for _, g := range spGrants {
+		w := r.vaGrantThis[g.In*v+g.VC]
+		if w < 0 {
+			continue // speculation failed: no output VC this cycle
+		}
+		op := &r.out[g.Out]
+		if !op.ejection && op.credits[w] <= 0 {
+			continue // no credit for the freshly allocated VC
+		}
+		r.grantSwitch(g.In, g.VC, now)
+	}
+}

@@ -1,0 +1,81 @@
+package router
+
+import "routersim/internal/allocator"
+
+// This file implements the non-speculative virtual-channel router's
+// per-cycle behaviour: a 4-stage pipeline of routing, VC allocation,
+// switch allocation (cycle-by-cycle, per flit), and switch traversal.
+
+// allocVC performs the routing, VC-allocation, and switch-allocation
+// stages of the 4-stage VC router. Stage order within the cycle is
+// routing → VC allocation → switch allocation; the readyAt guards
+// ensure a head flit takes one stage per cycle.
+func (r *Router) allocVC(now int64) {
+	r.routeHeads(now)
+	r.allocateVCs(now)
+	r.allocateSwitch(now)
+}
+
+// allocateVCs runs one cycle of the separable VC allocator over every
+// input VC waiting for an output VC. Winners become active and may
+// request the switch from the next cycle.
+func (r *Router) allocateVCs(now int64) {
+	r.vaReqs = r.vaReqs[:0]
+	for in := range r.in {
+		for c := range r.in[in].vcs {
+			vc := &r.in[in].vcs[c]
+			if vc.state != vcWaitVC || vc.readyAt > now {
+				continue
+			}
+			r.vaReqs = append(r.vaReqs, allocator.VCRequest{
+				In: in, VC: c, Out: vc.route, Candidates: r.vaCandidates(vc),
+			})
+		}
+	}
+	if len(r.vaReqs) == 0 {
+		return
+	}
+	for _, g := range r.vcAlloc.Allocate(r.vaReqs) {
+		vc := &r.in[g.In].vcs[g.VC]
+		vc.state = vcActive
+		vc.outVC = int8(g.OutVC)
+		vc.readyAt = now + 1
+		r.out[g.Out].vcBusy[g.OutVC] = true
+	}
+}
+
+// allocateSwitch runs one cycle of the separable switch allocator over
+// every active input VC with an eligible flit and a downstream credit.
+func (r *Router) allocateSwitch(now int64) {
+	r.swReqs = r.swReqs[:0]
+	for in := range r.in {
+		for c := range r.in[in].vcs {
+			vc := &r.in[in].vcs[c]
+			if !r.switchEligible(vc, now) {
+				continue
+			}
+			r.swReqs = append(r.swReqs, allocator.SwitchRequest{In: in, VC: c, Out: vc.route})
+		}
+	}
+	if len(r.swReqs) == 0 {
+		return
+	}
+	for _, g := range r.swAlloc.Allocate(r.swReqs) {
+		r.grantSwitch(g.In, g.VC, now)
+	}
+}
+
+// switchEligible reports whether an input VC may request the switch this
+// cycle: it holds an output VC, has a flit buffered before this cycle,
+// and a downstream buffer credit exists (ejection ports have infinite
+// buffering).
+func (r *Router) switchEligible(vc *inputVC, now int64) bool {
+	if vc.state != vcActive || vc.readyAt > now {
+		return false
+	}
+	if vc.hoqEligible(now) == nil {
+		return false
+	}
+	op := &r.out[vc.route]
+	return op.ejection || op.credits[vc.outVC] > 0
+}

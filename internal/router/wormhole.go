@@ -1,0 +1,98 @@
+package router
+
+import "routersim/internal/allocator"
+
+// This file implements the wormhole router's per-cycle behaviour:
+// a 3-stage pipeline of routing, switch arbitration (the output port is
+// held for the whole packet), and switch traversal. Body and tail flits
+// skip routing and arbitration: once the port is held they stream
+// through the crossbar one per cycle, gated only by credits. Like every
+// pipelined path, a streaming flit is set up in one cycle (buffer read,
+// credit check) and traverses the crossbar the next, which gives the
+// wormhole router its 4-cycle buffer turnaround (Section 5.2).
+
+// allocWormhole performs the routing and switch-arbitration stages, and
+// issues the per-cycle crossbar passages for input ports that hold their
+// output port.
+func (r *Router) allocWormhole(now int64) {
+	r.routeHeads(now)
+
+	// Switch arbitration: input ports in the waiting state bid for
+	// their routed output port; winners hold the port until the tail
+	// departs. The arbiter's status bits mask requests for held ports.
+	r.portReqs = r.portReqs[:0]
+	for in := range r.in {
+		vc := &r.in[in].vcs[0]
+		if vc.state != vcWaitVC || vc.readyAt > now {
+			continue
+		}
+		r.portReqs = append(r.portReqs, allocator.PortRequest{In: in, Out: vc.route})
+	}
+	grants := r.whArb.Arbitrate(r.portReqs)
+	for _, g := range grants {
+		vc := &r.in[g.In].vcs[0]
+		vc.state = vcActive
+		vc.outVC = 0 // wormhole links carry a single VC
+		vc.readyAt = now + 1
+		// The head flit's crossbar passage is granted together with the
+		// port (the arbitration stage covers both), so the head
+		// traverses next cycle — unless the downstream buffer is full.
+		r.grantWormholePassage(g.In, now)
+	}
+
+	// Streaming: every other input port holding its output sends one
+	// flit per cycle, gated by credits.
+	for in := range r.in {
+		vc := &r.in[in].vcs[0]
+		if vc.state != vcActive || vc.readyAt > now {
+			continue
+		}
+		r.grantWormholePassage(in, now)
+	}
+}
+
+// grantWormholePassage issues a crossbar passage for the head-of-queue
+// flit of input port in, if one is eligible and a credit is available.
+func (r *Router) grantWormholePassage(in int, now int64) {
+	vc := &r.in[in].vcs[0]
+	if vc.hoqEligible(now) == nil {
+		return
+	}
+	op := &r.out[vc.route]
+	if !op.ejection && op.credits[0] <= 0 {
+		return // buffer turnaround: wait for a credit
+	}
+	r.grantSwitch(in, 0, now)
+}
+
+// traverseWormholeGrants executes last cycle's passages. Unlike the VC
+// router — which releases its output VC at switch-allocation time — the
+// wormhole router frees the held output port only "when the tail flit
+// departs the input queue" (Section 3.1), i.e. at traversal. The release
+// signal updates the arbiter's status flip-flop at the end of the cycle,
+// so the port becomes grantable one cycle after the tail traverses; the
+// resulting per-packet hold bubble is what caps wormhole throughput
+// below the flit-by-flit VC routers.
+func (r *Router) traverseWormholeGrants(now int64) {
+	for _, g := range r.pending {
+		vc := &r.in[g.in].vcs[0]
+		out := vc.route
+		isTail := false
+		if hoq := vc.fifo.Peek(); hoq != nil && hoq.Kind.IsTail() {
+			isTail = true
+		}
+		r.send(g.in, g.vc, now)
+		if isTail {
+			r.whReleases = append(r.whReleases, out)
+		}
+	}
+}
+
+// applyWormholeReleases updates the port status flip-flops after this
+// cycle's arbitration (registered release).
+func (r *Router) applyWormholeReleases() {
+	for _, out := range r.whReleases {
+		r.whArb.Release(out)
+	}
+	r.whReleases = r.whReleases[:0]
+}

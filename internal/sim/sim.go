@@ -1,0 +1,216 @@
+// Package sim runs network simulations using the paper's measurement
+// protocol (Section 5): a warm-up phase, a tagged sample of injected
+// packets, and a drain phase that runs until every tagged packet has
+// been received. Latency is measured from packet creation (including
+// source queueing) to last-flit ejection.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"routersim/internal/flit"
+	"routersim/internal/network"
+	"routersim/internal/stats"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Net network.Config
+	// WarmupCycles precede measurement (paper: 10,000).
+	WarmupCycles int64
+	// MeasurePackets is the tagged sample size (paper: 100,000).
+	MeasurePackets int
+	// MaxCycles caps the run for loads beyond saturation; 0 derives a
+	// cap from the offered load and sample size.
+	MaxCycles int64
+	// Probe enables the buffer-turnaround probe on all routers.
+	Probe bool
+}
+
+// Result reports one simulation run.
+type Result struct {
+	// OfferedLoad is the offered load as a fraction of capacity.
+	OfferedLoad float64
+	// AcceptedLoad is the measured ejection rate as a fraction of
+	// capacity.
+	AcceptedLoad float64
+	// Latency summarizes tagged-packet latency in cycles.
+	Latency stats.Summary
+	// Saturated is true when the run hit MaxCycles before every tagged
+	// packet was received — the network is past its saturation point.
+	Saturated bool
+	// Cycles is the number of simulated cycles.
+	Cycles int64
+	// TaggedDone / Tagged count the sample packets received vs created.
+	TaggedDone, Tagged int
+	// MinTurnaround is the smallest observed buffer-turnaround interval
+	// (0 unless Config.Probe).
+	MinTurnaround int64
+}
+
+// Run executes one simulation to completion.
+func Run(cfg Config) (Result, error) {
+	if cfg.WarmupCycles == 0 {
+		cfg.WarmupCycles = 10000
+	}
+	if cfg.MeasurePackets == 0 {
+		cfg.MeasurePackets = 100000
+	}
+	net, err := network.New(cfg.Net)
+	if err != nil {
+		return Result{}, err
+	}
+	ncfg := net.Config()
+
+	capacity := net.Capacity()
+	offeredFlits := ncfg.InjectionRate * float64(ncfg.PacketSize)
+	offeredFrac := offeredFlits / capacity
+
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		// Time to inject the sample at the offered rate, with generous
+		// drain allowance; beyond saturation the cap ends the run.
+		pktPerCycle := ncfg.InjectionRate * float64(net.Nodes())
+		if pktPerCycle <= 0 {
+			return Result{}, fmt.Errorf("sim: zero injection rate; nothing to measure")
+		}
+		window := int64(float64(cfg.MeasurePackets)/pktPerCycle) + 1
+		maxCycles = cfg.WarmupCycles + 4*window + 30000
+	}
+
+	var (
+		lat        stats.Latency
+		th         = stats.NewThroughput(net.Nodes())
+		turn       stats.Turnaround
+		tagged     int
+		taggedDone int
+		measuring  = false
+	)
+	if cfg.Probe {
+		net.SetProbes(&turn)
+	}
+
+	net.OnPacketCreated = func(p *flit.Packet, now int64) {
+		if measuring && tagged < cfg.MeasurePackets {
+			p.Tagged = true
+			tagged++
+		}
+	}
+	net.OnFlitEjected = func(f flit.Flit, now int64) {
+		th.Eject(now)
+	}
+	net.OnPacketDone = func(p *flit.Packet, now int64) {
+		if p.Tagged {
+			taggedDone++
+			lat.Add(p.Latency())
+		}
+	}
+
+	now := int64(0)
+	for ; now < maxCycles; now++ {
+		if now == cfg.WarmupCycles {
+			measuring = true
+			th.Open(now)
+		}
+		net.Step(now)
+		if measuring && tagged == cfg.MeasurePackets && taggedDone == tagged {
+			now++
+			break
+		}
+	}
+	th.Close(now)
+
+	res := Result{
+		OfferedLoad:   offeredFrac,
+		AcceptedLoad:  th.FlitsPerNodeCycle() / capacity,
+		Cycles:        now,
+		Tagged:        tagged,
+		TaggedDone:    taggedDone,
+		MinTurnaround: turn.Min(),
+	}
+	// Past saturation, accepted throughput plateaus below the offered
+	// load (source queues grow without bound); tagged packets injected
+	// early may still drain, so completion alone is not the criterion.
+	res.Saturated = taggedDone < cfg.MeasurePackets ||
+		res.AcceptedLoad < res.OfferedLoad*0.95-0.005
+	if lat.Count() > 0 {
+		res.Latency = stats.Summary{
+			MeanLatency: lat.Mean(),
+			P50:         lat.Percentile(0.5),
+			P95:         lat.Percentile(0.95),
+			MaxLatency:  lat.Max(),
+			Packets:     lat.Count(),
+			Accepted:    th.FlitsPerNodeCycle(),
+		}
+	}
+	return res, nil
+}
+
+// LoadPoint is one point of a latency-throughput curve.
+type LoadPoint struct {
+	Load   float64 // offered, fraction of capacity
+	Result Result
+}
+
+// SweepLoads runs one simulation per offered load (fraction of capacity)
+// in parallel and returns the points in input order. The base config's
+// InjectionRate is overwritten per point.
+func SweepLoads(base Config, loads []float64) ([]LoadPoint, error) {
+	pts := make([]LoadPoint, len(loads))
+	errs := make([]error, len(loads))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, load := range loads {
+		wg.Add(1)
+		go func(i int, load float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := base
+			cfg.Net.InjectionRate = rateForLoad(load, cfg.Net)
+			res, err := Run(cfg)
+			pts[i] = LoadPoint{Load: load, Result: res}
+			errs[i] = err
+		}(i, load)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pts, nil
+}
+
+// rateForLoad converts a fraction of capacity into packets/node/cycle.
+func rateForLoad(frac float64, ncfg network.Config) float64 {
+	k := ncfg.K
+	if k == 0 {
+		k = 8
+	}
+	size := ncfg.PacketSize
+	if size == 0 {
+		size = 5
+	}
+	capacity := 4.0 / float64(k) // flits/node/cycle under uniform traffic
+	return frac * capacity / float64(size)
+}
+
+// SaturationLoad estimates the saturation point from a swept curve: the
+// highest offered load whose run completed with mean latency below
+// latencyCap (the paper's plots clip at 140 cycles). It returns the last
+// load before the curve blows up, or 0 if the first point is already
+// saturated.
+func SaturationLoad(pts []LoadPoint, latencyCap float64) float64 {
+	sat := 0.0
+	for _, pt := range pts {
+		if pt.Result.Saturated || pt.Result.Latency.MeanLatency > latencyCap ||
+			pt.Result.Latency.Packets == 0 {
+			break
+		}
+		sat = pt.Load
+	}
+	return sat
+}

@@ -1,0 +1,158 @@
+// Package stats collects the simulator's measurements: packet latency
+// distributions, accepted throughput, and the buffer-turnaround probe
+// used to validate the credit-loop timing of Figure 16.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Latency accumulates per-packet latency samples (cycles).
+type Latency struct {
+	samples []int64
+	sum     int64
+	max     int64
+	sorted  bool
+}
+
+// Add records one sample.
+func (l *Latency) Add(cycles int64) {
+	l.samples = append(l.samples, cycles)
+	l.sum += cycles
+	if cycles > l.max {
+		l.max = cycles
+	}
+	l.sorted = false
+}
+
+// Count returns the number of samples.
+func (l *Latency) Count() int { return len(l.samples) }
+
+// Mean returns the average latency, or NaN with no samples.
+func (l *Latency) Mean() float64 {
+	if len(l.samples) == 0 {
+		return math.NaN()
+	}
+	return float64(l.sum) / float64(len(l.samples))
+}
+
+// Max returns the largest sample.
+func (l *Latency) Max() int64 { return l.max }
+
+// Percentile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank.
+func (l *Latency) Percentile(q float64) int64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+	idx := int(q*float64(len(l.samples)-1) + 0.5)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(l.samples) {
+		idx = len(l.samples) - 1
+	}
+	return l.samples[idx]
+}
+
+// Histogram buckets the samples for distribution reports.
+func (l *Latency) Histogram(bucketWidth int64) map[int64]int {
+	h := make(map[int64]int)
+	for _, s := range l.samples {
+		h[(s/bucketWidth)*bucketWidth]++
+	}
+	return h
+}
+
+// Throughput measures accepted traffic: flits ejected per node per cycle
+// over a measurement window.
+type Throughput struct {
+	flits  int64
+	nodes  int
+	start  int64
+	end    int64
+	opened bool
+}
+
+// NewThroughput returns a meter over the given number of nodes.
+func NewThroughput(nodes int) *Throughput { return &Throughput{nodes: nodes} }
+
+// Open starts the measurement window at the given cycle.
+func (t *Throughput) Open(cycle int64) { t.start, t.opened = cycle, true }
+
+// Eject records one ejected flit at the given cycle (counted only inside
+// the window).
+func (t *Throughput) Eject(cycle int64) {
+	if t.opened && cycle >= t.start {
+		t.flits++
+		if cycle > t.end {
+			t.end = cycle
+		}
+	}
+}
+
+// Close fixes the end of the window.
+func (t *Throughput) Close(cycle int64) {
+	if cycle > t.end {
+		t.end = cycle
+	}
+}
+
+// FlitsPerNodeCycle returns accepted throughput in flits/node/cycle.
+func (t *Throughput) FlitsPerNodeCycle() float64 {
+	cycles := t.end - t.start
+	if !t.opened || cycles <= 0 || t.nodes == 0 {
+		return 0
+	}
+	return float64(t.flits) / float64(cycles) / float64(t.nodes)
+}
+
+// Turnaround records buffer reuse intervals for one monitored buffer
+// slot: the cycles between a credit being freed (flit read out) and the
+// next flit occupying the same slot — the buffer turnaround time of
+// Figure 16.
+type Turnaround struct {
+	intervals []int64
+}
+
+// Record adds one observed turnaround interval.
+func (t *Turnaround) Record(cycles int64) { t.intervals = append(t.intervals, cycles) }
+
+// Min returns the smallest observed turnaround, or 0 with no samples.
+// The minimum is the architectural turnaround: larger samples include
+// queueing idle time on top of the credit loop.
+func (t *Turnaround) Min() int64 {
+	if len(t.intervals) == 0 {
+		return 0
+	}
+	m := t.intervals[0]
+	for _, v := range t.intervals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Count returns the number of recorded intervals.
+func (t *Turnaround) Count() int { return len(t.intervals) }
+
+// Summary is a compact, printable result view.
+type Summary struct {
+	MeanLatency float64
+	P50, P95    int64
+	MaxLatency  int64
+	Packets     int
+	Accepted    float64 // flits/node/cycle
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("packets=%d latency mean=%.1f p50=%d p95=%d max=%d accepted=%.4f flits/node/cycle",
+		s.Packets, s.MeanLatency, s.P50, s.P95, s.MaxLatency, s.Accepted)
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLatencyBasics(t *testing.T) {
+	var l Latency
+	if !math.IsNaN(l.Mean()) {
+		t.Error("empty mean should be NaN")
+	}
+	for _, v := range []int64{10, 20, 30} {
+		l.Add(v)
+	}
+	if l.Count() != 3 || l.Mean() != 20 || l.Max() != 30 {
+		t.Fatalf("count=%d mean=%v max=%d", l.Count(), l.Mean(), l.Max())
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	var l Latency
+	for i := int64(1); i <= 100; i++ {
+		l.Add(i)
+	}
+	if p := l.Percentile(0.5); p < 49 || p > 52 {
+		t.Errorf("p50 = %d", p)
+	}
+	if p := l.Percentile(0.95); p < 94 || p > 97 {
+		t.Errorf("p95 = %d", p)
+	}
+	if p := l.Percentile(0); p != 1 {
+		t.Errorf("p0 = %d, want 1", p)
+	}
+	if p := l.Percentile(1); p != 100 {
+		t.Errorf("p100 = %d, want 100", p)
+	}
+}
+
+func TestLatencyPercentileAfterAdd(t *testing.T) {
+	// Adding after a percentile query must re-sort.
+	var l Latency
+	l.Add(50)
+	_ = l.Percentile(0.5)
+	l.Add(1)
+	l.Add(100)
+	if p := l.Percentile(0); p != 1 {
+		t.Fatalf("p0 after re-add = %d, want 1", p)
+	}
+}
+
+func TestLatencyHistogram(t *testing.T) {
+	var l Latency
+	for _, v := range []int64{3, 7, 12, 13, 29} {
+		l.Add(v)
+	}
+	h := l.Histogram(10)
+	if h[0] != 2 || h[10] != 2 || h[20] != 1 {
+		t.Fatalf("histogram %v", h)
+	}
+}
+
+func TestThroughputWindow(t *testing.T) {
+	th := NewThroughput(64)
+	th.Eject(5) // before Open: ignored
+	th.Open(10)
+	for c := int64(10); c < 110; c++ {
+		th.Eject(c) // 1 flit/cycle network-wide
+	}
+	th.Close(110)
+	got := th.FlitsPerNodeCycle()
+	want := 100.0 / 100.0 / 64.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("throughput %v, want %v", got, want)
+	}
+}
+
+func TestThroughputEmpty(t *testing.T) {
+	th := NewThroughput(64)
+	if th.FlitsPerNodeCycle() != 0 {
+		t.Error("unopened meter must read 0")
+	}
+}
+
+func TestTurnaroundMin(t *testing.T) {
+	var tr Turnaround
+	if tr.Min() != 0 {
+		t.Error("empty turnaround min should be 0")
+	}
+	for _, v := range []int64{9, 4, 7, 4, 12} {
+		tr.Record(v)
+	}
+	if tr.Min() != 4 || tr.Count() != 5 {
+		t.Fatalf("min=%d count=%d", tr.Min(), tr.Count())
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{MeanLatency: 29.5, P50: 28, P95: 40, MaxLatency: 80, Packets: 1000, Accepted: 0.25}
+	out := s.String()
+	for _, want := range []string{"packets=1000", "mean=29.5", "accepted=0.2500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary %q missing %q", out, want)
+		}
+	}
+}

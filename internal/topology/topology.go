@@ -1,0 +1,178 @@
+// Package topology defines network topologies and deterministic routing
+// for the simulator. The paper evaluates an 8×8 mesh with
+// dimension-ordered (XY) routing — a R→p routing function, the most
+// general possible for deterministic routing (footnote 14). A torus with
+// dateline virtual-channel classes is provided as an extension.
+package topology
+
+import "fmt"
+
+// Router port indices. Port 0 is the local (injection/ejection) port;
+// the four mesh directions follow. A 2-D mesh router therefore has
+// p = 5 physical channels, the paper's primary configuration.
+const (
+	PortLocal = 0
+	PortEast  = 1 // +x
+	PortWest  = 2 // -x
+	PortNorth = 3 // +y
+	PortSouth = 4 // -y
+	NumPorts  = 5
+)
+
+// PortName returns a human-readable port label.
+func PortName(p int) string {
+	switch p {
+	case PortLocal:
+		return "local"
+	case PortEast:
+		return "east"
+	case PortWest:
+		return "west"
+	case PortNorth:
+		return "north"
+	case PortSouth:
+		return "south"
+	default:
+		return fmt.Sprintf("port%d", p)
+	}
+}
+
+// Opposite returns the port on the neighbouring router that a given
+// output port connects to (east connects to the neighbour's west input,
+// and so on).
+func Opposite(p int) int {
+	switch p {
+	case PortEast:
+		return PortWest
+	case PortWest:
+		return PortEast
+	case PortNorth:
+		return PortSouth
+	case PortSouth:
+		return PortNorth
+	default:
+		panic(fmt.Sprintf("topology: port %d has no opposite", p))
+	}
+}
+
+// Topology describes a network graph over k×k routers with local ports.
+type Topology interface {
+	// Nodes returns the number of routers.
+	Nodes() int
+	// Neighbor returns the router reached from node through output port
+	// port, or ok=false if the port faces an edge (mesh boundary).
+	Neighbor(node, port int) (next int, ok bool)
+	// Route returns the output port a packet at node cur should take
+	// toward dst (dimension-ordered). Route(cur, cur) is PortLocal.
+	Route(cur, dst int) int
+	// UniformCapacity returns the bisection-limited network capacity
+	// under uniform random traffic, in flits per node per cycle.
+	UniformCapacity() float64
+	// Name identifies the topology for reports.
+	Name() string
+}
+
+// Mesh is a k×k 2-D mesh.
+type Mesh struct{ K int }
+
+// NewMesh returns a k×k mesh topology.
+func NewMesh(k int) Mesh {
+	if k < 2 {
+		panic("topology: mesh needs k >= 2")
+	}
+	return Mesh{K: k}
+}
+
+// Name implements Topology.
+func (m Mesh) Name() string { return fmt.Sprintf("%dx%d mesh", m.K, m.K) }
+
+// Nodes implements Topology.
+func (m Mesh) Nodes() int { return m.K * m.K }
+
+// XY returns the coordinates of a node.
+func (m Mesh) XY(node int) (x, y int) { return node % m.K, node / m.K }
+
+// Node returns the node at coordinates (x, y).
+func (m Mesh) Node(x, y int) int { return y*m.K + x }
+
+// Neighbor implements Topology.
+func (m Mesh) Neighbor(node, port int) (int, bool) {
+	x, y := m.XY(node)
+	switch port {
+	case PortEast:
+		if x == m.K-1 {
+			return 0, false
+		}
+		return m.Node(x+1, y), true
+	case PortWest:
+		if x == 0 {
+			return 0, false
+		}
+		return m.Node(x-1, y), true
+	case PortNorth:
+		if y == m.K-1 {
+			return 0, false
+		}
+		return m.Node(x, y+1), true
+	case PortSouth:
+		if y == 0 {
+			return 0, false
+		}
+		return m.Node(x, y-1), true
+	default:
+		return 0, false
+	}
+}
+
+// Route implements dimension-ordered XY routing: correct x first, then
+// y, then eject. XY routing on a mesh is deadlock-free without virtual
+// channels, which is why the paper can compare wormhole routers (no VCs)
+// against VC routers on equal terms.
+func (m Mesh) Route(cur, dst int) int {
+	cx, cy := m.XY(cur)
+	dx, dy := m.XY(dst)
+	switch {
+	case dx > cx:
+		return PortEast
+	case dx < cx:
+		return PortWest
+	case dy > cy:
+		return PortNorth
+	case dy < cy:
+		return PortSouth
+	default:
+		return PortLocal
+	}
+}
+
+// Distance returns the hop count between two nodes.
+func (m Mesh) Distance(a, b int) int {
+	ax, ay := m.XY(a)
+	bx, by := m.XY(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+// AvgDistance returns the mean hop distance under uniform traffic with
+// self-addressed packets excluded: E[|Δx|+|Δy|] · N/(N−1), where
+// E[|Δ|] = (k²−1)/(3k) per dimension.
+func (m Mesh) AvgDistance() float64 {
+	k := float64(m.K)
+	n := k * k
+	perDim := (k*k - 1) / (3 * k)
+	return 2 * perDim * n / (n - 1)
+}
+
+// UniformCapacity returns the network capacity per node, in flits per
+// cycle, for uniform random traffic on a k×k mesh: the bisection of k
+// channels per direction carries half the traffic of half the nodes, so
+// λ·k²/4 ≤ k, i.e. capacity = 4/k flits/node/cycle (0.5 for the paper's
+// 8×8 mesh). Offered load in the experiments is expressed as a fraction
+// of this capacity.
+func (m Mesh) UniformCapacity() float64 { return 4 / float64(m.K) }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

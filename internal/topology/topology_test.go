@@ -1,0 +1,206 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshNeighborsReciprocal(t *testing.T) {
+	m := NewMesh(8)
+	for n := 0; n < m.Nodes(); n++ {
+		for port := PortEast; port <= PortSouth; port++ {
+			next, ok := m.Neighbor(n, port)
+			if !ok {
+				continue
+			}
+			back, ok2 := m.Neighbor(next, Opposite(port))
+			if !ok2 || back != n {
+				t.Fatalf("neighbor not reciprocal: %d --%s--> %d --%s--> %d",
+					n, PortName(port), next, PortName(Opposite(port)), back)
+			}
+		}
+	}
+}
+
+func TestMeshEdges(t *testing.T) {
+	m := NewMesh(4)
+	if _, ok := m.Neighbor(m.Node(3, 0), PortEast); ok {
+		t.Error("east edge should be open")
+	}
+	if _, ok := m.Neighbor(m.Node(0, 0), PortWest); ok {
+		t.Error("west edge should be open")
+	}
+	if _, ok := m.Neighbor(m.Node(0, 3), PortNorth); ok {
+		t.Error("north edge should be open")
+	}
+	if _, ok := m.Neighbor(m.Node(0, 0), PortSouth); ok {
+		t.Error("south edge should be open")
+	}
+}
+
+func TestXYRouteDeliversAndIsMinimal(t *testing.T) {
+	m := NewMesh(8)
+	for src := 0; src < m.Nodes(); src++ {
+		for dst := 0; dst < m.Nodes(); dst++ {
+			cur, hops := src, 0
+			for cur != dst {
+				port := m.Route(cur, dst)
+				if port == PortLocal {
+					t.Fatalf("premature ejection at %d routing to %d", cur, dst)
+				}
+				next, ok := m.Neighbor(cur, port)
+				if !ok {
+					t.Fatalf("route walked off the mesh at %d toward %d", cur, dst)
+				}
+				cur = next
+				hops++
+				if hops > 2*m.K {
+					t.Fatalf("livelock routing %d->%d", src, dst)
+				}
+			}
+			if hops != m.Distance(src, dst) {
+				t.Fatalf("%d->%d took %d hops, manhattan %d", src, dst, hops, m.Distance(src, dst))
+			}
+			if m.Route(dst, dst) != PortLocal {
+				t.Fatalf("Route(dst,dst) != local")
+			}
+		}
+	}
+}
+
+func TestXYRouteXFirst(t *testing.T) {
+	// Dimension order: x must be fully corrected before y moves.
+	m := NewMesh(8)
+	src, dst := m.Node(0, 0), m.Node(3, 5)
+	cur := src
+	for {
+		port := m.Route(cur, dst)
+		if port == PortLocal {
+			break
+		}
+		x, _ := m.XY(cur)
+		dx, _ := m.XY(dst)
+		if x != dx && (port == PortNorth || port == PortSouth) {
+			t.Fatalf("moved in y at %d before x corrected", cur)
+		}
+		cur, _ = m.Neighbor(cur, port)
+	}
+}
+
+func TestMeshAvgDistance(t *testing.T) {
+	// Exhaustively computed mean hop distance (self excluded) must match
+	// the closed form.
+	m := NewMesh(8)
+	var sum, n float64
+	for a := 0; a < m.Nodes(); a++ {
+		for b := 0; b < m.Nodes(); b++ {
+			if a == b {
+				continue
+			}
+			sum += float64(m.Distance(a, b))
+			n++
+		}
+	}
+	want := sum / n
+	if got := m.AvgDistance(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("AvgDistance = %v, exhaustive %v", got, want)
+	}
+	// The paper's 8×8 mesh: ≈5.33 hops.
+	if got := m.AvgDistance(); math.Abs(got-5.333) > 0.01 {
+		t.Errorf("8x8 mean distance %v, want ≈5.33", got)
+	}
+}
+
+func TestUniformCapacity(t *testing.T) {
+	if got := NewMesh(8).UniformCapacity(); got != 0.5 {
+		t.Fatalf("8x8 uniform capacity = %v, want 0.5 flits/node/cycle", got)
+	}
+	if got := NewMesh(4).UniformCapacity(); got != 1.0 {
+		t.Fatalf("4x4 uniform capacity = %v, want 1.0", got)
+	}
+}
+
+func TestTorusNeighborsAlwaysConnected(t *testing.T) {
+	tor := NewTorus(4)
+	for n := 0; n < tor.Nodes(); n++ {
+		for port := PortEast; port <= PortSouth; port++ {
+			next, ok := tor.Neighbor(n, port)
+			if !ok {
+				t.Fatalf("torus port %s of %d unconnected", PortName(port), n)
+			}
+			back, _ := tor.Neighbor(next, Opposite(port))
+			if back != n {
+				t.Fatalf("torus neighbor not reciprocal at %d", n)
+			}
+		}
+	}
+}
+
+func TestTorusRouteMinimal(t *testing.T) {
+	tor := NewTorus(5)
+	for src := 0; src < tor.Nodes(); src++ {
+		for dst := 0; dst < tor.Nodes(); dst++ {
+			cur, hops := src, 0
+			for cur != dst {
+				port := tor.Route(cur, dst)
+				next, ok := tor.Neighbor(cur, port)
+				if !ok || port == PortLocal {
+					t.Fatalf("bad torus route at %d toward %d", cur, dst)
+				}
+				cur = next
+				hops++
+				if hops > 2*tor.K {
+					t.Fatalf("torus livelock %d->%d", src, dst)
+				}
+			}
+			if hops != tor.Distance(src, dst) {
+				t.Fatalf("torus %d->%d: %d hops, minimal %d", src, dst, hops, tor.Distance(src, dst))
+			}
+		}
+	}
+}
+
+func TestTorusDateline(t *testing.T) {
+	tor := NewTorus(4)
+	if !tor.CrossesDateline(tor.Node(3, 0), PortEast) {
+		t.Error("east wrap from x=3 must cross dateline")
+	}
+	if tor.CrossesDateline(tor.Node(2, 0), PortEast) {
+		t.Error("interior east hop must not cross dateline")
+	}
+	if !tor.CrossesDateline(tor.Node(0, 0), PortWest) {
+		t.Error("west wrap from x=0 must cross dateline")
+	}
+}
+
+func TestVCClassMask(t *testing.T) {
+	if m := VCClassMask(4, false); m != 0b0011 {
+		t.Fatalf("class 0 mask %b", m)
+	}
+	if m := VCClassMask(4, true); m != 0b1100 {
+		t.Fatalf("class 1 mask %b", m)
+	}
+}
+
+func TestMeshNodeXYRoundTrip(t *testing.T) {
+	prop := func(kRaw, nRaw uint8) bool {
+		k := 2 + int(kRaw%14)
+		m := NewMesh(k)
+		n := int(nRaw) % m.Nodes()
+		x, y := m.XY(n)
+		return m.Node(x, y) == n && x >= 0 && x < k && y >= 0 && y < k
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOppositePanicsOnLocal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Opposite(local) must panic")
+		}
+	}()
+	Opposite(PortLocal)
+}

@@ -1,0 +1,160 @@
+package topology
+
+import "fmt"
+
+// Torus is a k×k 2-D torus with wraparound links — one of the "other
+// topologies" the paper names as future work. Dimension-ordered routing
+// on a torus requires virtual-channel classes to break the cyclic
+// channel dependency in each ring: packets start in VC class 0 and move
+// to class 1 after crossing the wraparound (dateline) link of the
+// dimension being traversed. VCClassMask exposes the legal classes so VC
+// and speculative-VC routers can restrict VC allocation candidates.
+type Torus struct{ K int }
+
+// NewTorus returns a k×k torus topology.
+func NewTorus(k int) Torus {
+	if k < 2 {
+		panic("topology: torus needs k >= 2")
+	}
+	return Torus{K: k}
+}
+
+// Name implements Topology.
+func (t Torus) Name() string { return fmt.Sprintf("%dx%d torus", t.K, t.K) }
+
+// Nodes implements Topology.
+func (t Torus) Nodes() int { return t.K * t.K }
+
+// XY returns the coordinates of a node.
+func (t Torus) XY(node int) (x, y int) { return node % t.K, node / t.K }
+
+// Node returns the node at coordinates (x, y).
+func (t Torus) Node(x, y int) int { return y*t.K + x }
+
+// Neighbor implements Topology; every directional port is connected.
+func (t Torus) Neighbor(node, port int) (int, bool) {
+	x, y := t.XY(node)
+	switch port {
+	case PortEast:
+		return t.Node((x+1)%t.K, y), true
+	case PortWest:
+		return t.Node((x-1+t.K)%t.K, y), true
+	case PortNorth:
+		return t.Node(x, (y+1)%t.K), true
+	case PortSouth:
+		return t.Node(x, (y-1+t.K)%t.K), true
+	default:
+		return 0, false
+	}
+}
+
+// Route implements minimal dimension-ordered routing with wraparound:
+// the shorter way around each ring, ties broken toward the positive
+// direction.
+func (t Torus) Route(cur, dst int) int {
+	cx, cy := t.XY(cur)
+	dx, dy := t.XY(dst)
+	if cx != dx {
+		if forward(cx, dx, t.K) {
+			return PortEast
+		}
+		return PortWest
+	}
+	if cy != dy {
+		if forward(cy, dy, t.K) {
+			return PortNorth
+		}
+		return PortSouth
+	}
+	return PortLocal
+}
+
+// forward reports whether the positive direction is (weakly) shorter.
+func forward(c, d, k int) bool {
+	fwd := (d - c + k) % k
+	return fwd <= k-fwd
+}
+
+// Distance returns the minimal hop count between two nodes.
+func (t Torus) Distance(a, b int) int {
+	ax, ay := t.XY(a)
+	bx, by := t.XY(b)
+	return ringDist(ax, bx, t.K) + ringDist(ay, by, t.K)
+}
+
+func ringDist(a, b, k int) int {
+	d := abs(a - b)
+	if k-d < d {
+		return k - d
+	}
+	return d
+}
+
+// UniformCapacity implements Topology: a torus has twice the mesh's
+// bisection (2k channels per direction), so λ·k²/4 ≤ 2k gives 8/k
+// flits/node/cycle.
+func (t Torus) UniformCapacity() float64 { return 8 / float64(t.K) }
+
+// VCMask returns the virtual channels (as a candidate bitmask over v
+// VCs) that a packet at node cur heading to dst may allocate on the hop
+// through port, under dateline deadlock avoidance: the hop's channel is
+// class 0 while the remaining route in the current dimension still has
+// the wraparound link ahead, and class 1 from the crossing hop onward
+// (including routes that never wrap). Each class owns half the VCs.
+// v must be even and ≥ 2.
+func (t Torus) VCMask(cur, dst, port, v int) uint64 {
+	if port == PortLocal {
+		return (uint64(1) << v) - 1 // ejection: any VC
+	}
+	cx, cy := t.XY(cur)
+	dx, dy := t.XY(dst)
+	var wrapAhead bool
+	switch port {
+	case PortEast:
+		next := (cx + 1) % t.K
+		wrapAhead = cx+1 < t.K && dx < next
+	case PortWest:
+		next := (cx - 1 + t.K) % t.K
+		wrapAhead = cx-1 >= 0 && dx > next
+	case PortNorth:
+		next := (cy + 1) % t.K
+		wrapAhead = cy+1 < t.K && dy < next
+	case PortSouth:
+		next := (cy - 1 + t.K) % t.K
+		wrapAhead = cy-1 >= 0 && dy > next
+	}
+	return VCClassMask(v, !wrapAhead)
+}
+
+// CrossesDateline reports whether the hop from node through port crosses
+// the wraparound link of its dimension (the dateline is between
+// coordinate k−1 and 0).
+func (t Torus) CrossesDateline(node, port int) bool {
+	x, y := t.XY(node)
+	switch port {
+	case PortEast:
+		return x == t.K-1
+	case PortWest:
+		return x == 0
+	case PortNorth:
+		return y == t.K-1
+	case PortSouth:
+		return y == 0
+	default:
+		return false
+	}
+}
+
+// VCClassMask returns the bitmask of virtual channels a packet may
+// request on its next hop, given v VCs per port split into two dateline
+// classes (low half = class 0, high half = class 1). crossed reports
+// whether the packet has already crossed the dateline in the dimension
+// it is currently traversing. v must be even and ≥ 2 for a torus.
+func VCClassMask(v int, crossed bool) uint64 {
+	half := v / 2
+	low := (uint64(1) << half) - 1
+	if crossed {
+		return low << half
+	}
+	return low
+}

@@ -1,0 +1,154 @@
+// Package traffic generates the workloads of the paper's evaluation:
+// uniformly distributed traffic to random destinations injected by
+// constant-rate sources (Section 5), plus the standard synthetic
+// patterns (transpose, bit-complement, bit-reversal, hotspot) as
+// extensions for sensitivity studies.
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"routersim/internal/rng"
+)
+
+// Pattern chooses a destination for each generated packet.
+type Pattern interface {
+	// Dest returns the destination node for a packet created at src in
+	// a network of n nodes. Implementations must return a value in
+	// [0, n) different from src when possible.
+	Dest(src, n int, r *rng.RNG) int
+	// Name identifies the pattern in reports.
+	Name() string
+}
+
+// Uniform sends each packet to a destination drawn uniformly from all
+// other nodes — the paper's workload, chosen because flow control is
+// relatively invariant to traffic pattern (footnote 13).
+type Uniform struct{}
+
+// Name implements Pattern.
+func (Uniform) Name() string { return "uniform" }
+
+// Dest implements Pattern.
+func (Uniform) Dest(src, n int, r *rng.RNG) int {
+	if n < 2 {
+		return src
+	}
+	d := r.Intn(n - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Transpose sends node (x, y) to node (y, x) on a k×k network.
+type Transpose struct{ K int }
+
+// Name implements Pattern.
+func (t Transpose) Name() string { return "transpose" }
+
+// Dest implements Pattern.
+func (t Transpose) Dest(src, n int, r *rng.RNG) int {
+	x, y := src%t.K, src/t.K
+	return x*t.K + y
+}
+
+// BitComplement sends node i to node (n-1)-i.
+type BitComplement struct{}
+
+// Name implements Pattern.
+func (BitComplement) Name() string { return "bit-complement" }
+
+// Dest implements Pattern.
+func (BitComplement) Dest(src, n int, r *rng.RNG) int { return n - 1 - src }
+
+// BitReversal sends node i to the bit-reversal of i (n must be a power
+// of two).
+type BitReversal struct{}
+
+// Name implements Pattern.
+func (BitReversal) Name() string { return "bit-reversal" }
+
+// Dest implements Pattern.
+func (BitReversal) Dest(src, n int, r *rng.RNG) int {
+	width := bits.Len(uint(n)) - 1
+	return int(bits.Reverse(uint(src)) >> (bits.UintSize - width))
+}
+
+// Hotspot sends a fraction of traffic to one hot node and the rest
+// uniformly.
+type Hotspot struct {
+	Node int
+	// Frac is the probability a packet targets Node.
+	Frac float64
+}
+
+// Name implements Pattern.
+func (h Hotspot) Name() string { return fmt.Sprintf("hotspot(%d,%.2f)", h.Node, h.Frac) }
+
+// Dest implements Pattern.
+func (h Hotspot) Dest(src, n int, r *rng.RNG) int {
+	if src != h.Node && r.Float64() < h.Frac {
+		return h.Node
+	}
+	return Uniform{}.Dest(src, n, r)
+}
+
+// Injector decides how many packets a source creates each cycle.
+type Injector interface {
+	// Tick advances one cycle and returns the number of packets to
+	// create (0 or 1 for the paper's processes).
+	Tick() int
+}
+
+// ConstantRate is the paper's "constant rate source": a deterministic
+// token-accumulator process generating a packet every 1/rate cycles. A
+// random initial phase decorrelates the sources so all nodes do not
+// inject on the same cycle.
+type ConstantRate struct {
+	rate float64
+	acc  float64
+}
+
+// NewConstantRate returns a constant-rate injector at rate packets per
+// cycle with initial phase in [0, 1) (fraction of the interarrival
+// interval already elapsed).
+func NewConstantRate(rate, phase float64) *ConstantRate {
+	if rate < 0 {
+		panic("traffic: negative injection rate")
+	}
+	if phase < 0 || phase >= 1 {
+		phase = 0
+	}
+	return &ConstantRate{rate: rate, acc: phase}
+}
+
+// Tick implements Injector.
+func (c *ConstantRate) Tick() int {
+	c.acc += c.rate
+	if c.acc >= 1 {
+		c.acc--
+		return 1
+	}
+	return 0
+}
+
+// Bernoulli injects a packet each cycle with independent probability p.
+type Bernoulli struct {
+	p float64
+	r *rng.RNG
+}
+
+// NewBernoulli returns a Bernoulli injection process.
+func NewBernoulli(p float64, r *rng.RNG) *Bernoulli {
+	return &Bernoulli{p: p, r: r}
+}
+
+// Tick implements Injector.
+func (b *Bernoulli) Tick() int {
+	if b.r.Float64() < b.p {
+		return 1
+	}
+	return 0
+}

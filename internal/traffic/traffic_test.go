@@ -1,0 +1,163 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"routersim/internal/rng"
+)
+
+func TestUniformExcludesSelfAndCoversAll(t *testing.T) {
+	r := rng.New(3)
+	u := Uniform{}
+	const n = 16
+	counts := make([]int, n)
+	const draws = 64000
+	for i := 0; i < draws; i++ {
+		d := u.Dest(5, n, r)
+		if d == 5 {
+			t.Fatal("uniform pattern returned self")
+		}
+		if d < 0 || d >= n {
+			t.Fatalf("destination %d out of range", d)
+		}
+		counts[d]++
+	}
+	want := draws / (n - 1)
+	for d, c := range counts {
+		if d == 5 {
+			continue
+		}
+		if math.Abs(float64(c-want)) > 0.15*float64(want) {
+			t.Errorf("destination %d drawn %d times, want ≈%d", d, c, want)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	p := Transpose{K: 8}
+	// node (x,y)=(3,5) = 5*8+3 = 43 -> (5,3) = 3*8+5 = 29
+	if d := p.Dest(43, 64, nil); d != 29 {
+		t.Fatalf("transpose(43) = %d, want 29", d)
+	}
+}
+
+func TestBitComplement(t *testing.T) {
+	if d := (BitComplement{}).Dest(0, 64, nil); d != 63 {
+		t.Fatalf("bit-complement(0) = %d, want 63", d)
+	}
+	if d := (BitComplement{}).Dest(63, 64, nil); d != 0 {
+		t.Fatalf("bit-complement(63) = %d, want 0", d)
+	}
+}
+
+func TestBitReversal(t *testing.T) {
+	// 64 nodes = 6 bits: 0b000001 -> 0b100000 = 32.
+	if d := (BitReversal{}).Dest(1, 64, nil); d != 32 {
+		t.Fatalf("bit-reversal(1) = %d, want 32", d)
+	}
+	if d := (BitReversal{}).Dest(0, 64, nil); d != 0 {
+		t.Fatalf("bit-reversal(0) = %d, want 0", d)
+	}
+}
+
+func TestHotspotFraction(t *testing.T) {
+	r := rng.New(4)
+	h := Hotspot{Node: 7, Frac: 0.3}
+	hot := 0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		if h.Dest(2, 64, r) == 7 {
+			hot++
+		}
+	}
+	frac := float64(hot) / draws
+	// Hot traffic = 0.3 plus the uniform share that happens to hit 7.
+	wantMin, wantMax := 0.3, 0.32
+	if frac < wantMin || frac > wantMax {
+		t.Errorf("hotspot fraction %v, want in [%v,%v]", frac, wantMin, wantMax)
+	}
+}
+
+func TestConstantRateExactness(t *testing.T) {
+	// Over many cycles, a constant-rate source must emit exactly
+	// floor(rate · cycles) ± 1 packets, deterministically.
+	for _, rate := range []float64{0.01, 0.05, 0.125, 0.33, 0.5, 1.0} {
+		inj := NewConstantRate(rate, 0)
+		const cycles = 10000
+		total := 0
+		for i := 0; i < cycles; i++ {
+			n := inj.Tick()
+			if n < 0 || n > 1 {
+				t.Fatalf("rate %v: Tick returned %d", rate, n)
+			}
+			total += n
+		}
+		want := rate * cycles
+		if math.Abs(float64(total)-want) > 1.0 {
+			t.Errorf("rate %v: %d packets over %d cycles, want ≈%.0f", rate, total, cycles, want)
+		}
+	}
+}
+
+func TestConstantRateSpacing(t *testing.T) {
+	// At rate 0.25 the interarrival time must be exactly 4 cycles.
+	inj := NewConstantRate(0.25, 0)
+	var gaps []int
+	last := -1
+	for c := 0; c < 100; c++ {
+		if inj.Tick() == 1 {
+			if last >= 0 {
+				gaps = append(gaps, c-last)
+			}
+			last = c
+		}
+	}
+	for _, g := range gaps {
+		if g != 4 {
+			t.Fatalf("interarrival gaps %v, want all 4", gaps)
+		}
+	}
+}
+
+func TestConstantRatePhaseShifts(t *testing.T) {
+	a := NewConstantRate(0.2, 0)
+	b := NewConstantRate(0.2, 0.99)
+	// Different phases must emit on different cycles (decorrelation).
+	firstA, firstB := -1, -1
+	for c := 0; c < 20; c++ {
+		if firstA < 0 && a.Tick() == 1 {
+			firstA = c
+		}
+		if firstB < 0 && b.Tick() == 1 {
+			firstB = c
+		}
+	}
+	if firstA == firstB {
+		t.Errorf("phases did not shift first emission (both at %d)", firstA)
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	inj := NewBernoulli(0.3, rng.New(5))
+	total := 0
+	const cycles = 100000
+	for i := 0; i < cycles; i++ {
+		total += inj.Tick()
+	}
+	if got := float64(total) / cycles; math.Abs(got-0.3) > 0.01 {
+		t.Errorf("bernoulli rate %v, want ≈0.3", got)
+	}
+}
+
+func TestPatternNames(t *testing.T) {
+	pats := []Pattern{Uniform{}, Transpose{K: 8}, BitComplement{}, BitReversal{}, Hotspot{Node: 1, Frac: 0.1}}
+	seen := map[string]bool{}
+	for _, p := range pats {
+		name := p.Name()
+		if name == "" || seen[name] {
+			t.Errorf("bad or duplicate pattern name %q", name)
+		}
+		seen[name] = true
+	}
+}

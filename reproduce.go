@@ -1,0 +1,65 @@
+package routersim
+
+import (
+	"fmt"
+	"io"
+
+	"routersim/internal/experiments"
+)
+
+// Protocol selects the measurement scale when reproducing the paper's
+// figures.
+type Protocol = experiments.Protocol
+
+// PaperProtocol is the paper's full protocol: 10,000 warm-up cycles and
+// 100,000 tagged packets per load point.
+func PaperProtocol() Protocol { return experiments.PaperProtocol() }
+
+// QuickProtocol is a scaled-down protocol with the same curve shapes,
+// suitable for tests and benchmarks.
+func QuickProtocol() Protocol { return experiments.QuickProtocol() }
+
+// FigureResult is one regenerated figure of the paper.
+type FigureResult = experiments.FigureResult
+
+// Reproduce regenerates a simulated figure of the paper by id:
+// "figure13", "figure14", "figure15", "figure17", or "figure18".
+// (Table 1 and Figures 11, 12 are analytic; see Table1 and
+// DesignPipeline. Figure 16's turnaround measurement is available via
+// Turnarounds.)
+func Reproduce(id string, pr Protocol) (FigureResult, error) {
+	switch id {
+	case "figure13":
+		return experiments.Figure13(pr)
+	case "figure14":
+		return experiments.Figure14(pr)
+	case "figure15":
+		return experiments.Figure15(pr)
+	case "figure17":
+		return experiments.Figure17(pr)
+	case "figure18":
+		return experiments.Figure18(pr)
+	default:
+		return FigureResult{}, fmt.Errorf("routersim: unknown figure %q (want figure13/14/15/17/18)", id)
+	}
+}
+
+// Turnarounds measures the buffer-turnaround time of each router kind
+// under congestion (Figure 16 / Section 5.2). Expected: wormhole 4,
+// vc 5, specvc 4, single-cycle 2 cycles.
+func Turnarounds(pr Protocol) (map[string]int64, error) {
+	return experiments.Figure16Turnaround(pr)
+}
+
+// WriteFigure renders a figure as a text table plus an ASCII plot.
+func WriteFigure(w io.Writer, fig FigureResult) error {
+	if err := experiments.WriteTable(w, fig); err != nil {
+		return err
+	}
+	return experiments.PlotASCII(w, fig)
+}
+
+// WriteFigureCSV renders a figure's series as CSV.
+func WriteFigureCSV(w io.Writer, fig FigureResult) error {
+	return experiments.WriteCSV(w, fig)
+}

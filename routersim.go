@@ -1,0 +1,230 @@
+// Package routersim is a complete Go implementation of Peh and Dally's
+// "A Delay Model and Speculative Architecture for Pipelined Routers"
+// (HPCA 2001): the technology-independent router delay model, the EQ-1
+// pipeline design methodology, the speculative virtual-channel router
+// microarchitecture, and the cycle-accurate flit-level mesh simulator
+// used by the paper's evaluation.
+//
+// The package is a facade over the implementation packages:
+//
+//   - The delay model (Table 1 equations, pipeline packing, Figures
+//     11–12) — see DesignPipeline and Table1.
+//   - The network simulator (wormhole / VC / speculative-VC / unit-
+//     latency routers on a k×k mesh with credit flow control) — see
+//     Simulate and Sweep.
+//   - The paper's experiments (Figures 13–18) — see Reproduce.
+//
+// Quick start:
+//
+//	pipe, _ := routersim.DesignPipeline(routersim.SpeculativeVCFlow, routersim.PaperDelayParams())
+//	fmt.Print(pipe)                      // 3-stage speculative pipeline
+//
+//	cfg := routersim.DefaultSimConfig(routersim.SpecVCRouter)
+//	cfg.LoadFraction = 0.4               // 40% of network capacity
+//	res, _ := routersim.Simulate(cfg)
+//	fmt.Println(res.Latency.MeanLatency) // ≈ 35 cycles
+package routersim
+
+import (
+	"fmt"
+
+	"routersim/internal/core"
+	"routersim/internal/network"
+	"routersim/internal/router"
+	"routersim/internal/sim"
+	"routersim/internal/traffic"
+)
+
+// ---------------------------------------------------------------------
+// Delay model
+// ---------------------------------------------------------------------
+
+// FlowControl selects the flow-control method for the delay model.
+type FlowControl = core.FlowControl
+
+// Flow-control methods understood by the delay model.
+const (
+	WormholeFlow       = core.Wormhole
+	VirtualChannelFlow = core.VirtualChannel
+	SpeculativeVCFlow  = core.SpeculativeVC
+)
+
+// RoutingRange is the range of the routing function (R→v, R→p, R→pv),
+// which sets the virtual-channel allocator's complexity.
+type RoutingRange = core.RoutingRange
+
+// Routing-function ranges (Figure 8 of the paper).
+const (
+	RangeVC  = core.RangeVC
+	RangePC  = core.RangePC
+	RangeAll = core.RangeAll
+)
+
+// DelayParams are the delay-model parameters: physical channels P,
+// virtual channels per channel V, channel width W (bits), clock cycle in
+// τ4 units, and the routing range.
+type DelayParams = core.Params
+
+// PaperDelayParams returns the evaluation point of the paper's Table 1:
+// p=5, w=32, v=2, clk=20 τ4, R→pv.
+func PaperDelayParams() DelayParams { return core.PaperParams() }
+
+// Pipeline is a pipeline design prescribed by the model (EQ 1).
+type Pipeline = core.Pipeline
+
+// DesignPipeline applies the general router model: it packs the atomic
+// modules of the chosen flow control into pipeline stages that fit the
+// clock cycle, returning the per-hop router pipeline.
+func DesignPipeline(fc FlowControl, p DelayParams) (Pipeline, error) {
+	return core.DesignPipeline(fc, p, core.DefaultSpecOptions())
+}
+
+// Table1Row is one row of the paper's Table 1 with our computed value
+// and the paper's reference values.
+type Table1Row = core.Table1Row
+
+// Table1 evaluates every delay equation at the paper's parameter point.
+func Table1() []Table1Row { return core.Table1() }
+
+// ---------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------
+
+// RouterKind selects the simulated router microarchitecture.
+type RouterKind = router.Kind
+
+// Simulated router microarchitectures.
+const (
+	WormholeRouter      = router.Wormhole
+	VCRouter            = router.VirtualChannel
+	SpecVCRouter        = router.SpeculativeVC
+	SingleCycleWormhole = router.SingleCycleWormhole
+	SingleCycleVC       = router.SingleCycleVC
+)
+
+// TrafficPattern chooses packet destinations.
+type TrafficPattern = traffic.Pattern
+
+// UniformTraffic is the paper's workload: uniformly distributed random
+// destinations.
+func UniformTraffic() TrafficPattern { return traffic.Uniform{} }
+
+// SimConfig parameterizes one network simulation.
+type SimConfig struct {
+	// Router microarchitecture and resources.
+	Kind     RouterKind
+	VCs      int // virtual channels per physical channel
+	BufPerVC int // flit buffers per VC (per port for wormhole)
+
+	// Network parameters.
+	MeshRadix    int     // k of the k×k mesh (paper: 8)
+	PacketSize   int     // flits per packet (paper: 5)
+	CreditDelay  int     // credit propagation delay in cycles (paper: 1)
+	LoadFraction float64 // offered load as a fraction of capacity
+
+	// Traffic (nil = uniform random, the paper's workload).
+	Pattern TrafficPattern
+
+	// Measurement protocol.
+	WarmupCycles   int64 // paper: 10,000
+	MeasurePackets int   // paper: 100,000
+	Seed           uint64
+}
+
+// DefaultSimConfig returns the paper's configuration for a router kind
+// (Figure 13 buffering: 8 flit buffers per input port).
+func DefaultSimConfig(kind RouterKind) SimConfig {
+	rc := router.DefaultConfig(kind)
+	return SimConfig{
+		Kind:           kind,
+		VCs:            rc.VCs,
+		BufPerVC:       rc.BufPerVC,
+		MeshRadix:      8,
+		PacketSize:     5,
+		CreditDelay:    1,
+		LoadFraction:   0.2,
+		WarmupCycles:   10000,
+		MeasurePackets: 100000,
+		Seed:           1,
+	}
+}
+
+// SimResult is the outcome of one simulation run.
+type SimResult = sim.Result
+
+// LoadPoint is one point of a latency-throughput curve.
+type LoadPoint = sim.LoadPoint
+
+func (c SimConfig) lower() (sim.Config, error) {
+	rc := router.DefaultConfig(c.Kind)
+	if c.VCs > 0 {
+		rc.VCs = c.VCs
+	}
+	if c.BufPerVC > 0 {
+		rc.BufPerVC = c.BufPerVC
+	}
+	k := c.MeshRadix
+	if k == 0 {
+		k = 8
+	}
+	size := c.PacketSize
+	if size == 0 {
+		size = 5
+	}
+	if c.LoadFraction < 0 {
+		return sim.Config{}, fmt.Errorf("routersim: negative load fraction")
+	}
+	capacity := 4.0 / float64(k)
+	return sim.Config{
+		Net: network.Config{
+			K:             k,
+			Router:        rc,
+			PacketSize:    size,
+			InjectionRate: c.LoadFraction * capacity / float64(size),
+			Pattern:       c.Pattern,
+			CreditDelay:   c.CreditDelay,
+			Seed:          c.Seed,
+		},
+		WarmupCycles:   c.WarmupCycles,
+		MeasurePackets: c.MeasurePackets,
+	}, nil
+}
+
+// Simulate runs one simulation with the paper's measurement protocol:
+// warm-up, a tagged packet sample, and a drain phase; latency is
+// measured from packet creation to last-flit ejection.
+func Simulate(c SimConfig) (SimResult, error) {
+	low, err := c.lower()
+	if err != nil {
+		return SimResult{}, err
+	}
+	return sim.Run(low)
+}
+
+// SimulateWithTurnaroundProbe runs Simulate with buffer-turnaround
+// probes installed on every router; the result's MinTurnaround reports
+// the architectural credit-loop length (Figure 16): 4 cycles for
+// wormhole and speculative VC routers, 5 for the non-speculative VC
+// router, 2 for single-cycle routers.
+func SimulateWithTurnaroundProbe(c SimConfig) (SimResult, error) {
+	low, err := c.lower()
+	if err != nil {
+		return SimResult{}, err
+	}
+	low.Probe = true
+	return sim.Run(low)
+}
+
+// Sweep runs one simulation per offered load (fractions of capacity) in
+// parallel, producing a latency-throughput curve.
+func Sweep(c SimConfig, loads []float64) ([]LoadPoint, error) {
+	low, err := c.lower()
+	if err != nil {
+		return nil, err
+	}
+	return sim.SweepLoads(low, loads)
+}
+
+// SaturationLoad estimates the saturation point of a swept curve using
+// the paper's 140-cycle plot clip.
+func SaturationLoad(pts []LoadPoint) float64 { return sim.SaturationLoad(pts, 140) }
