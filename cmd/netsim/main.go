@@ -1,12 +1,14 @@
 // Command netsim runs one network simulation at a chosen load and
-// prints the latency/throughput summary — the building block of the
-// paper's latency-throughput curves.
+// prints the latency/throughput summary — a single-scenario run of the
+// experiment harness.
 //
 // Usage:
 //
-//	netsim -router specvc -vcs 2 -buf 4 -load 0.4
+//	netsim -router spec-vc -vcs 2 -buf 4 -load 0.4
 //	netsim -router wormhole -buf 8 -load 0.45 -packets 100000
-//	netsim -router specvc -probe-turnaround -load 0.9
+//	netsim -router spec-vc -pattern transpose -topo torus -load 0.3
+//	netsim -router spec-vc -probe-turnaround -load 0.9
+//	netsim -router vc -load 0.4 -json
 package main
 
 import (
@@ -17,79 +19,123 @@ import (
 	"routersim"
 )
 
-func kindFromString(s string) (routersim.RouterKind, bool) {
-	switch s {
-	case "wormhole":
-		return routersim.WormholeRouter, true
-	case "vc":
-		return routersim.VCRouter, true
-	case "specvc":
-		return routersim.SpecVCRouter, true
-	case "wormhole-1cycle":
-		return routersim.SingleCycleWormhole, true
-	case "vc-1cycle":
-		return routersim.SingleCycleVC, true
-	default:
-		return 0, false
-	}
-}
-
 func main() {
-	kindStr := flag.String("router", "specvc", "router: wormhole, vc, specvc, wormhole-1cycle, vc-1cycle")
+	kindStr := flag.String("router", "spec-vc", "router: wormhole, vc, spec-vc, wormhole-1cycle, vc-1cycle")
 	vcs := flag.Int("vcs", 0, "virtual channels per port (default: paper config)")
 	buf := flag.Int("buf", 0, "flit buffers per VC (default: paper config)")
 	load := flag.Float64("load", 0.4, "offered load as a fraction of capacity")
-	k := flag.Int("k", 8, "mesh radix")
+	k := flag.Int("k", 8, "network radix")
+	topo := flag.String("topo", "mesh", "topology: mesh or torus")
+	pattern := flag.String("pattern", "uniform", "traffic pattern: uniform, transpose, bit-reversal, bit-complement, hotspot[:NODE:FRAC]")
 	pkt := flag.Int("packetsize", 5, "flits per packet")
 	creditDelay := flag.Int("credit-delay", 1, "credit propagation delay (cycles)")
 	warmup := flag.Int64("warmup", 10000, "warm-up cycles")
 	packets := flag.Int("packets", 20000, "tagged sample size")
 	seed := flag.Uint64("seed", 1, "random seed")
 	probe := flag.Bool("probe-turnaround", false, "measure the buffer turnaround time (Figure 16)")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
 	flag.Parse()
 
-	kind, ok := kindFromString(*kindStr)
+	kind, ok := routersim.ParseRouterKind(*kindStr)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown router %q\n", *kindStr)
 		os.Exit(2)
 	}
-	cfg := routersim.DefaultSimConfig(kind)
-	if *vcs > 0 {
-		cfg.VCs = *vcs
+	// Resolve the paper defaults up front so the printed/serialized
+	// configuration is the one that actually runs.
+	defaults := routersim.DefaultSimConfig(kind)
+	if *vcs == 0 {
+		*vcs = defaults.VCs
 	}
-	if *buf > 0 {
-		cfg.BufPerVC = *buf
+	if *buf == 0 {
+		*buf = defaults.BufPerVC
 	}
-	cfg.MeshRadix = *k
-	cfg.PacketSize = *pkt
-	cfg.CreditDelay = *creditDelay
-	cfg.LoadFraction = *load
-	cfg.WarmupCycles = *warmup
-	cfg.MeasurePackets = *packets
-	cfg.Seed = *seed
+	if *vcs > 1 && !kind.UsesVCs() {
+		fmt.Fprintf(os.Stderr, "%s routers have exactly 1 VC, got -vcs %d\n", *kindStr, *vcs)
+		os.Exit(2)
+	}
 
-	var (
-		res routersim.SimResult
-		err error
-	)
 	if *probe {
-		res, err = routersim.SimulateWithTurnaroundProbe(cfg)
-	} else {
-		res, err = routersim.Simulate(cfg)
+		// The turnaround probe goes through the facade's probe path,
+		// which supports neither alternate topologies/patterns nor JSON
+		// output; reject rather than silently ignore those flags.
+		if *topo != "mesh" || *pattern != "uniform" || *jsonOut {
+			fmt.Fprintln(os.Stderr, "-probe-turnaround supports only -topo mesh, -pattern uniform, and text output")
+			os.Exit(2)
+		}
+		runProbe(*kindStr, *vcs, *buf, *k, *pkt, *creditDelay, *load, *warmup, *packets, *seed)
+		return
 	}
+
+	sc := routersim.Scenario{
+		Router:      *kindStr,
+		Topology:    *topo,
+		K:           *k,
+		Pattern:     *pattern,
+		VCs:         *vcs,
+		BufPerVC:    *buf,
+		PacketSize:  *pkt,
+		CreditDelay: *creditDelay,
+		Load:        *load,
+	}
+	r, err := routersim.RunScenario(sc, routersim.MatrixOptions{
+		Seed:     *seed,
+		Protocol: routersim.MatrixProtocol{Warmup: *warmup, Packets: *packets},
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if r.Error != "" {
+		fmt.Fprintln(os.Stderr, r.Error)
+		os.Exit(1)
+	}
 
-	fmt.Printf("router=%s vcs=%d buf=%d mesh=%dx%d load=%.2f seed=%d\n",
-		*kindStr, cfg.VCs, cfg.BufPerVC, *k, *k, *load, *seed)
+	if *jsonOut {
+		if err := routersim.WriteMatrixJSON(os.Stdout, []routersim.MatrixResult{r}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	res := *r.Result
+	// Report the engine's canonicalized scenario and the derived job
+	// seed: the configuration and RNG stream that actually ran.
+	sc = r.Scenario
+	fmt.Printf("router=%s topo=%s%d pattern=%s vcs=%d buf=%d load=%.2f seed=%d (job seed %d)\n",
+		sc.Router, sc.Topology, sc.K, sc.Pattern, sc.VCs, sc.BufPerVC, sc.Load, *seed, r.Seed)
 	fmt.Printf("  offered   %.3f of capacity\n", res.OfferedLoad)
 	fmt.Printf("  accepted  %.3f of capacity\n", res.AcceptedLoad)
 	fmt.Printf("  latency   mean=%.1f p50=%d p95=%d max=%d cycles (%d packets)\n",
 		res.Latency.MeanLatency, res.Latency.P50, res.Latency.P95, res.Latency.MaxLatency, res.Latency.Packets)
 	fmt.Printf("  cycles    %d (saturated=%t)\n", res.Cycles, res.Saturated)
-	if *probe {
-		fmt.Printf("  buffer turnaround (min) %d cycles\n", res.MinTurnaround)
+}
+
+// runProbe measures the buffer-turnaround time (the credit-loop length
+// of Figure 16), which needs the probe path of the facade rather than a
+// plain harness job.
+func runProbe(kindStr string, vcs, buf, k, pkt, creditDelay int, load float64, warmup int64, packets int, seed uint64) {
+	kind, _ := routersim.ParseRouterKind(kindStr)
+	cfg := routersim.DefaultSimConfig(kind)
+	if vcs > 0 {
+		cfg.VCs = vcs
 	}
+	if buf > 0 {
+		cfg.BufPerVC = buf
+	}
+	cfg.MeshRadix = k
+	cfg.PacketSize = pkt
+	cfg.CreditDelay = creditDelay
+	cfg.LoadFraction = load
+	cfg.WarmupCycles = warmup
+	cfg.MeasurePackets = packets
+	cfg.Seed = seed
+
+	res, err := routersim.SimulateWithTurnaroundProbe(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("router=%s vcs=%d buf=%d load=%.2f seed=%d\n", kindStr, cfg.VCs, cfg.BufPerVC, load, seed)
+	fmt.Printf("  buffer turnaround (min) %d cycles\n", res.MinTurnaround)
 }

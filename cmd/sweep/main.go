@@ -1,9 +1,16 @@
-// Command sweep regenerates the simulated figures of the paper's
-// evaluation (Figures 13, 14, 15, 17, 18): for each curve it sweeps the
-// offered load and prints the latency-throughput series as a table, an
-// ASCII plot, and optionally CSV.
+// Command sweep runs experiment matrices over the simulator and
+// regenerates the simulated figures of the paper's evaluation.
 //
-// Usage:
+// Matrix mode expands the cross product of the axis flags into jobs and
+// runs them on a bounded worker pool with per-job derived seeds; the
+// same -seed yields byte-identical -json/-csv payloads regardless of
+// -workers or GOMAXPROCS:
+//
+//	sweep -routers wormhole,vc,spec-vc -loads 0.1:0.9:0.1 -json -
+//	sweep -patterns uniform,transpose,bit-complement -k 8 -csv out.csv
+//	sweep -topos torus -routers spec-vc -vcs 2,4 -loads 0.2,0.4 -json -
+//
+// Figure mode reproduces the paper's simulated figures:
 //
 //	sweep -figure 13              # quick protocol (scaled sample)
 //	sweep -figure 14 -full        # the paper's exact protocol
@@ -15,61 +22,257 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"routersim"
 )
 
 func main() {
+	// Figure mode.
 	figure := flag.String("figure", "", "figure to regenerate: 13, 14, 15, 17, or 18")
 	all := flag.Bool("all", false, "regenerate every simulated figure")
 	full := flag.Bool("full", false, "use the paper's full protocol (10k warmup, 100k packets)")
-	csvPath := flag.String("csv", "", "also write the series as CSV to this file")
-	seed := flag.Uint64("seed", 1, "random seed")
+
+	// Matrix axes.
+	routers := flag.String("routers", "spec-vc", "comma-separated router kinds: wormhole, vc, spec-vc, wormhole-1cycle, vc-1cycle")
+	topos := flag.String("topos", "mesh", "comma-separated topologies: mesh, torus")
+	ks := flag.String("k", "8", "comma-separated network radices (k of the k×k network)")
+	patterns := flag.String("patterns", "uniform", "comma-separated traffic patterns: uniform, transpose, bit-reversal, bit-complement, hotspot[:NODE:FRAC]")
+	vcs := flag.String("vcs", "2", "comma-separated VC counts per port")
+	bufs := flag.String("bufs", "4", "comma-separated flit buffers per VC")
+	pktSizes := flag.String("packetsize", "5", "comma-separated packet sizes (flits)")
+	creditDelays := flag.String("credit-delays", "1", "comma-separated credit propagation delays (cycles)")
+	loads := flag.String("loads", "0.2", "loads as fractions of capacity: comma list or lo:hi:step range")
+
+	// Protocol and execution.
+	warmup := flag.Int64("warmup", 2000, "warm-up cycles per job")
+	packets := flag.Int("packets", 1500, "tagged sample size per job")
+	seed := flag.Uint64("seed", 1, "base seed; each job derives its own seed from it")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); never affects results")
+	jsonPath := flag.String("json", "", "write results as JSON to this file ('-' for stdout)")
+	csvPath := flag.String("csv", "", "write results as CSV to this file ('-' for stdout)")
+	quiet := flag.Bool("quiet", false, "suppress per-job progress lines on stderr")
 	flag.Parse()
 
-	pr := routersim.QuickProtocol()
-	if *full {
-		pr = routersim.PaperProtocol()
+	if *figure != "" || *all {
+		// Figure mode reproduces the paper's fixed curves; the matrix
+		// axes don't apply there. Reject explicitly-set matrix-only
+		// flags rather than silently ignoring them.
+		matrixOnly := map[string]bool{
+			"routers": true, "topos": true, "k": true, "patterns": true,
+			"vcs": true, "bufs": true, "packetsize": true, "credit-delays": true,
+			"loads": true, "warmup": true, "packets": true, "workers": true,
+			"json": true, "quiet": true,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if matrixOnly[f.Name] {
+				fatal(fmt.Errorf("-%s applies to matrix mode only, not -figure/-all (figure mode supports -full, -seed, -csv)", f.Name))
+			}
+		})
+		runFigures(*figure, *all, *full, *seed, *csvPath)
+		return
 	}
-	pr.Seed = *seed
 
-	var ids []string
-	switch {
-	case *all:
-		ids = []string{"figure13", "figure14", "figure15", "figure17", "figure18"}
-	case *figure != "":
-		ids = []string{"figure" + *figure}
-	default:
-		fmt.Fprintln(os.Stderr, "specify -figure N or -all")
-		os.Exit(2)
+	matrix := routersim.ScenarioMatrix{
+		Routers:      splitList(*routers),
+		Topologies:   splitList(*topos),
+		Ks:           parseInts("k", *ks),
+		Patterns:     splitList(*patterns),
+		VCs:          parseInts("vcs", *vcs),
+		BufsPerVC:    parseInts("bufs", *bufs),
+		PacketSizes:  parseInts("packetsize", *pktSizes),
+		CreditDelays: parseInts("credit-delays", *creditDelays),
+		Loads:        parseLoads(*loads),
+	}
+	// Invalid cells of the cross product are not fatal: the harness
+	// records them per job, so one incompatible combination (say,
+	// wormhole × torus in a routers × topologies sweep) doesn't discard
+	// the rest of the matrix. Failures are summarized on stderr below.
+	requested := len(matrix.Routers) * len(matrix.Topologies) * len(matrix.Ks) *
+		len(matrix.Patterns) * len(matrix.VCs) * len(matrix.BufsPerVC) *
+		len(matrix.PacketSizes) * len(matrix.CreditDelays) * len(matrix.Loads)
+	jobs := matrix.Size()
+	if jobs < requested {
+		fmt.Fprintf(os.Stderr, "note: %d duplicate scenario(s) collapsed (axes overlap after canonicalization)\n",
+			requested-jobs)
 	}
 
-	var csvFile *os.File
+	opts := routersim.MatrixOptions{
+		Workers:  *workers,
+		Seed:     *seed,
+		Protocol: routersim.MatrixProtocol{Warmup: *warmup, Packets: *packets},
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "matrix: %d jobs (seed %d)\n", jobs, *seed)
+		opts.Progress = routersim.MatrixProgressPrinter(os.Stderr)
+	}
+
+	results, err := routersim.RunMatrix(matrix, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	wroteSomewhere := false
+	if *jsonPath != "" {
+		writeTo(*jsonPath, func(w *os.File) error { return routersim.WriteMatrixJSON(w, results) })
+		wroteSomewhere = true
+	}
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		csvFile = f
+		writeTo(*csvPath, func(w *os.File) error { return routersim.WriteMatrixCSV(w, results) })
+		wroteSomewhere = true
 	}
-
-	for _, id := range ids {
-		fig, err := routersim.Reproduce(id, pr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	if !wroteSomewhere {
+		if err := routersim.WriteMatrixCSV(os.Stdout, results); err != nil {
+			fatal(err)
 		}
-		if err := routersim.WriteFigure(os.Stdout, fig); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if csvFile != nil {
-			if err := routersim.WriteFigureCSV(csvFile, fig); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+	}
+	failed := 0
+	firstErr := ""
+	for _, r := range results {
+		if r.Error != "" {
+			failed++
+			if firstErr == "" {
+				firstErr = fmt.Sprintf("%s: %s", r.Scenario.Label(), r.Error)
 			}
 		}
 	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d jobs failed; first: %s\n", failed, len(results), firstErr)
+		os.Exit(1)
+	}
+}
+
+func runFigures(figure string, all, full bool, seed uint64, csvPath string) {
+	pr := routersim.QuickProtocol()
+	if full {
+		pr = routersim.PaperProtocol()
+	}
+	pr.Seed = seed
+
+	var ids []string
+	if all {
+		ids = []string{"figure13", "figure14", "figure15", "figure17", "figure18"}
+	} else {
+		ids = []string{"figure" + figure}
+	}
+
+	var figs []routersim.FigureResult
+	for _, id := range ids {
+		fig, err := routersim.Reproduce(id, pr)
+		if err != nil {
+			fatal(err)
+		}
+		if err := routersim.WriteFigure(os.Stdout, fig); err != nil {
+			fatal(err)
+		}
+		figs = append(figs, fig)
+	}
+	if csvPath != "" {
+		// Same '-' = stdout convention as matrix mode.
+		writeTo(csvPath, func(w *os.File) error {
+			for _, fig := range figs {
+				if err := routersim.WriteFigureCSV(w, fig); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(name, s string) []int {
+	var out []int
+	for _, f := range splitList(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			fatal(fmt.Errorf("-%s: %v", name, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// parseLoads accepts a comma list ("0.1,0.2,0.3") or an inclusive range
+// with step ("0.1:0.9:0.05").
+func parseLoads(s string) []float64 {
+	if lo, hi, step, ok := parseRange(s); ok {
+		var out []float64
+		// Walk an integer grid to dodge float accumulation drift.
+		for i := 0; ; i++ {
+			l := lo + float64(i)*step
+			if l > hi+step/2 {
+				break
+			}
+			out = append(out, roundLoad(l))
+		}
+		return out
+	}
+	var out []float64
+	for _, f := range splitList(s) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			fatal(fmt.Errorf("-loads: %v", err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseRange(s string) (lo, hi, step float64, ok bool) {
+	fields := strings.Split(s, ":")
+	if len(fields) != 3 {
+		return 0, 0, 0, false
+	}
+	var vals [3]float64
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			fatal(fmt.Errorf("-loads range %q: %v", s, err))
+		}
+		vals[i] = v
+	}
+	if vals[2] <= 0 || vals[1] < vals[0] {
+		fatal(fmt.Errorf("-loads range %q: want lo:hi:step with step > 0", s))
+	}
+	return vals[0], vals[1], vals[2], true
+}
+
+// roundLoad snaps a swept load to 4 decimals so range-generated grids
+// serialize cleanly.
+func roundLoad(l float64) float64 { return float64(int(l*10000+0.5)) / 10000 }
+
+func writeTo(path string, fn func(*os.File) error) {
+	if path == "-" {
+		if err := fn(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

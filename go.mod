@@ -1,0 +1,3 @@
+module routersim
+
+go 1.24

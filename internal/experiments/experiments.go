@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 
+	"routersim/internal/harness"
 	"routersim/internal/network"
 	"routersim/internal/router"
 	"routersim/internal/sim"
@@ -77,20 +78,21 @@ type curveSpec struct {
 func runCurves(pr Protocol, specs []curveSpec) ([]Curve, error) {
 	curves := make([]Curve, len(specs))
 	for i, cs := range specs {
-		rc := router.DefaultConfig(cs.kind)
-		rc.VCs = cs.vcs
-		rc.BufPerVC = cs.buf
-		cfg := sim.Config{
-			Net: network.Config{
-				K:           8,
-				Router:      rc,
-				CreditDelay: cs.creditDelay,
-				Seed:        pr.Seed,
-			},
-			WarmupCycles:   pr.Warmup,
-			MeasurePackets: pr.Packets,
+		sc := harness.Scenario{
+			Router:      cs.kind.String(),
+			Topology:    "mesh",
+			K:           8,
+			Pattern:     "uniform",
+			VCs:         cs.vcs,
+			BufPerVC:    cs.buf,
+			PacketSize:  5,
+			CreditDelay: cs.creditDelay,
 		}
-		pts, err := sim.SweepLoads(cfg, pr.Loads)
+		opts := harness.Options{
+			Seed:     pr.Seed,
+			Protocol: harness.Protocol{Warmup: pr.Warmup, Packets: pr.Packets},
+		}
+		pts, err := harness.Curve(sc, pr.Loads, opts)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: curve %q: %w", cs.name, err)
 		}

@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"routersim/internal/pool"
+	"routersim/internal/rng"
+	"routersim/internal/sim"
+)
+
+// Protocol is the measurement protocol applied to every job of a run.
+type Protocol struct {
+	// Warmup cycles before measurement begins (0 = paper's 10,000).
+	Warmup int64 `json:"warmup"`
+	// Packets in the tagged sample (0 = paper's 100,000).
+	Packets int `json:"packets"`
+}
+
+// QuickProtocol is a scaled-down protocol for smoke runs and tests.
+func QuickProtocol() Protocol { return Protocol{Warmup: 2000, Packets: 1500} }
+
+// PaperProtocol is the paper's full measurement protocol (Section 5).
+func PaperProtocol() Protocol { return Protocol{Warmup: 10000, Packets: 100000} }
+
+// Options parameterize one matrix run.
+type Options struct {
+	// Workers bounds the worker pool (0 = GOMAXPROCS). The worker count
+	// affects only wall time, never results.
+	Workers int
+	// Seed is the base seed; every job derives its own independent seed
+	// from it and the job index.
+	Seed uint64
+	// Protocol is the per-job measurement protocol.
+	Protocol Protocol
+	// Progress, when non-nil, is called after each job completes, in
+	// completion order, with the running done count. It is called from
+	// worker goroutines but never concurrently.
+	Progress func(done, total int, r JobResult)
+	// OnResult, when non-nil, streams results in job-index order as soon
+	// as every earlier job has finished. It is never called concurrently.
+	OnResult func(r JobResult)
+}
+
+// JobResult is the outcome of one scenario job. Wall is excluded from
+// serialization: it is the only nondeterministic field, and the
+// serialized payload must be byte-identical across runs and worker
+// counts.
+type JobResult struct {
+	// Index is the job's position in the expanded matrix.
+	Index int `json:"index"`
+	// Scenario is the job's point of the matrix.
+	Scenario Scenario `json:"scenario"`
+	// Seed is the job's derived RNG seed.
+	Seed uint64 `json:"seed"`
+	// Result holds the simulation outcome (nil on error).
+	Result *sim.Result `json:"result,omitempty"`
+	// Error is the job's failure, if any.
+	Error string `json:"error,omitempty"`
+	// Wall is the job's wall-clock run time (progress reporting only).
+	Wall time.Duration `json:"-"`
+}
+
+// Run expands the matrix and executes every job on a bounded worker
+// pool. Results are returned in job-index order. Job failures are
+// recorded per job, not returned: a bad scenario must not discard the
+// rest of a large matrix. Run itself fails only on an empty matrix.
+func Run(m Matrix, opts Options) ([]JobResult, error) {
+	scenarios := m.Expand()
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("harness: empty matrix")
+	}
+	results := make([]JobResult, len(scenarios))
+
+	var (
+		mu     sync.Mutex
+		done   int
+		ready  = make([]bool, len(scenarios))
+		cursor int
+	)
+	pool.Run(len(scenarios), opts.Workers, func(i int) {
+		results[i] = runJob(i, scenarios[i], opts)
+		if opts.Progress == nil && opts.OnResult == nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		if opts.Progress != nil {
+			opts.Progress(done, len(scenarios), results[i])
+		}
+		ready[i] = true
+		for opts.OnResult != nil && cursor < len(ready) && ready[cursor] {
+			opts.OnResult(results[cursor])
+			cursor++
+		}
+	})
+	return results, nil
+}
+
+// RunScenario runs a single scenario through the matrix engine and
+// returns its one result. Unlike matrix expansion — which canonicalizes
+// inapplicable axis values, e.g. a VC count crossed with a wormhole
+// router — an explicitly stated scenario is validated strictly: a
+// configuration the simulation cannot honor as stated is an error.
+func RunScenario(sc Scenario, opts Options) (JobResult, error) {
+	if _, err := sc.SimConfig(1, Protocol{Warmup: 1, Packets: 1}); err != nil {
+		return JobResult{}, fmt.Errorf("harness: %s: %w", sc.Label(), err)
+	}
+	results, err := Run(sc.Matrix(), opts)
+	if err != nil {
+		return JobResult{}, err
+	}
+	return results[0], nil
+}
+
+// runJob executes one scenario with its derived seed.
+func runJob(i int, sc Scenario, opts Options) (jr JobResult) {
+	seed := rng.Derive(opts.Seed, uint64(i))
+	jr = JobResult{Index: i, Scenario: sc, Seed: seed}
+	start := time.Now()
+	defer func() { jr.Wall = time.Since(start) }()
+
+	cfg, err := sc.SimConfig(seed, opts.Protocol)
+	if err != nil {
+		jr.Error = err.Error()
+		return jr
+	}
+	res, err := sim.NewRunner(cfg).Run()
+	if err != nil {
+		jr.Error = err.Error()
+		return jr
+	}
+	jr.Result = &res
+	return jr
+}
+
+// ProgressPrinter returns a Progress callback that writes one line per
+// completed job to w, including the per-job wall time. Wall time goes to
+// the progress stream, never the result payload, to keep payloads
+// deterministic.
+func ProgressPrinter(w io.Writer) func(done, total int, r JobResult) {
+	return func(done, total int, r JobResult) {
+		status := "ok"
+		if r.Error != "" {
+			status = "error: " + r.Error
+		} else if r.Result.Saturated {
+			status = "saturated"
+		}
+		fmt.Fprintf(w, "[%d/%d] %s (%.2fs) %s\n",
+			done, total, r.Scenario.Label(), r.Wall.Seconds(), status)
+	}
+}

@@ -1,0 +1,314 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func tinyOptions() Options {
+	return Options{Seed: 1, Protocol: Protocol{Warmup: 300, Packets: 150}}
+}
+
+func TestMatrixExpandOrderAndSize(t *testing.T) {
+	m := Matrix{
+		Routers:  []string{"wormhole", "spec-vc"},
+		Patterns: []string{"uniform", "transpose"},
+		Loads:    []float64{0.1, 0.2, 0.3},
+	}
+	scs := m.Expand()
+	if len(scs) != m.Size() || len(scs) != 12 {
+		t.Fatalf("expanded %d scenarios, Size()=%d, want 12", len(scs), m.Size())
+	}
+	// Loads are the innermost axis, routers the outermost.
+	if scs[0].Load != 0.1 || scs[1].Load != 0.2 || scs[2].Load != 0.3 {
+		t.Errorf("loads not innermost: %+v", scs[:3])
+	}
+	if scs[0].Router != "wormhole" || scs[11].Router != "spec-vc" {
+		t.Errorf("routers not outermost: first %+v last %+v", scs[0], scs[11])
+	}
+	if scs[0].Pattern != "uniform" || scs[3].Pattern != "transpose" {
+		t.Errorf("pattern axis misordered: %+v %+v", scs[0], scs[3])
+	}
+	// Defaults fill the unspecified axes.
+	if scs[0].K != 8 || scs[0].Topology != "mesh" || scs[0].PacketSize != 5 {
+		t.Errorf("defaults not applied: %+v", scs[0])
+	}
+}
+
+// TestExpandCanonicalizesWormholeVCs: the VCs axis does not apply to
+// non-VC router kinds; expansion must pin them to 1 VC (so labels and
+// serialized results state the configuration that actually runs) and
+// collapse the duplicates this creates.
+func TestExpandCanonicalizesWormholeVCs(t *testing.T) {
+	m := Matrix{
+		Routers: []string{"wormhole", "vc"},
+		VCs:     []int{2, 4},
+		Loads:   []float64{0.1},
+	}
+	scs := m.Expand()
+	// wormhole×{2,4} collapses to one vcs=1 job; vc keeps both.
+	if len(scs) != 3 || m.Size() != 3 {
+		t.Fatalf("expanded %d scenarios, want 3: %+v", len(scs), scs)
+	}
+	if scs[0].Router != "wormhole" || scs[0].VCs != 1 {
+		t.Errorf("wormhole not canonicalized to 1 VC: %+v", scs[0])
+	}
+	if scs[1].VCs != 2 || scs[2].VCs != 4 {
+		t.Errorf("vc axis lost: %+v %+v", scs[1], scs[2])
+	}
+}
+
+// TestExpandCanonicalizesZeroAxisValues: a zero axis value means "the
+// default" — the expanded scenario must state the value that actually
+// runs, never serialize the placeholder 0.
+func TestExpandCanonicalizesZeroAxisValues(t *testing.T) {
+	m := Matrix{
+		Ks:           []int{0},
+		VCs:          []int{0},
+		BufsPerVC:    []int{0},
+		PacketSizes:  []int{0},
+		CreditDelays: []int{0},
+		Loads:        []float64{0.1},
+	}
+	scs := m.Expand()
+	if len(scs) != 1 {
+		t.Fatalf("expanded %d scenarios, want 1", len(scs))
+	}
+	sc := scs[0]
+	if sc.K != 8 || sc.VCs != 2 || sc.BufPerVC != 4 || sc.PacketSize != 5 || sc.CreditDelay != 1 {
+		t.Errorf("zero axis values not canonicalized to the running defaults: %+v", sc)
+	}
+}
+
+// TestSimConfigRejectsNonpositiveResources: negative axis values are
+// errors, not silent substitutions.
+func TestSimConfigRejectsNonpositiveResources(t *testing.T) {
+	bad := []Scenario{
+		{Router: "vc", VCs: -1, Load: 0.1},
+		{Router: "vc", BufPerVC: -4, Load: 0.1},
+		{Router: "vc", PacketSize: -5, Load: 0.1},
+		{Router: "vc", K: 1, Load: 0.1},
+	}
+	for i, sc := range bad {
+		if _, err := sc.SimConfig(1, Protocol{Warmup: 1, Packets: 1}); err == nil {
+			t.Errorf("case %d: invalid scenario accepted: %+v", i, sc)
+		}
+	}
+}
+
+// TestRunScenarioStrict: an explicit single scenario is validated
+// strictly — the matrix pin must not silently rewrite it.
+func TestRunScenarioStrict(t *testing.T) {
+	if _, err := RunScenario(Scenario{Router: "wormhole", VCs: 4, Load: 0.1}, tinyOptions()); err == nil {
+		t.Error("RunScenario should reject wormhole with 4 VCs")
+	}
+	r, err := RunScenario(Scenario{Router: "spec-vc", K: 4, Load: 0.1}, tinyOptions())
+	if err != nil || r.Error != "" {
+		t.Fatalf("valid scenario failed: %v %q", err, r.Error)
+	}
+	if r.Scenario.VCs != 2 || r.Scenario.BufPerVC != 4 {
+		t.Errorf("result scenario not canonicalized: %+v", r.Scenario)
+	}
+}
+
+// TestCurveRejectsDuplicateLoads: duplicate loads would be collapsed by
+// matrix dedup, silently shortening the curve.
+func TestCurveRejectsDuplicateLoads(t *testing.T) {
+	sc := Scenario{Router: "spec-vc", K: 4}
+	if _, err := Curve(sc, []float64{0.1, 0.1}, tinyOptions()); err == nil {
+		t.Error("duplicate loads should be rejected")
+	}
+}
+
+// TestSimConfigRejectsWormholeVCs: a hand-built scenario must not run
+// a different configuration than it states.
+func TestSimConfigRejectsWormholeVCs(t *testing.T) {
+	sc := Scenario{Router: "wormhole", VCs: 4, BufPerVC: 8, Load: 0.1}
+	if _, err := sc.SimConfig(1, Protocol{Warmup: 1, Packets: 1}); err == nil {
+		t.Error("wormhole with 4 VCs should be rejected")
+	}
+}
+
+func TestMatrixValidate(t *testing.T) {
+	good := Matrix{Routers: []string{"vc"}, Patterns: []string{"bit-reversal"}, Ks: []int{4}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid matrix rejected: %v", err)
+	}
+	cases := []Matrix{
+		{Routers: []string{"nonsense"}},
+		{Topologies: []string{"hypercube"}},
+		{Patterns: []string{"nonsense"}},
+		{Patterns: []string{"bit-reversal"}, Ks: []int{6}},             // 36 nodes: not a power of two
+		{Topologies: []string{"torus"}, Routers: []string{"wormhole"}}, // torus needs VCs
+		{Loads: []float64{-0.5}},
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid matrix validated: %+v", i, m)
+		}
+	}
+}
+
+func TestRunRecordsPerJobErrors(t *testing.T) {
+	// One good pattern and one that cannot exist on a 6×6 network; the
+	// bad job must fail alone without sinking the run.
+	m := Matrix{
+		Ks:       []int{6},
+		Patterns: []string{"uniform", "bit-reversal"},
+		Loads:    []float64{0.1},
+	}
+	results, err := Run(m, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results, want 2", len(results))
+	}
+	if results[0].Error != "" || results[0].Result == nil {
+		t.Errorf("good job failed: %+v", results[0])
+	}
+	if results[1].Error == "" || results[1].Result != nil {
+		t.Errorf("bad job succeeded: %+v", results[1])
+	}
+}
+
+func TestRunEmptyMatrix(t *testing.T) {
+	if _, err := Run(Matrix{Loads: []float64{}, Routers: []string{}}.Normalize(), tinyOptions()); err != nil {
+		t.Errorf("normalized empty matrix should run defaults: %v", err)
+	}
+}
+
+func TestPerJobSeedsDiffer(t *testing.T) {
+	m := Matrix{Loads: []float64{0.1, 0.15, 0.2}}
+	results, err := Run(m, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Seed == results[1].Seed || results[1].Seed == results[2].Seed {
+		t.Errorf("derived seeds collide: %d %d %d", results[0].Seed, results[1].Seed, results[2].Seed)
+	}
+}
+
+// TestExpandDedupesRepeatedAxisValues: listing the same axis value
+// twice must not double the jobs.
+func TestExpandDedupesRepeatedAxisValues(t *testing.T) {
+	m := Matrix{Loads: []float64{0.1, 0.1, 0.1}}
+	if scs := m.Expand(); len(scs) != 1 {
+		t.Fatalf("expanded %d scenarios from a repeated load, want 1", len(scs))
+	}
+}
+
+func TestProgressAndOrderedStreaming(t *testing.T) {
+	m := Matrix{Loads: []float64{0.05, 0.1, 0.15, 0.2}}
+	opts := tinyOptions()
+	opts.Workers = 4
+	var progressed int
+	var streamed []int
+	opts.Progress = func(done, total int, r JobResult) {
+		progressed++
+		if total != 4 {
+			t.Errorf("total %d, want 4", total)
+		}
+		if r.Wall < 0 {
+			t.Errorf("negative wall time")
+		}
+	}
+	opts.OnResult = func(r JobResult) { streamed = append(streamed, r.Index) }
+	if _, err := Run(m, opts); err != nil {
+		t.Fatal(err)
+	}
+	if progressed != 4 {
+		t.Errorf("progress called %d times, want 4", progressed)
+	}
+	for i, idx := range streamed {
+		if idx != i {
+			t.Fatalf("OnResult out of order: %v", streamed)
+		}
+	}
+	if len(streamed) != 4 {
+		t.Fatalf("streamed %d results, want 4", len(streamed))
+	}
+}
+
+func TestCurveMatchesScenario(t *testing.T) {
+	sc := Scenario{Router: "spec-vc", Topology: "mesh", K: 4, Pattern: "uniform",
+		VCs: 2, BufPerVC: 4, PacketSize: 5, CreditDelay: 1}
+	pts, err := Curve(sc, []float64{0.1, 0.2}, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Load != 0.1 || pts[1].Load != 0.2 {
+		t.Fatalf("curve points wrong: %+v", pts)
+	}
+	if pts[0].Result.Latency.Packets == 0 {
+		t.Error("curve point carries no measurements")
+	}
+}
+
+func TestTorusScenario(t *testing.T) {
+	m := Matrix{
+		Topologies: []string{"torus"},
+		Routers:    []string{"spec-vc"},
+		Ks:         []int{4},
+		Loads:      []float64{0.1},
+	}
+	results, err := Run(m, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Error != "" {
+		t.Fatalf("torus job failed: %s", results[0].Error)
+	}
+	if results[0].Result.Latency.Packets == 0 {
+		t.Error("torus job measured nothing")
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "[]" {
+		t.Errorf("empty result set should serialize as []: %q", b.String())
+	}
+}
+
+func TestWriteCSVShape(t *testing.T) {
+	m := Matrix{Loads: []float64{0.1, 0.2}}
+	results, err := Run(m, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteCSV(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d CSV lines, want header + 2 rows:\n%s", len(lines), b.String())
+	}
+	if lines[0] != CSVHeader {
+		t.Errorf("header mismatch: %q", lines[0])
+	}
+	wantCols := len(strings.Split(CSVHeader, ","))
+	for _, l := range lines[1:] {
+		if got := len(strings.Split(l, ",")); got != wantCols {
+			t.Errorf("row has %d columns, want %d: %q", got, wantCols, l)
+		}
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	cases := map[string]string{
+		"plain":      "plain",
+		"a,b":        `"a,b"`,
+		`say "hi"`:   `"say ""hi"""`,
+		"line\nfeed": "\"line\nfeed\"",
+	}
+	for in, want := range cases {
+		if got := csvEscape(in); got != want {
+			t.Errorf("csvEscape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

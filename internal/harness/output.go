@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteJSON serializes results as one JSON array, in job-index order.
+// The payload is deterministic: same matrix + same seed → identical
+// bytes, regardless of the worker count that produced the results.
+func WriteJSON(w io.Writer, results []JobResult) error {
+	js := NewJSONStream(w)
+	for _, r := range results {
+		if err := js.Write(r); err != nil {
+			return err
+		}
+	}
+	return js.Close()
+}
+
+// JSONStream incrementally writes a JSON array of results, one element
+// per Write. Feed it from Options.OnResult to stream a large matrix
+// without holding the serialized form in memory.
+type JSONStream struct {
+	w     io.Writer
+	wrote bool
+	err   error
+}
+
+// NewJSONStream returns a stream writing to w.
+func NewJSONStream(w io.Writer) *JSONStream { return &JSONStream{w: w} }
+
+// Write appends one result to the array.
+func (s *JSONStream) Write(r JobResult) error {
+	if s.err != nil {
+		return s.err
+	}
+	sep := "[\n "
+	if s.wrote {
+		sep = ",\n "
+	}
+	var b []byte
+	if b, s.err = json.Marshal(r); s.err != nil {
+		return s.err
+	}
+	if _, s.err = io.WriteString(s.w, sep); s.err != nil {
+		return s.err
+	}
+	if _, s.err = s.w.Write(b); s.err != nil {
+		return s.err
+	}
+	s.wrote = true
+	return nil
+}
+
+// Close terminates the array. The stream is not reusable afterwards.
+func (s *JSONStream) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	if !s.wrote {
+		_, s.err = io.WriteString(s.w, "[]\n")
+		return s.err
+	}
+	_, s.err = io.WriteString(s.w, "\n]\n")
+	return s.err
+}
+
+// CSVHeader is the column set of WriteCSV, one row per job.
+const CSVHeader = "index,router,topology,k,pattern,vcs,buf_per_vc,packet_size,credit_delay,load,seed," +
+	"offered,accepted,mean_latency,p50,p95,max_latency,packets,cycles,saturated,error"
+
+// WriteCSV serializes results as CSV in job-index order, with the same
+// determinism guarantee as WriteJSON.
+func WriteCSV(w io.Writer, results []JobResult) error {
+	if _, err := fmt.Fprintln(w, CSVHeader); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if err := writeCSVRow(w, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeCSVRow(w io.Writer, r JobResult) error {
+	sc := r.Scenario
+	var offered, accepted, mean float64
+	var p50, p95, max, cycles int64
+	var packets int
+	saturated := false
+	if r.Result != nil {
+		offered = r.Result.OfferedLoad
+		accepted = r.Result.AcceptedLoad
+		mean = r.Result.Latency.MeanLatency
+		p50, p95, max = r.Result.Latency.P50, r.Result.Latency.P95, r.Result.Latency.MaxLatency
+		packets = r.Result.Latency.Packets
+		cycles = r.Result.Cycles
+		saturated = r.Result.Saturated
+	}
+	_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%s,%d,%d,%d,%d,%s,%d,%s,%s,%s,%d,%d,%d,%d,%d,%t,%s\n",
+		r.Index, csvEscape(sc.Router), csvEscape(sc.Topology), sc.K, csvEscape(sc.Pattern), sc.VCs, sc.BufPerVC,
+		sc.PacketSize, sc.CreditDelay, fmtFloat(sc.Load), r.Seed,
+		fmtFloat(offered), fmtFloat(accepted), fmtFloat(mean),
+		p50, p95, max, packets, cycles, saturated, csvEscape(r.Error))
+	return err
+}
+
+// fmtFloat renders floats exactly as encoding/json does, so CSV and
+// JSON agree byte-for-byte on every value (the thresholds for exponent
+// form differ between json and strconv's 'g' format, so this must go
+// through the json encoder itself).
+func fmtFloat(f float64) string {
+	b, err := json.Marshal(f)
+	if err != nil {
+		// Only non-finite values can fail; the simulator never emits
+		// them, but render something greppable rather than panic.
+		return "NaN"
+	}
+	return string(b)
+}
+
+// csvEscape quotes a field if it contains CSV metacharacters.
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

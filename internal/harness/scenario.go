@@ -1,0 +1,284 @@
+// Package harness is a deterministic, sharded experiment engine over
+// the simulator: it expands a declarative scenario matrix (router ×
+// topology × traffic pattern × VCs × buffering × load) into jobs, runs
+// them on a bounded worker pool with per-job derived RNG seeds, and
+// serializes the results as JSON or CSV. A matrix run with the same
+// seed produces byte-identical output regardless of the worker count —
+// the property every scaling layer above this one relies on.
+package harness
+
+import (
+	"fmt"
+
+	"routersim/internal/network"
+	"routersim/internal/router"
+	"routersim/internal/sim"
+	"routersim/internal/topology"
+	"routersim/internal/traffic"
+)
+
+// Scenario is one fully-specified simulation job: a single point of the
+// matrix. All fields are plain values so a Scenario round-trips through
+// JSON and CSV unchanged.
+type Scenario struct {
+	// Router is the microarchitecture name (router.ParseKind).
+	Router string `json:"router"`
+	// Topology is "mesh" or "torus".
+	Topology string `json:"topology"`
+	// K is the network radix (k×k nodes).
+	K int `json:"k"`
+	// Pattern is the traffic pattern spec (traffic.New).
+	Pattern string `json:"pattern"`
+	// VCs is the virtual channel count per port (ignored by wormhole
+	// kinds, which always have 1).
+	VCs int `json:"vcs"`
+	// BufPerVC is the flit buffers per VC (per port for wormhole).
+	BufPerVC int `json:"buf_per_vc"`
+	// PacketSize is the packet length in flits.
+	PacketSize int `json:"packet_size"`
+	// CreditDelay is the credit propagation delay in cycles.
+	CreditDelay int `json:"credit_delay"`
+	// Load is the offered load as a fraction of capacity.
+	Load float64 `json:"load"`
+}
+
+// Matrix is a declarative scenario matrix: the cross product of every
+// axis. Empty axes take the paper's defaults (see Normalize). Expansion
+// order is fixed — routers outermost, loads innermost — so job indices,
+// and therefore derived seeds and serialized output, are deterministic.
+type Matrix struct {
+	Routers      []string  `json:"routers"`
+	Topologies   []string  `json:"topologies"`
+	Ks           []int     `json:"ks"`
+	Patterns     []string  `json:"patterns"`
+	VCs          []int     `json:"vcs"`
+	BufsPerVC    []int     `json:"bufs_per_vc"`
+	PacketSizes  []int     `json:"packet_sizes"`
+	CreditDelays []int     `json:"credit_delays"`
+	Loads        []float64 `json:"loads"`
+}
+
+// Normalize fills empty axes with the paper's evaluation defaults:
+// speculative VC router, 8×8 mesh, uniform traffic, 2 VCs × 4 buffers,
+// 5-flit packets, 1-cycle credits, 20% load.
+func (m Matrix) Normalize() Matrix {
+	if len(m.Routers) == 0 {
+		m.Routers = []string{router.SpeculativeVC.String()}
+	}
+	if len(m.Topologies) == 0 {
+		m.Topologies = []string{"mesh"}
+	}
+	if len(m.Ks) == 0 {
+		m.Ks = []int{8}
+	}
+	if len(m.Patterns) == 0 {
+		m.Patterns = []string{"uniform"}
+	}
+	if len(m.VCs) == 0 {
+		m.VCs = []int{2}
+	}
+	if len(m.BufsPerVC) == 0 {
+		m.BufsPerVC = []int{4}
+	}
+	if len(m.PacketSizes) == 0 {
+		m.PacketSizes = []int{5}
+	}
+	if len(m.CreditDelays) == 0 {
+		m.CreditDelays = []int{1}
+	}
+	if len(m.Loads) == 0 {
+		m.Loads = []float64{0.2}
+	}
+	return m
+}
+
+// Size returns the number of jobs the matrix expands to (after
+// canonicalization and deduplication).
+func (m Matrix) Size() int { return len(m.Expand()) }
+
+// Expand enumerates every scenario of the (normalized) matrix in the
+// fixed axis order. Scenarios are canonicalized — a non-VC router kind
+// always has VCs = 1, whatever the VCs axis says, so labels and
+// serialized results never misstate the configuration that ran — and
+// exact duplicates produced by canonicalization (e.g. a wormhole
+// router crossed with several VC counts) appear once.
+func (m Matrix) Expand() []Scenario {
+	m = m.Normalize()
+	var out []Scenario
+	seen := make(map[Scenario]bool)
+	for _, rk := range m.Routers {
+		for _, topo := range m.Topologies {
+			for _, k := range m.Ks {
+				for _, pat := range m.Patterns {
+					for _, vcs := range m.VCs {
+						for _, buf := range m.BufsPerVC {
+							for _, size := range m.PacketSizes {
+								for _, cd := range m.CreditDelays {
+									for _, load := range m.Loads {
+										sc := Scenario{
+											Router:      rk,
+											Topology:    topo,
+											K:           k,
+											Pattern:     pat,
+											VCs:         vcs,
+											BufPerVC:    buf,
+											PacketSize:  size,
+											CreditDelay: cd,
+											Load:        load,
+										}
+										sc = sc.canonical()
+										// The VCs axis does not apply to non-VC
+										// kinds: pin to 1 so the label is truthful
+										// (a hand-built Scenario skips this and is
+										// rejected by SimConfig instead).
+										if kind, ok := router.ParseKind(sc.Router); ok && !kind.UsesVCs() {
+											sc.VCs = 1
+										}
+										if !seen[sc] {
+											seen[sc] = true
+											out = append(out, sc)
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Validate expands the matrix and checks that every scenario lowers to
+// a valid simulation configuration, so configuration errors surface
+// before any job runs.
+func (m Matrix) Validate() error {
+	for i, sc := range m.Expand() {
+		if _, err := sc.SimConfig(1, Protocol{Warmup: 1, Packets: 1}); err != nil {
+			return fmt.Errorf("harness: job %d (%s): %w", i, sc.Label(), err)
+		}
+	}
+	return nil
+}
+
+// canonical resolves every zero-valued field to the default that will
+// actually run (the paper's configuration, or the router kind's own
+// defaults). Expansion emits only canonical scenarios so labels and
+// serialized results always state the configuration that ran. Negative
+// values are left for SimConfig to reject.
+func (s Scenario) canonical() Scenario {
+	if s.Topology == "" {
+		s.Topology = "mesh"
+	}
+	if s.K == 0 {
+		s.K = 8
+	}
+	if s.Pattern == "" {
+		s.Pattern = "uniform"
+	}
+	if s.PacketSize == 0 {
+		s.PacketSize = 5
+	}
+	if s.CreditDelay == 0 {
+		s.CreditDelay = 1
+	}
+	if kind, ok := router.ParseKind(s.Router); ok {
+		rc := router.DefaultConfig(kind)
+		if s.VCs == 0 {
+			s.VCs = rc.VCs
+		}
+		if s.BufPerVC == 0 {
+			s.BufPerVC = rc.BufPerVC
+		}
+	}
+	return s
+}
+
+// Matrix returns the one-element matrix containing exactly this
+// scenario — the bridge from single-run callers (netsim, Curve) to the
+// matrix engine, keeping the axis list in one place.
+func (s Scenario) Matrix() Matrix {
+	return Matrix{
+		Routers:      []string{s.Router},
+		Topologies:   []string{s.Topology},
+		Ks:           []int{s.K},
+		Patterns:     []string{s.Pattern},
+		VCs:          []int{s.VCs},
+		BufsPerVC:    []int{s.BufPerVC},
+		PacketSizes:  []int{s.PacketSize},
+		CreditDelays: []int{s.CreditDelay},
+		Loads:        []float64{s.Load},
+	}
+}
+
+// Label returns a compact human-readable scenario identifier for
+// progress lines and error messages.
+func (s Scenario) Label() string {
+	return fmt.Sprintf("%s/%s%d/%s/%dvcs×%dbuf/load=%.2f",
+		s.Router, s.Topology, s.K, s.Pattern, s.VCs, s.BufPerVC, s.Load)
+}
+
+// SimConfig lowers the scenario to a runnable simulation configuration
+// with the given RNG seed and measurement protocol. Zero-valued fields
+// take their canonical defaults; a stated value the simulation cannot
+// honor exactly (wormhole with >1 VC, nonpositive resources) is an
+// error rather than a silent substitution.
+func (s Scenario) SimConfig(seed uint64, pr Protocol) (sim.Config, error) {
+	s = s.canonical()
+	kind, ok := router.ParseKind(s.Router)
+	if !ok {
+		return sim.Config{}, fmt.Errorf("unknown router kind %q", s.Router)
+	}
+	if s.VCs > 1 && !kind.UsesVCs() {
+		// canonical pins matrix-expanded scenarios to 1 VC; a
+		// hand-built Scenario must not run a different configuration
+		// than it states (the pre-harness facade made this a hard
+		// error too).
+		return sim.Config{}, fmt.Errorf("%v routers have exactly 1 VC, got %d", kind, s.VCs)
+	}
+	if s.VCs < 1 || s.BufPerVC < 1 || s.PacketSize < 1 || s.CreditDelay < 1 {
+		return sim.Config{}, fmt.Errorf("nonpositive VC, buffer, packet size, or credit delay")
+	}
+	if s.K < 2 {
+		return sim.Config{}, fmt.Errorf("network radix %d; need >= 2", s.K)
+	}
+	rc := router.DefaultConfig(kind)
+	rc.VCs = s.VCs
+	rc.BufPerVC = s.BufPerVC
+	var topo topology.Topology
+	switch s.Topology {
+	case "mesh":
+		topo = topology.NewMesh(s.K)
+	case "torus":
+		topo = topology.NewTorus(s.K)
+	default:
+		return sim.Config{}, fmt.Errorf("unknown topology %q (want mesh or torus)", s.Topology)
+	}
+	pat, err := traffic.New(s.Pattern, s.K)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	if s.Load < 0 {
+		return sim.Config{}, fmt.Errorf("negative load %v", s.Load)
+	}
+	ncfg := network.Config{
+		K:           s.K,
+		Router:      rc,
+		PacketSize:  s.PacketSize,
+		Pattern:     pat,
+		CreditDelay: s.CreditDelay,
+		Topo:        topo,
+		Seed:        seed,
+	}
+	ncfg.InjectionRate = sim.RateForLoad(s.Load, ncfg)
+	cfg := sim.Config{
+		Net:            ncfg,
+		WarmupCycles:   pr.Warmup,
+		MeasurePackets: pr.Packets,
+	}
+	if err := cfg.Net.Normalize(); err != nil {
+		return sim.Config{}, err
+	}
+	return cfg, nil
+}

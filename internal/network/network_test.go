@@ -17,6 +17,16 @@ func testConfig(kind router.Kind, rate float64) Config {
 	}
 }
 
+// simCycles scales a simulation length down under -short so the
+// race-enabled CI loop stays fast; every assertion in this package holds
+// at a third of the full run length (the thresholds have ≥3× margin).
+func simCycles(full int64) int64 {
+	if testing.Short() {
+		return full / 3
+	}
+	return full
+}
+
 // TestFlitOrderAndConservation runs every router kind under load and
 // checks, at every ejection, that flits of each packet arrive strictly
 // in sequence, and that completed packets account for every flit.
@@ -52,7 +62,7 @@ func TestFlitOrderAndConservation(t *testing.T) {
 					t.Fatalf("packet %d nonpositive latency %d", p.ID, p.Latency())
 				}
 			}
-			for now := int64(0); now < 15000; now++ {
+			for now := int64(0); now < simCycles(15000); now++ {
 				net.Step(now)
 			}
 			if created == 0 || done == 0 {
@@ -76,7 +86,7 @@ func TestSourceQueueGrowsPastSaturation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for now := int64(0); now < 20000; now++ {
+	for now := int64(0); now < simCycles(20000); now++ {
 		net.Step(now)
 	}
 	total := 0
@@ -99,7 +109,7 @@ func TestDeterministicReplay(t *testing.T) {
 		done := 0
 		var lastEject int64
 		net.OnPacketDone = func(p *flit.Packet, now int64) { done++; lastEject = now }
-		for now := int64(0); now < 8000; now++ {
+		for now := int64(0); now < simCycles(9000); now++ {
 			net.Step(now)
 		}
 		return done, lastEject
@@ -121,7 +131,7 @@ func TestBernoulliInjection(t *testing.T) {
 	}
 	created := 0
 	net.OnPacketCreated = func(p *flit.Packet, now int64) { created++ }
-	const cycles = 10000
+	cycles := simCycles(12000)
 	for now := int64(0); now < cycles; now++ {
 		net.Step(now)
 	}
@@ -169,7 +179,7 @@ func TestCreditConservation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for now := int64(0); now < 10000; now++ {
+	for now := int64(0); now < simCycles(10000); now++ {
 		net.Step(now)
 	}
 	// Stop injection by replacing the sources' rate: easiest is to keep

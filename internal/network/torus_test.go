@@ -64,7 +64,7 @@ func TestTorusDeliversAllTraffic(t *testing.T) {
 			created, done := 0, 0
 			net.OnPacketCreated = func(p *flit.Packet, now int64) { created++ }
 			net.OnPacketDone = func(p *flit.Packet, now int64) { done++ }
-			for now := int64(0); now < 20000; now++ {
+			for now := int64(0); now < simCycles(20000); now++ {
 				net.Step(now)
 			}
 			if created == 0 {

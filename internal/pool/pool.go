@@ -1,0 +1,49 @@
+// Package pool provides a bounded worker pool for running n independent
+// jobs indexed 0..n-1. Jobs write their results into caller-owned slices
+// by index, so the output is deterministic regardless of the worker
+// count or goroutine scheduling.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run invokes fn(i) once for every i in [0, n), using at most workers
+// concurrent goroutines (workers <= 0 means GOMAXPROCS). It returns when
+// every invocation has finished. fn must be safe to call concurrently
+// for distinct indices.
+func Run(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,44 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 100
+		var counts [n]atomic.Int32
+		Run(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	called := false
+	Run(0, 4, func(i int) { called = true })
+	if called {
+		t.Error("fn called with n=0")
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	Run(64, workers, func(i int) {
+		if cur := inFlight.Add(1); cur > peak.Load() {
+			peak.Store(cur)
+		}
+		for j := 0; j < 1000; j++ {
+			_ = j * j
+		}
+		inFlight.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent jobs, limit %d", p, workers)
+	}
+}

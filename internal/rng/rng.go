@@ -27,6 +27,14 @@ func (r *RNG) Split(i uint64) *RNG {
 	return New(splitmix64(r.state ^ (i+1)*0xbf58476d1ce4e5b9))
 }
 
+// Derive deterministically mixes a base seed with a stream index,
+// producing an independent seed per stream. It is the pure-function form
+// of Split for callers that need seeds (not generators), e.g. per-job
+// seeds in an experiment matrix.
+func Derive(seed, i uint64) uint64 {
+	return splitmix64(splitmix64(seed+0x9e3779b97f4a7c15) ^ (i+1)*0xbf58476d1ce4e5b9)
+}
+
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9

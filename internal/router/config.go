@@ -57,6 +57,30 @@ func (k Kind) String() string {
 	}
 }
 
+// ParseKind resolves a router kind from its canonical name (the String
+// form) or the common aliases used by the CLIs ("specvc", "vc-1cycle").
+func ParseKind(s string) (Kind, bool) {
+	switch s {
+	case "wormhole", "wh":
+		return Wormhole, true
+	case "vc", "virtual-channel":
+		return VirtualChannel, true
+	case "spec-vc", "specvc":
+		return SpeculativeVC, true
+	case "wormhole-1cycle", "wh-1cycle":
+		return SingleCycleWormhole, true
+	case "vc-1cycle":
+		return SingleCycleVC, true
+	default:
+		return 0, false
+	}
+}
+
+// Kinds lists every simulated router microarchitecture.
+func Kinds() []Kind {
+	return []Kind{Wormhole, VirtualChannel, SpeculativeVC, SingleCycleWormhole, SingleCycleVC}
+}
+
 // Stages returns the router pipeline depth in cycles.
 func (k Kind) Stages() int {
 	switch k {

@@ -7,11 +7,10 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"routersim/internal/flit"
 	"routersim/internal/network"
+	"routersim/internal/pool"
 	"routersim/internal/stats"
 )
 
@@ -29,29 +28,47 @@ type Config struct {
 	Probe bool
 }
 
-// Result reports one simulation run.
+// Result reports one simulation run. The json tags keep the harness's
+// serialized payloads in one consistent snake_case schema.
 type Result struct {
 	// OfferedLoad is the offered load as a fraction of capacity.
-	OfferedLoad float64
+	OfferedLoad float64 `json:"offered_load"`
 	// AcceptedLoad is the measured ejection rate as a fraction of
 	// capacity.
-	AcceptedLoad float64
+	AcceptedLoad float64 `json:"accepted_load"`
 	// Latency summarizes tagged-packet latency in cycles.
-	Latency stats.Summary
+	Latency stats.Summary `json:"latency"`
 	// Saturated is true when the run hit MaxCycles before every tagged
 	// packet was received — the network is past its saturation point.
-	Saturated bool
+	Saturated bool `json:"saturated"`
 	// Cycles is the number of simulated cycles.
-	Cycles int64
+	Cycles int64 `json:"cycles"`
 	// TaggedDone / Tagged count the sample packets received vs created.
-	TaggedDone, Tagged int
+	TaggedDone int `json:"tagged_done"`
+	Tagged     int `json:"tagged"`
 	// MinTurnaround is the smallest observed buffer-turnaround interval
 	// (0 unless Config.Probe).
-	MinTurnaround int64
+	MinTurnaround int64 `json:"min_turnaround"`
 }
 
+// Runner executes simulations from one base configuration. It is the
+// reusable execution core shared by Run, SweepLoads, and the experiment
+// harness: construct once, then Run as many times as needed (each Run
+// builds a fresh network, so a Runner is safe to reuse; distinct Runners
+// are safe to drive concurrently).
+type Runner struct {
+	cfg Config
+}
+
+// NewRunner returns a Runner over a base configuration.
+func NewRunner(cfg Config) *Runner { return &Runner{cfg: cfg} }
+
+// Config returns the Runner's base configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
 // Run executes one simulation to completion.
-func Run(cfg Config) (Result, error) {
+func (r *Runner) Run() (Result, error) {
+	cfg := r.cfg
 	if cfg.WarmupCycles == 0 {
 		cfg.WarmupCycles = 10000
 	}
@@ -148,6 +165,10 @@ func Run(cfg Config) (Result, error) {
 	return res, nil
 }
 
+// Run executes one simulation to completion. It is shorthand for
+// NewRunner(cfg).Run().
+func Run(cfg Config) (Result, error) { return NewRunner(cfg).Run() }
+
 // LoadPoint is one point of a latency-throughput curve.
 type LoadPoint struct {
 	Load   float64 // offered, fraction of capacity
@@ -155,27 +176,20 @@ type LoadPoint struct {
 }
 
 // SweepLoads runs one simulation per offered load (fraction of capacity)
-// in parallel and returns the points in input order. The base config's
-// InjectionRate is overwritten per point.
+// on a bounded worker pool and returns the points in input order. The
+// base config's InjectionRate is overwritten per point. It is a thin
+// wrapper over Runner + pool; the experiment harness generalizes the
+// same shape to full scenario matrices.
 func SweepLoads(base Config, loads []float64) ([]LoadPoint, error) {
 	pts := make([]LoadPoint, len(loads))
 	errs := make([]error, len(loads))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, load := range loads {
-		wg.Add(1)
-		go func(i int, load float64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cfg := base
-			cfg.Net.InjectionRate = rateForLoad(load, cfg.Net)
-			res, err := Run(cfg)
-			pts[i] = LoadPoint{Load: load, Result: res}
-			errs[i] = err
-		}(i, load)
-	}
-	wg.Wait()
+	pool.Run(len(loads), 0, func(i int) {
+		cfg := base
+		cfg.Net.InjectionRate = RateForLoad(loads[i], cfg.Net)
+		res, err := NewRunner(cfg).Run()
+		pts[i] = LoadPoint{Load: loads[i], Result: res}
+		errs[i] = err
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -184,8 +198,10 @@ func SweepLoads(base Config, loads []float64) ([]LoadPoint, error) {
 	return pts, nil
 }
 
-// rateForLoad converts a fraction of capacity into packets/node/cycle.
-func rateForLoad(frac float64, ncfg network.Config) float64 {
+// RateForLoad converts a fraction of network capacity into the injection
+// rate in packets/node/cycle, using the configured topology's uniform
+// capacity (mesh: 4/k flits/node/cycle, torus: 8/k).
+func RateForLoad(frac float64, ncfg network.Config) float64 {
 	k := ncfg.K
 	if k == 0 {
 		k = 8
@@ -194,7 +210,10 @@ func rateForLoad(frac float64, ncfg network.Config) float64 {
 	if size == 0 {
 		size = 5
 	}
-	capacity := 4.0 / float64(k) // flits/node/cycle under uniform traffic
+	capacity := 4.0 / float64(k)
+	if ncfg.Topo != nil {
+		capacity = ncfg.Topo.UniformCapacity()
+	}
 	return frac * capacity / float64(size)
 }
 

@@ -10,12 +10,14 @@ import (
 
 // lowLoadCfg builds a near-zero-load run used for zero-load latency
 // measurements (paper Section 5.1). Small sample sizes keep unit tests
-// fast; the experiment harness uses the paper's full protocol.
+// fast — halved again under -short for the race-enabled CI loop; the
+// latency bands hold at either scale. The experiment harness uses the
+// paper's full protocol.
 func lowLoadCfg(kind router.Kind, vcs, bufPerVC int) Config {
 	rc := router.DefaultConfig(kind)
 	rc.VCs = vcs
 	rc.BufPerVC = bufPerVC
-	return Config{
+	cfg := Config{
 		Net: network.Config{
 			K:      8,
 			Router: rc,
@@ -24,6 +26,11 @@ func lowLoadCfg(kind router.Kind, vcs, bufPerVC int) Config {
 		WarmupCycles:   2000,
 		MeasurePackets: 800,
 	}
+	if testing.Short() {
+		cfg.WarmupCycles = 1200
+		cfg.MeasurePackets = 400
+	}
+	return cfg
 }
 
 func runLoad(t *testing.T, cfg Config, loadFrac float64) Result {

@@ -142,13 +142,15 @@ func (t *Turnaround) Min() int64 {
 // Count returns the number of recorded intervals.
 func (t *Turnaround) Count() int { return len(t.intervals) }
 
-// Summary is a compact, printable result view.
+// Summary is a compact, printable result view. The json tags keep the
+// harness's serialized payloads in one consistent snake_case schema.
 type Summary struct {
-	MeanLatency float64
-	P50, P95    int64
-	MaxLatency  int64
-	Packets     int
-	Accepted    float64 // flits/node/cycle
+	MeanLatency float64 `json:"mean_latency"`
+	P50         int64   `json:"p50"`
+	P95         int64   `json:"p95"`
+	MaxLatency  int64   `json:"max_latency"`
+	Packets     int     `json:"packets"`
+	Accepted    float64 `json:"accepted"` // flits/node/cycle
 }
 
 // String renders the summary on one line.

@@ -1,0 +1,73 @@
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Names lists the pattern names New understands, in canonical order.
+// "hotspot" also accepts parameters as "hotspot:NODE:FRAC".
+func Names() []string {
+	return []string{"uniform", "transpose", "bit-reversal", "bit-complement", "hotspot"}
+}
+
+// New resolves a traffic pattern by name for a k×k network (n = k²
+// nodes). Recognized specs:
+//
+//	uniform               the paper's workload
+//	transpose             (x,y) → (y,x)
+//	bit-reversal          i → reverse of i's bits (n must be a power of two)
+//	bit-complement        i → n-1-i
+//	hotspot               10% of traffic to node 0, rest uniform
+//	hotspot:NODE:FRAC     e.g. hotspot:0:0.2
+//
+// Parameterized specs separate fields with ':'. Unknown names and
+// parameters that cannot apply to the network size are errors.
+func New(spec string, k int) (Pattern, error) {
+	n := k * k
+	name, args, hasArgs := strings.Cut(spec, ":")
+	if hasArgs && name != "hotspot" {
+		return nil, fmt.Errorf("traffic: pattern %q takes no parameters (only hotspot:NODE:FRAC does)", spec)
+	}
+	switch name {
+	case "uniform", "":
+		return Uniform{}, nil
+	case "transpose":
+		return Transpose{K: k}, nil
+	case "bit-reversal", "bitrev":
+		if n <= 0 || bits.OnesCount(uint(n)) != 1 {
+			return nil, fmt.Errorf("traffic: bit-reversal needs a power-of-two node count, got %d (k=%d)", n, k)
+		}
+		return BitReversal{}, nil
+	case "bit-complement", "bitcomp":
+		return BitComplement{}, nil
+	case "hotspot":
+		h := Hotspot{Node: 0, Frac: 0.1}
+		if args != "" {
+			fields := strings.Split(args, ":")
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("traffic: hotspot wants NODE:FRAC, got %q", args)
+			}
+			node, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("traffic: hotspot node: %v", err)
+			}
+			frac, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("traffic: hotspot fraction: %v", err)
+			}
+			h = Hotspot{Node: node, Frac: frac}
+		}
+		if h.Node < 0 || h.Node >= n {
+			return nil, fmt.Errorf("traffic: hotspot node %d outside [0,%d)", h.Node, n)
+		}
+		if h.Frac < 0 || h.Frac > 1 {
+			return nil, fmt.Errorf("traffic: hotspot fraction %v outside [0,1]", h.Frac)
+		}
+		return h, nil
+	default:
+		return nil, fmt.Errorf("traffic: unknown pattern %q (want one of %s)", spec, strings.Join(Names(), ", "))
+	}
+}

@@ -150,6 +150,135 @@ func TestBernoulliRate(t *testing.T) {
 	}
 }
 
+// TestPermutationPatterns: every deterministic pattern must be a
+// bijection over the n nodes — each destination hit exactly once — or
+// the pattern would concentrate load the analyses don't model.
+func TestPermutationPatterns(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Pattern
+		n    int
+	}{
+		{"transpose 8x8", Transpose{K: 8}, 64},
+		{"transpose 4x4", Transpose{K: 4}, 16},
+		{"bit-reversal 64", BitReversal{}, 64},
+		{"bit-reversal 16", BitReversal{}, 16},
+		{"bit-complement 64", BitComplement{}, 64},
+		{"bit-complement 16", BitComplement{}, 16},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			hit := make([]bool, c.n)
+			for src := 0; src < c.n; src++ {
+				d := c.p.Dest(src, c.n, nil)
+				if d < 0 || d >= c.n {
+					t.Fatalf("Dest(%d) = %d out of range [0,%d)", src, d, c.n)
+				}
+				if hit[d] {
+					t.Fatalf("destination %d hit twice: not a permutation", d)
+				}
+				hit[d] = true
+			}
+		})
+	}
+}
+
+// TestUniformNeverSelf: Uniform.Dest must exclude the source for every
+// source node, not just one.
+func TestUniformNeverSelf(t *testing.T) {
+	r := rng.New(11)
+	u := Uniform{}
+	for _, n := range []int{2, 3, 16, 64} {
+		for src := 0; src < n; src++ {
+			for i := 0; i < 50; i++ {
+				if d := u.Dest(src, n, r); d == src {
+					t.Fatalf("n=%d: uniform returned src %d", n, src)
+				}
+			}
+		}
+	}
+	// Degenerate single-node network: self is the only option.
+	if d := u.Dest(0, 1, r); d != 0 {
+		t.Errorf("n=1: Dest = %d, want 0", d)
+	}
+}
+
+// TestHotspotEmpiricalFraction: the hot node must receive ≈ Frac of
+// traffic (plus the uniform share), for several fractions.
+func TestHotspotEmpiricalFraction(t *testing.T) {
+	const n, draws = 64, 40000
+	for _, frac := range []float64{0.05, 0.2, 0.5} {
+		r := rng.New(9)
+		h := Hotspot{Node: 5, Frac: frac}
+		hot := 0
+		for i := 0; i < draws; i++ {
+			if h.Dest(12, n, r) == 5 {
+				hot++
+			}
+		}
+		got := float64(hot) / draws
+		// Hot traffic is frac plus (1-frac)/(n-1) uniform spillover.
+		want := frac + (1-frac)/float64(n-1)
+		if math.Abs(got-want) > 0.015 {
+			t.Errorf("frac %v: hot share %.3f, want ≈%.3f", frac, got, want)
+		}
+	}
+}
+
+func TestNewPatternSpecs(t *testing.T) {
+	good := []struct {
+		spec string
+		k    int
+		want string
+	}{
+		{"uniform", 8, "uniform"},
+		{"transpose", 8, "transpose"},
+		{"bit-reversal", 8, "bit-reversal"},
+		{"bitrev", 4, "bit-reversal"},
+		{"bit-complement", 6, "bit-complement"},
+		{"hotspot", 8, "hotspot(0,0.10)"},
+		{"hotspot:3:0.25", 8, "hotspot(3,0.25)"},
+	}
+	for _, c := range good {
+		p, err := New(c.spec, c.k)
+		if err != nil {
+			t.Errorf("New(%q, %d): %v", c.spec, c.k, err)
+			continue
+		}
+		if p.Name() != c.want {
+			t.Errorf("New(%q, %d).Name() = %q, want %q", c.spec, c.k, p.Name(), c.want)
+		}
+	}
+	bad := []struct {
+		spec string
+		k    int
+	}{
+		{"nonsense", 8},
+		{"bit-reversal", 6}, // 36 nodes: not a power of two
+		{"hotspot:99999:0.1", 8},
+		{"hotspot:0:1.5", 8},
+		{"hotspot:zero:0.1", 8},
+		{"hotspot:0", 8},
+		{"transpose:4", 8}, // only hotspot takes parameters
+		{"uniform:0.5", 8},
+	}
+	for _, c := range bad {
+		if _, err := New(c.spec, c.k); err == nil {
+			t.Errorf("New(%q, %d) should fail", c.spec, c.k)
+		}
+	}
+	// Transpose from New must bind the network's k.
+	p, err := New("transpose", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (x,y)=(1,2) on k=4 is node 9 → (2,1) is node 6.
+	if d := p.Dest(9, 16, nil); d != 6 {
+		t.Errorf("transpose k=4: Dest(9) = %d, want 6", d)
+	}
+}
+
 func TestPatternNames(t *testing.T) {
 	pats := []Pattern{Uniform{}, Transpose{K: 8}, BitComplement{}, BitReversal{}, Hotspot{Node: 1, Frac: 0.1}}
 	seen := map[string]bool{}

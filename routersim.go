@@ -27,8 +27,10 @@ package routersim
 
 import (
 	"fmt"
+	"io"
 
 	"routersim/internal/core"
+	"routersim/internal/harness"
 	"routersim/internal/network"
 	"routersim/internal/router"
 	"routersim/internal/sim"
@@ -109,6 +111,68 @@ type TrafficPattern = traffic.Pattern
 // destinations.
 func UniformTraffic() TrafficPattern { return traffic.Uniform{} }
 
+// TrafficByName resolves a traffic pattern spec ("uniform", "transpose",
+// "bit-reversal", "bit-complement", "hotspot[:NODE:FRAC]") for a k×k
+// network.
+func TrafficByName(spec string, k int) (TrafficPattern, error) { return traffic.New(spec, k) }
+
+// ParseRouterKind resolves a router kind from its name.
+func ParseRouterKind(s string) (RouterKind, bool) { return router.ParseKind(s) }
+
+// ---------------------------------------------------------------------
+// Experiment harness
+// ---------------------------------------------------------------------
+
+// Scenario is one fully-specified simulation job of a scenario matrix.
+type Scenario = harness.Scenario
+
+// ScenarioMatrix is a declarative experiment matrix: the cross product
+// of router kinds, topologies, radices, traffic patterns, VC counts,
+// buffer depths, packet sizes, credit delays, and offered loads.
+type ScenarioMatrix = harness.Matrix
+
+// MatrixOptions parameterize one matrix run: worker pool size, base
+// seed (each job derives an independent seed), measurement protocol,
+// and progress/streaming callbacks.
+type MatrixOptions = harness.Options
+
+// MatrixProtocol is the per-job measurement protocol of a matrix run.
+type MatrixProtocol = harness.Protocol
+
+// MatrixResult is the outcome of one scenario job.
+type MatrixResult = harness.JobResult
+
+// RunMatrix expands the matrix and runs every job on a bounded,
+// deterministic worker pool. Results come back in job-index order; the
+// same seed produces identical results regardless of the worker count.
+func RunMatrix(m ScenarioMatrix, opts MatrixOptions) ([]MatrixResult, error) {
+	return harness.Run(m, opts)
+}
+
+// RunScenario runs a single scenario through the matrix engine and
+// returns its one result.
+func RunScenario(sc Scenario, opts MatrixOptions) (MatrixResult, error) {
+	return harness.RunScenario(sc, opts)
+}
+
+// WriteMatrixJSON serializes matrix results as one JSON array with a
+// byte-deterministic payload.
+func WriteMatrixJSON(w io.Writer, results []MatrixResult) error {
+	return harness.WriteJSON(w, results)
+}
+
+// WriteMatrixCSV serializes matrix results as CSV with a
+// byte-deterministic payload.
+func WriteMatrixCSV(w io.Writer, results []MatrixResult) error {
+	return harness.WriteCSV(w, results)
+}
+
+// MatrixProgressPrinter returns a Progress callback printing one line
+// per completed job (with per-job wall time) to w.
+func MatrixProgressPrinter(w io.Writer) func(done, total int, r MatrixResult) {
+	return harness.ProgressPrinter(w)
+}
+
 // SimConfig parameterizes one network simulation.
 type SimConfig struct {
 	// Router microarchitecture and resources.
@@ -174,17 +238,17 @@ func (c SimConfig) lower() (sim.Config, error) {
 	if c.LoadFraction < 0 {
 		return sim.Config{}, fmt.Errorf("routersim: negative load fraction")
 	}
-	capacity := 4.0 / float64(k)
+	ncfg := network.Config{
+		K:           k,
+		Router:      rc,
+		PacketSize:  size,
+		Pattern:     c.Pattern,
+		CreditDelay: c.CreditDelay,
+		Seed:        c.Seed,
+	}
+	ncfg.InjectionRate = sim.RateForLoad(c.LoadFraction, ncfg)
 	return sim.Config{
-		Net: network.Config{
-			K:             k,
-			Router:        rc,
-			PacketSize:    size,
-			InjectionRate: c.LoadFraction * capacity / float64(size),
-			Pattern:       c.Pattern,
-			CreditDelay:   c.CreditDelay,
-			Seed:          c.Seed,
-		},
+		Net:            ncfg,
 		WarmupCycles:   c.WarmupCycles,
 		MeasurePackets: c.MeasurePackets,
 	}, nil
