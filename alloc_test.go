@@ -1,0 +1,89 @@
+// Allocation-regression tests: the simulator's steady-state hot paths
+// must not touch the heap. These lock in the zero-allocation cycle
+// engine — a regression here multiplies into every load sweep.
+package routersim_test
+
+import (
+	"testing"
+
+	"routersim/internal/allocator"
+	"routersim/internal/arbiter"
+	"routersim/internal/link"
+	"routersim/internal/network"
+	"routersim/internal/router"
+)
+
+// warmNetwork builds the benchmark network and steps it past warmup so
+// every pool, ring, and scratch buffer has reached steady-state size.
+func warmNetwork(t *testing.T, cycles int64) (*network.Network, int64) {
+	t.Helper()
+	rc := router.DefaultConfig(router.SpeculativeVC)
+	cfg := network.Config{K: 8, Router: rc, Seed: 1, InjectionRate: 0.4 * 0.5 / 5}
+	net, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := int64(0)
+	for ; now < cycles; now++ {
+		net.Step(now)
+	}
+	return net, now
+}
+
+// TestNetworkStepZeroAlloc: a steady-state Network.Step performs zero
+// heap allocations — packets come from the pool, flit slices are
+// reused, wires and FIFOs never grow, allocators return scratch.
+func TestNetworkStepZeroAlloc(t *testing.T) {
+	net, now := warmNetwork(t, 6000)
+	allocs := testing.AllocsPerRun(400, func() {
+		net.Step(now)
+		now++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Network.Step allocates %.2f times per cycle, want 0", allocs)
+	}
+}
+
+// TestWireZeroAlloc: pushing and draining a wire at link bandwidth never
+// allocates (the ring is preallocated from delay+bandwidth).
+func TestWireZeroAlloc(t *testing.T) {
+	w := link.NewWire[int](4)
+	now := int64(0)
+	allocs := testing.AllocsPerRun(400, func() {
+		w.Push(now, int(now))
+		for _, ok := w.Pop(now); ok; _, ok = w.Pop(now) {
+		}
+		now++
+	})
+	if allocs != 0 {
+		t.Fatalf("Wire push/drain allocates %.2f times per cycle, want 0", allocs)
+	}
+}
+
+// TestAllocatorZeroAlloc covers the three allocator micro-bench paths:
+// matrix arbiter grant, separable switch allocation, VC allocation.
+func TestAllocatorZeroAlloc(t *testing.T) {
+	m := arbiter.NewMatrix(5)
+	if allocs := testing.AllocsPerRun(400, func() { m.Grant(0b10111) }); allocs != 0 {
+		t.Errorf("Matrix.Grant allocates %.2f times per call, want 0", allocs)
+	}
+
+	s := allocator.NewSeparableSwitch(5, 2, nil)
+	swReqs := []allocator.SwitchRequest{
+		{In: 0, VC: 0, Out: 3}, {In: 1, VC: 1, Out: 3},
+		{In: 2, VC: 0, Out: 4}, {In: 3, VC: 1, Out: 0},
+	}
+	if allocs := testing.AllocsPerRun(400, func() { s.Allocate(swReqs) }); allocs != 0 {
+		t.Errorf("SeparableSwitch.Allocate allocates %.2f times per call, want 0", allocs)
+	}
+
+	a := allocator.NewVCAllocator(5, 2, nil)
+	vaReqs := []allocator.VCRequest{
+		{In: 0, VC: 0, Out: 1, Candidates: 0b11},
+		{In: 1, VC: 1, Out: 1, Candidates: 0b11},
+		{In: 2, VC: 0, Out: 3, Candidates: 0b01},
+	}
+	if allocs := testing.AllocsPerRun(400, func() { a.Allocate(vaReqs) }); allocs != 0 {
+		t.Errorf("VCAllocator.Allocate allocates %.2f times per call, want 0", allocs)
+	}
+}

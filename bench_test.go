@@ -35,9 +35,13 @@ func benchProtocol() routersim.Protocol {
 	return pr
 }
 
+// metricReplacer is hoisted to package level: strings.NewReplacer builds
+// its lookup machinery on first use, so a fresh one per call would pay
+// that cost for every reported metric.
+var metricReplacer = strings.NewReplacer(" ", "_", "(", "", ")", "", ",", "")
+
 func metricName(curve string, what string) string {
-	r := strings.NewReplacer(" ", "_", "(", "", ")", "", ",", "")
-	return r.Replace(curve) + "_" + what
+	return metricReplacer.Replace(curve) + "_" + what
 }
 
 func benchFigure(b *testing.B, id string) {

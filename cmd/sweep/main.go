@@ -43,6 +43,7 @@ func main() {
 	bufs := flag.String("bufs", "4", "comma-separated flit buffers per VC")
 	pktSizes := flag.String("packetsize", "5", "comma-separated packet sizes (flits)")
 	creditDelays := flag.String("credit-delays", "1", "comma-separated credit propagation delays (cycles)")
+	stepWorkers := flag.String("step-workers", "0", "comma-separated parallel-stepper worker counts (0/1 = serial engine; results are identical for every value)")
 	loads := flag.String("loads", "0.2", "loads as fractions of capacity: comma list or lo:hi:step range")
 
 	// Protocol and execution.
@@ -62,8 +63,8 @@ func main() {
 		matrixOnly := map[string]bool{
 			"routers": true, "topos": true, "k": true, "patterns": true,
 			"vcs": true, "bufs": true, "packetsize": true, "credit-delays": true,
-			"loads": true, "warmup": true, "packets": true, "workers": true,
-			"json": true, "quiet": true,
+			"step-workers": true, "loads": true, "warmup": true, "packets": true,
+			"workers": true, "json": true, "quiet": true,
 		}
 		flag.Visit(func(f *flag.Flag) {
 			if matrixOnly[f.Name] {
@@ -83,6 +84,7 @@ func main() {
 		BufsPerVC:    parseInts("bufs", *bufs),
 		PacketSizes:  parseInts("packetsize", *pktSizes),
 		CreditDelays: parseInts("credit-delays", *creditDelays),
+		StepWorkers:  parseInts("step-workers", *stepWorkers),
 		Loads:        parseLoads(*loads),
 	}
 	// Invalid cells of the cross product are not fatal: the harness
@@ -91,7 +93,8 @@ func main() {
 	// the rest of the matrix. Failures are summarized on stderr below.
 	requested := len(matrix.Routers) * len(matrix.Topologies) * len(matrix.Ks) *
 		len(matrix.Patterns) * len(matrix.VCs) * len(matrix.BufsPerVC) *
-		len(matrix.PacketSizes) * len(matrix.CreditDelays) * len(matrix.Loads)
+		len(matrix.PacketSizes) * len(matrix.CreditDelays) * len(matrix.StepWorkers) *
+		len(matrix.Loads)
 	jobs := matrix.Size()
 	if jobs < requested {
 		fmt.Fprintf(os.Stderr, "note: %d duplicate scenario(s) collapsed (axes overlap after canonicalization)\n",

@@ -44,6 +44,8 @@ type SeparableSwitch struct {
 	inReqs   []uint64
 	inWinner []int // winning VC per input port, -1 if none
 	outReqs  []uint64
+	reqOut   []int // requested output by flattened (in, vc) index
+	grants   []SwitchGrant
 }
 
 // NewSeparableSwitch returns an allocator for p ports and v VCs per
@@ -62,6 +64,7 @@ func NewSeparableSwitch(p, v int, factory arbiter.Factory) *SeparableSwitch {
 		inReqs:     make([]uint64, p),
 		inWinner:   make([]int, p),
 		outReqs:    make([]uint64, p),
+		reqOut:     make([]int, p*v),
 	}
 	for i := 0; i < p; i++ {
 		s.inputArbs[i] = factory(v)
@@ -73,10 +76,15 @@ func NewSeparableSwitch(p, v int, factory arbiter.Factory) *SeparableSwitch {
 // Allocate performs one allocation cycle over the given requests and
 // returns the grants. At most one request per (In, VC) pair and one Out
 // per (In, VC) may be submitted; duplicate (In, VC) submissions panic,
-// as they indicate a router state-machine bug.
+// as they indicate a router state-machine bug. The returned slice is
+// scratch owned by the allocator: it is valid until the next Allocate.
 func (s *SeparableSwitch) Allocate(reqs []SwitchRequest) []SwitchGrant {
+	if len(reqs) == 0 {
+		// No requests grant nothing and touch no arbiter state; skip
+		// the scratch resets (they rerun on the next non-empty call).
+		return s.grants[:0]
+	}
 	// Stage 1: per input port, arbitrate among requesting VCs.
-	reqOut := make(map[[2]int]int, len(reqs)) // (in, vc) -> out
 	for i := range s.inReqs {
 		s.inReqs[i] = 0
 		s.inWinner[i] = -1
@@ -84,12 +92,11 @@ func (s *SeparableSwitch) Allocate(reqs []SwitchRequest) []SwitchGrant {
 	}
 	for _, r := range reqs {
 		s.check(r)
-		key := [2]int{r.In, r.VC}
-		if _, dup := reqOut[key]; dup {
+		if s.inReqs[r.In]&(1<<r.VC) != 0 {
 			panic(fmt.Sprintf("allocator: duplicate switch request from input %d vc %d", r.In, r.VC))
 		}
-		reqOut[key] = r.Out
 		s.inReqs[r.In] |= 1 << r.VC
+		s.reqOut[r.In*s.v+r.VC] = r.Out
 	}
 	for in := 0; in < s.p; in++ {
 		if s.inReqs[in] == 0 {
@@ -97,21 +104,20 @@ func (s *SeparableSwitch) Allocate(reqs []SwitchRequest) []SwitchGrant {
 		}
 		if w, ok := s.inputArbs[in].Grant(s.inReqs[in]); ok {
 			s.inWinner[in] = w
-			out := reqOut[[2]int{in, w}]
-			s.outReqs[out] |= 1 << in
+			s.outReqs[s.reqOut[in*s.v+w]] |= 1 << in
 		}
 	}
 	// Stage 2: per output port, arbitrate among winning inputs.
-	var grants []SwitchGrant
+	s.grants = s.grants[:0]
 	for out := 0; out < s.p; out++ {
 		if s.outReqs[out] == 0 {
 			continue
 		}
 		if in, ok := s.outputArbs[out].Grant(s.outReqs[out]); ok {
-			grants = append(grants, SwitchGrant{In: in, VC: s.inWinner[in], Out: out})
+			s.grants = append(s.grants, SwitchGrant{In: in, VC: s.inWinner[in], Out: out})
 		}
 	}
-	return grants
+	return s.grants
 }
 
 func (s *SeparableSwitch) check(r SwitchRequest) {

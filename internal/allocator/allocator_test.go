@@ -216,11 +216,18 @@ func TestVCAllocatorBasics(t *testing.T) {
 		busy[g.OutVC] = true
 		granted[[2]int{g.In, g.VC}] = true
 	}
-	// Losers retry with the updated free mask.
+	// Losers retry with the updated free mask (busy bits cleared), as
+	// the router computes it from its outvc_state bitmask.
+	var free uint64
+	for i, b := range busy {
+		if !b {
+			free |= 1 << i
+		}
+	}
 	var retry []VCRequest
 	for _, r := range reqs {
 		if !granted[[2]int{r.In, r.VC}] {
-			r.Candidates = FreeCandidates(busy)
+			r.Candidates = free
 			retry = append(retry, r)
 		}
 	}
@@ -310,10 +317,7 @@ func TestVCAllocatorGrantUniqueOutVC(t *testing.T) {
 	}
 }
 
-func TestFreeCandidates(t *testing.T) {
-	if m := FreeCandidates([]bool{false, true, false, true}); m != 0b0101 {
-		t.Fatalf("FreeCandidates = %b, want 0101", m)
-	}
+func TestPopcountCandidates(t *testing.T) {
 	if PopcountCandidates(0b0101) != 2 {
 		t.Fatal("popcount wrong")
 	}

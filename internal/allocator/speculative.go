@@ -18,6 +18,10 @@ type SpeculativeSwitch struct {
 	// (ablation) resolves output conflicts in favour of the speculative
 	// request, demonstrating the throughput cost the rule prevents.
 	PrioritizeNonSpec bool
+
+	// scratch, reused across Allocate calls
+	outTaken []bool
+	inTaken  []bool
 }
 
 // NewSpeculativeSwitch returns a speculative switch allocator for p
@@ -27,6 +31,16 @@ func NewSpeculativeSwitch(p, v int, factory arbiter.Factory) *SpeculativeSwitch 
 		nonspec:           NewSeparableSwitch(p, v, factory),
 		spec:              NewSeparableSwitch(p, v, factory),
 		PrioritizeNonSpec: true,
+		outTaken:          make([]bool, p),
+		inTaken:           make([]bool, p),
+	}
+}
+
+// resetTaken clears the per-port conflict scratch.
+func (s *SpeculativeSwitch) resetTaken() {
+	for i := range s.outTaken {
+		s.outTaken[i] = false
+		s.inTaken[i] = false
 	}
 }
 
@@ -44,41 +58,32 @@ func (s *SpeculativeSwitch) Allocate(nonspecReqs, specReqs []SwitchRequest) (ns,
 		return ns, sp
 	}
 
-	outTaken := make(map[int]bool, len(ns))
-	inTaken := make(map[int]bool, len(ns))
+	s.resetTaken()
 	if s.PrioritizeNonSpec {
 		for _, g := range ns {
-			outTaken[g.Out] = true
-			inTaken[g.In] = true
+			s.outTaken[g.Out] = true
+			s.inTaken[g.In] = true
 		}
 	} else {
 		// Ablation: speculative grants win conflicts; non-speculative
 		// grants for contested resources are dropped instead.
 		for _, g := range sp {
-			outTaken[g.Out] = true
-			inTaken[g.In] = true
+			s.outTaken[g.Out] = true
+			s.inTaken[g.In] = true
 		}
 		kept := ns[:0]
 		for _, g := range ns {
-			if !outTaken[g.Out] && !inTaken[g.In] {
+			if !s.outTaken[g.Out] && !s.inTaken[g.In] {
 				kept = append(kept, g)
 			}
 		}
-		ns = kept
-		outTaken = make(map[int]bool, len(ns))
-		inTaken = make(map[int]bool, len(ns))
-		for _, g := range ns {
-			outTaken[g.Out] = true
-			inTaken[g.In] = true
-		}
-		// fall through to filter speculative self-conflicts below
-		// (spec grants are already mutually conflict-free).
-		return ns, sp
+		// (spec grants are already mutually conflict-free.)
+		return kept, sp
 	}
 
 	keptSp := sp[:0]
 	for _, g := range sp {
-		if outTaken[g.Out] || inTaken[g.In] {
+		if s.outTaken[g.Out] || s.inTaken[g.In] {
 			continue // non-speculative priority: spec grant discarded
 		}
 		keptSp = append(keptSp, g)

@@ -34,6 +34,7 @@ type VCAllocator struct {
 	bids      []uint64          // per output VC: bitmask of bidding input VCs
 	bidder    []VCRequest       // request by flattened input-VC index
 	hasBidder []bool
+	grants    []VCGrant // scratch, reused across Allocate calls
 }
 
 // NewVCAllocator returns a VC allocator for p ports and v VCs per port.
@@ -69,6 +70,11 @@ func (a *VCAllocator) ovc(out, w int) int { return out*a.v + w }
 // output VC is granted per input VC and each output VC is granted to at
 // most one input VC per cycle.
 func (a *VCAllocator) Allocate(reqs []VCRequest) []VCGrant {
+	if len(reqs) == 0 {
+		// No requests grant nothing and touch no arbiter state; skip
+		// the scratch resets (they rerun on the next non-empty call).
+		return a.grants[:0]
+	}
 	for i := range a.bids {
 		a.bids[i] = 0
 		a.hasBidder[i] = false
@@ -92,8 +98,10 @@ func (a *VCAllocator) Allocate(reqs []VCRequest) []VCGrant {
 		a.bidder[iIdx] = r
 		a.bids[a.ovc(r.Out, w)] |= 1 << iIdx
 	}
-	// Stage 2: each output VC grants one bidding input VC.
-	var grants []VCGrant
+	// Stage 2: each output VC grants one bidding input VC. The returned
+	// slice is scratch owned by the allocator, valid until the next
+	// Allocate.
+	a.grants = a.grants[:0]
 	for out := 0; out < a.p; out++ {
 		for w := 0; w < a.v; w++ {
 			oIdx := a.ovc(out, w)
@@ -105,10 +113,10 @@ func (a *VCAllocator) Allocate(reqs []VCRequest) []VCGrant {
 				continue
 			}
 			r := a.bidder[iIdx]
-			grants = append(grants, VCGrant{In: r.In, VC: r.VC, Out: out, OutVC: w})
+			a.grants = append(a.grants, VCGrant{In: r.In, VC: r.VC, Out: out, OutVC: w})
 		}
 	}
-	return grants
+	return a.grants
 }
 
 func (a *VCAllocator) check(r VCRequest) {
@@ -122,19 +130,6 @@ func mask64(n int) uint64 {
 		return ^uint64(0)
 	}
 	return (uint64(1) << n) - 1
-}
-
-// FreeCandidates builds the candidate mask for a request: the free
-// output VCs of a port, given the busy state. It is a convenience for
-// routers implementing the R→p routing range.
-func FreeCandidates(busy []bool) uint64 {
-	var m uint64
-	for i, b := range busy {
-		if !b {
-			m |= 1 << i
-		}
-	}
-	return m
 }
 
 // PopcountCandidates reports the number of candidate VCs in a mask.

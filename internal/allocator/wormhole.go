@@ -21,6 +21,7 @@ type WormholeSwitch struct {
 	arbs    []arbiter.Arbiter
 	holder  []int // input port holding each output, -1 if free
 	reqBits []uint64
+	grants  []PortRequest // scratch, reused across Arbitrate calls
 }
 
 // NewWormholeSwitch returns a wormhole switch arbiter over p ports.
@@ -50,7 +51,14 @@ func (w *WormholeSwitch) Held(out int) bool { return w.holder[out] >= 0 }
 // Arbitrate processes one cycle of port requests. Requests for held
 // ports lose (the status flip-flop masks them); each free output port
 // grants at most one input, which then holds the port until Release.
+// The returned slice is scratch owned by the arbiter, valid until the
+// next Arbitrate.
 func (w *WormholeSwitch) Arbitrate(reqs []PortRequest) []PortRequest {
+	if len(reqs) == 0 {
+		// No requests grant nothing and touch no arbiter or holder
+		// state; skip the scratch resets.
+		return w.grants[:0]
+	}
 	for i := range w.reqBits {
 		w.reqBits[i] = 0
 	}
@@ -63,17 +71,17 @@ func (w *WormholeSwitch) Arbitrate(reqs []PortRequest) []PortRequest {
 		}
 		w.reqBits[r.Out] |= 1 << r.In
 	}
-	var grants []PortRequest
+	w.grants = w.grants[:0]
 	for out := 0; out < w.p; out++ {
 		if w.reqBits[out] == 0 {
 			continue
 		}
 		if in, ok := w.arbs[out].Grant(w.reqBits[out]); ok {
 			w.holder[out] = in
-			grants = append(grants, PortRequest{In: in, Out: out})
+			w.grants = append(w.grants, PortRequest{In: in, Out: out})
 		}
 	}
-	return grants
+	return w.grants
 }
 
 // Release frees output port out when a tail flit departs. Releasing a

@@ -9,7 +9,10 @@
 // h = 9τ overhead in the delay model).
 package arbiter
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Arbiter selects one winner among up to N requestors per grant cycle.
 type Arbiter interface {
@@ -32,7 +35,8 @@ func checkN(n int) {
 // winner is the requestor that beats all other requestors, and is then
 // demoted to the lowest priority (least-recently-served policy).
 type Matrix struct {
-	n int
+	n    int
+	mask uint64
 	// beats[i] has bit j set when i has priority over j.
 	beats []uint64
 }
@@ -41,10 +45,10 @@ type Matrix struct {
 // requestor 0 at the highest priority.
 func NewMatrix(n int) *Matrix {
 	checkN(n)
-	m := &Matrix{n: n, beats: make([]uint64, n)}
+	m := &Matrix{n: n, mask: mask(n), beats: make([]uint64, n)}
 	for i := 0; i < n; i++ {
 		// i beats all j > i initially (upper triangular).
-		m.beats[i] = (^uint64(0) << (i + 1)) & mask(n)
+		m.beats[i] = (^uint64(0) << (i + 1)) & m.mask
 	}
 	return m
 }
@@ -61,14 +65,13 @@ func (m *Matrix) N() int { return m.n }
 
 // Grant implements Arbiter.
 func (m *Matrix) Grant(requests uint64) (int, bool) {
-	requests &= mask(m.n)
+	requests &= m.mask
 	if requests == 0 {
 		return -1, false
 	}
-	for i := 0; i < m.n; i++ {
-		if requests&(1<<i) == 0 {
-			continue
-		}
+	// Walk only the set bits: requestors that did not bid cannot win.
+	for rem := requests; rem != 0; rem &= rem - 1 {
+		i := bits.TrailingZeros64(rem)
 		// i wins if it beats every other requestor.
 		others := requests &^ (1 << i)
 		if m.beats[i]&others == others {

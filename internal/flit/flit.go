@@ -89,8 +89,14 @@ type Flit struct {
 
 // NewPacketFlits breaks a packet into its flits with correct types.
 func NewPacketFlits(p *Packet) []Flit {
-	fl := make([]Flit, p.Size)
-	for i := range fl {
+	return AppendPacketFlits(nil, p)
+}
+
+// AppendPacketFlits appends the flits of a packet to dst and returns the
+// extended slice. Passing a reused buffer (dst[:0]) keeps packetization
+// allocation-free in steady state — the traffic sources lean on this.
+func AppendPacketFlits(dst []Flit, p *Packet) []Flit {
+	for i := 0; i < p.Size; i++ {
 		k := Body
 		switch {
 		case p.Size == 1:
@@ -100,7 +106,10 @@ func NewPacketFlits(p *Packet) []Flit {
 		case i == p.Size-1:
 			k = Tail
 		}
-		fl[i] = Flit{Pkt: p, Seq: i, Kind: k}
+		dst = append(dst, Flit{Pkt: p, Seq: i, Kind: k})
 	}
-	return fl
+	return dst
 }
+
+// Reset clears a packet for reuse from a pool, preserving nothing.
+func (p *Packet) Reset() { *p = Packet{} }

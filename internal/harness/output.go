@@ -69,7 +69,7 @@ func (s *JSONStream) Close() error {
 }
 
 // CSVHeader is the column set of WriteCSV, one row per job.
-const CSVHeader = "index,router,topology,k,pattern,vcs,buf_per_vc,packet_size,credit_delay,load,seed," +
+const CSVHeader = "index,router,topology,k,pattern,vcs,buf_per_vc,packet_size,credit_delay,step_workers,load,seed," +
 	"offered,accepted,mean_latency,p50,p95,max_latency,packets,cycles,saturated,error"
 
 // WriteCSV serializes results as CSV in job-index order, with the same
@@ -101,9 +101,9 @@ func writeCSVRow(w io.Writer, r JobResult) error {
 		cycles = r.Result.Cycles
 		saturated = r.Result.Saturated
 	}
-	_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%s,%d,%d,%d,%d,%s,%d,%s,%s,%s,%d,%d,%d,%d,%d,%t,%s\n",
+	_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%s,%d,%d,%d,%d,%d,%s,%d,%s,%s,%s,%d,%d,%d,%d,%d,%t,%s\n",
 		r.Index, csvEscape(sc.Router), csvEscape(sc.Topology), sc.K, csvEscape(sc.Pattern), sc.VCs, sc.BufPerVC,
-		sc.PacketSize, sc.CreditDelay, fmtFloat(sc.Load), r.Seed,
+		sc.PacketSize, sc.CreditDelay, sc.StepWorkers, fmtFloat(sc.Load), r.Seed,
 		fmtFloat(offered), fmtFloat(accepted), fmtFloat(mean),
 		p50, p95, max, packets, cycles, saturated, csvEscape(r.Error))
 	return err

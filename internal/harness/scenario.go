@@ -38,6 +38,10 @@ type Scenario struct {
 	PacketSize int `json:"packet_size"`
 	// CreditDelay is the credit propagation delay in cycles.
 	CreditDelay int `json:"credit_delay"`
+	// StepWorkers selects the network's deterministic parallel stepper
+	// (0 or 1 = serial engine; > 1 = that many stepper workers). It is
+	// an execution axis: results are byte-identical for every value.
+	StepWorkers int `json:"step_workers"`
 	// Load is the offered load as a fraction of capacity.
 	Load float64 `json:"load"`
 }
@@ -55,6 +59,7 @@ type Matrix struct {
 	BufsPerVC    []int     `json:"bufs_per_vc"`
 	PacketSizes  []int     `json:"packet_sizes"`
 	CreditDelays []int     `json:"credit_delays"`
+	StepWorkers  []int     `json:"step_workers"`
 	Loads        []float64 `json:"loads"`
 }
 
@@ -86,6 +91,9 @@ func (m Matrix) Normalize() Matrix {
 	if len(m.CreditDelays) == 0 {
 		m.CreditDelays = []int{1}
 	}
+	if len(m.StepWorkers) == 0 {
+		m.StepWorkers = []int{0}
+	}
 	if len(m.Loads) == 0 {
 		m.Loads = []float64{0.2}
 	}
@@ -114,29 +122,32 @@ func (m Matrix) Expand() []Scenario {
 						for _, buf := range m.BufsPerVC {
 							for _, size := range m.PacketSizes {
 								for _, cd := range m.CreditDelays {
-									for _, load := range m.Loads {
-										sc := Scenario{
-											Router:      rk,
-											Topology:    topo,
-											K:           k,
-											Pattern:     pat,
-											VCs:         vcs,
-											BufPerVC:    buf,
-											PacketSize:  size,
-											CreditDelay: cd,
-											Load:        load,
-										}
-										sc = sc.canonical()
-										// The VCs axis does not apply to non-VC
-										// kinds: pin to 1 so the label is truthful
-										// (a hand-built Scenario skips this and is
-										// rejected by SimConfig instead).
-										if kind, ok := router.ParseKind(sc.Router); ok && !kind.UsesVCs() {
-											sc.VCs = 1
-										}
-										if !seen[sc] {
-											seen[sc] = true
-											out = append(out, sc)
+									for _, sw := range m.StepWorkers {
+										for _, load := range m.Loads {
+											sc := Scenario{
+												Router:      rk,
+												Topology:    topo,
+												K:           k,
+												Pattern:     pat,
+												VCs:         vcs,
+												BufPerVC:    buf,
+												PacketSize:  size,
+												CreditDelay: cd,
+												StepWorkers: sw,
+												Load:        load,
+											}
+											sc = sc.canonical()
+											// The VCs axis does not apply to non-VC
+											// kinds: pin to 1 so the label is truthful
+											// (a hand-built Scenario skips this and is
+											// rejected by SimConfig instead).
+											if kind, ok := router.ParseKind(sc.Router); ok && !kind.UsesVCs() {
+												sc.VCs = 1
+											}
+											if !seen[sc] {
+												seen[sc] = true
+												out = append(out, sc)
+											}
 										}
 									}
 								}
@@ -208,6 +219,7 @@ func (s Scenario) Matrix() Matrix {
 		BufsPerVC:    []int{s.BufPerVC},
 		PacketSizes:  []int{s.PacketSize},
 		CreditDelays: []int{s.CreditDelay},
+		StepWorkers:  []int{s.StepWorkers},
 		Loads:        []float64{s.Load},
 	}
 }
@@ -215,8 +227,12 @@ func (s Scenario) Matrix() Matrix {
 // Label returns a compact human-readable scenario identifier for
 // progress lines and error messages.
 func (s Scenario) Label() string {
-	return fmt.Sprintf("%s/%s%d/%s/%dvcs×%dbuf/load=%.2f",
-		s.Router, s.Topology, s.K, s.Pattern, s.VCs, s.BufPerVC, s.Load)
+	stepper := ""
+	if s.StepWorkers > 1 {
+		stepper = fmt.Sprintf("/par%d", s.StepWorkers)
+	}
+	return fmt.Sprintf("%s/%s%d/%s/%dvcs×%dbuf%s/load=%.2f",
+		s.Router, s.Topology, s.K, s.Pattern, s.VCs, s.BufPerVC, stepper, s.Load)
 }
 
 // SimConfig lowers the scenario to a runnable simulation configuration
@@ -239,6 +255,9 @@ func (s Scenario) SimConfig(seed uint64, pr Protocol) (sim.Config, error) {
 	}
 	if s.VCs < 1 || s.BufPerVC < 1 || s.PacketSize < 1 || s.CreditDelay < 1 {
 		return sim.Config{}, fmt.Errorf("nonpositive VC, buffer, packet size, or credit delay")
+	}
+	if s.StepWorkers < 0 {
+		return sim.Config{}, fmt.Errorf("negative step worker count %d", s.StepWorkers)
 	}
 	if s.K < 2 {
 		return sim.Config{}, fmt.Errorf("network radix %d; need >= 2", s.K)
@@ -268,6 +287,7 @@ func (s Scenario) SimConfig(seed uint64, pr Protocol) (sim.Config, error) {
 		PacketSize:  s.PacketSize,
 		Pattern:     pat,
 		CreditDelay: s.CreditDelay,
+		StepWorkers: s.StepWorkers,
 		Topo:        topo,
 		Seed:        seed,
 	}

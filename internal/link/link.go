@@ -4,15 +4,28 @@
 // except in the Figure 18 experiment, where it is four.
 package link
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
+
+// neverDue marks the head slot of an empty ring: a single due-time
+// compare then rejects the (common) empty-wire Pop without consulting
+// the length.
+const neverDue = math.MaxInt64
 
 // Wire is a fixed-latency delay line. Items pushed during cycle t become
 // deliverable at cycle t+delay. Because the delay is constant, arrivals
-// are FIFO-ordered and the implementation is a simple ring of pending
-// entries.
+// are FIFO-ordered and the implementation is a power-of-two ring of
+// pending entries indexed with a mask.
+//
+// A wire has exactly one producer (Push) and one consumer (Pop); the
+// parallel network stepper relies on those two never running in the same
+// phase, which is what makes a Wire safe without locks.
 type Wire[T any] struct {
 	delay int64
 	buf   []entry[T]
+	mask  int
 	head  int
 	n     int
 }
@@ -24,12 +37,27 @@ type entry[T any] struct {
 
 // NewWire returns a wire with the given propagation delay in cycles
 // (must be ≥ 1: combinational links would break the simulator's
-// registered-stage semantics).
+// registered-stage semantics). Capacity is preallocated from the delay
+// and the one-item-per-cycle link bandwidth, so a wire never grows in
+// steady state.
 func NewWire[T any](delay int) *Wire[T] {
 	if delay < 1 {
 		panic(fmt.Sprintf("link: wire delay %d; need >= 1 cycle", delay))
 	}
-	return &Wire[T]{delay: int64(delay), buf: make([]entry[T], 8)}
+	// At one push per cycle, at most delay+1 items are in flight between
+	// a push at t and the drain at t+delay (inclusive).
+	capacity := ceilPow2(delay + 1)
+	w := &Wire[T]{delay: int64(delay), buf: make([]entry[T], capacity), mask: capacity - 1}
+	w.buf[0].due = neverDue
+	return w
+}
+
+func ceilPow2(n int) int {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
 }
 
 // Delay returns the propagation delay in cycles.
@@ -43,28 +71,44 @@ func (w *Wire[T]) Len() int { return w.n }
 // by cycle), which keeps arrivals FIFO-ordered.
 func (w *Wire[T]) Push(now int64, v T) {
 	if w.n == len(w.buf) {
-		grown := make([]entry[T], 2*len(w.buf))
-		for i := 0; i < w.n; i++ {
-			grown[i] = w.buf[(w.head+i)%len(w.buf)]
-		}
-		w.buf = grown
-		w.head = 0
+		w.grow()
 	}
-	w.buf[(w.head+w.n)%len(w.buf)] = entry[T]{due: now + w.delay, v: v}
+	w.buf[(w.head+w.n)&w.mask] = entry[T]{due: now + w.delay, v: v}
 	w.n++
 }
 
-// Deliver invokes fn for every item due at or before cycle now, in
-// arrival order, removing them from the wire.
-func (w *Wire[T]) Deliver(now int64, fn func(T)) {
-	for w.n > 0 {
-		e := w.buf[w.head]
-		if e.due > now {
-			return
-		}
-		w.buf[w.head] = entry[T]{}
-		w.head = (w.head + 1) % len(w.buf)
-		w.n--
-		fn(e.v)
+// grow doubles the ring. Preallocation makes this unreachable for
+// bandwidth-1 links; it is kept for wires used as unbounded delay
+// pipelines (e.g. a router's internal credit-processing pipe).
+func (w *Wire[T]) grow() {
+	grown := make([]entry[T], 2*len(w.buf))
+	for i := 0; i < w.n; i++ {
+		grown[i] = w.buf[(w.head+i)&w.mask]
 	}
+	w.buf = grown
+	w.mask = len(grown) - 1
+	w.head = 0
+}
+
+// Pop removes and returns the oldest item due at or before cycle now.
+// It returns ok=false when nothing (more) is due. Draining a wire is a
+// loop over Pop, which keeps the hot path free of closure calls:
+//
+//	for v, ok := w.Pop(now); ok; v, ok = w.Pop(now) { ... }
+func (w *Wire[T]) Pop(now int64) (T, bool) {
+	h := w.head
+	// The empty ring keeps neverDue in its head slot, so one compare
+	// covers both "empty" and "nothing due yet".
+	if w.buf[h].due > now {
+		var zero T
+		return zero, false
+	}
+	v := w.buf[h].v
+	w.buf[h] = entry[T]{}
+	w.head = (h + 1) & w.mask
+	w.n--
+	if w.n == 0 {
+		w.buf[w.head].due = neverDue
+	}
+	return v, true
 }

@@ -8,7 +8,9 @@ import (
 
 func drain(w *Wire[int], now int64) []int {
 	var got []int
-	w.Deliver(now, func(v int) { got = append(got, v) })
+	for v, ok := w.Pop(now); ok; v, ok = w.Pop(now) {
+		got = append(got, v)
+	}
 	return got
 }
 
@@ -79,12 +81,12 @@ func TestWirePropertyConservation(t *testing.T) {
 		}
 		delivered := 0
 		for now := int64(0); now <= 300; now++ {
-			w.Deliver(now, func(v int) {
+			for v, ok := w.Pop(now); ok; v, ok = w.Pop(now) {
 				if evs[v].due > now {
 					t.Errorf("item %d delivered at %d before due %d", v, now, evs[v].due)
 				}
 				delivered++
-			})
+			}
 		}
 		return delivered == len(pushCycles) && w.Len() == 0
 	}

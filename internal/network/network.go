@@ -9,6 +9,7 @@ import (
 
 	"routersim/internal/flit"
 	"routersim/internal/link"
+	"routersim/internal/pool"
 	"routersim/internal/rng"
 	"routersim/internal/router"
 	"routersim/internal/stats"
@@ -41,6 +42,12 @@ type Config struct {
 	// wraparound rings comes from dateline VC classes, which wormhole
 	// flow control cannot provide.
 	Topo topology.Topology
+	// StepWorkers selects the deterministic parallel stepper: with a
+	// value > 1, Step runs the routers' deliver and compute phases on
+	// that many persistent workers. Results are byte-identical to the
+	// serial engine for any worker count; 0 or 1 is the serial engine.
+	// Networks using the parallel stepper must be Closed after use.
+	StepWorkers int
 	// Seed makes the simulation exactly reproducible.
 	Seed uint64
 }
@@ -67,6 +74,9 @@ func (c *Config) Normalize() error {
 	}
 	if c.FlitDelay < 1 || c.CreditDelay < 1 {
 		return fmt.Errorf("network: propagation delays must be >= 1 cycle")
+	}
+	if c.StepWorkers < 0 {
+		return fmt.Errorf("network: negative step worker count %d", c.StepWorkers)
 	}
 	if c.Pattern == nil {
 		c.Pattern = traffic.Uniform{}
@@ -106,10 +116,26 @@ type Network struct {
 	OnPacketCreated func(p *flit.Packet, now int64)
 	// OnFlitEjected is called for every flit leaving the network.
 	OnFlitEjected func(f flit.Flit, now int64)
-	// OnPacketDone is called when a packet's last flit is ejected.
+	// OnPacketDone is called when a packet's last flit is ejected. The
+	// packet is recycled when the callback returns: callbacks must not
+	// retain p.
 	OnPacketDone func(p *flit.Packet, now int64)
 
 	nextPacketID int64
+
+	// pktFree is the packet pool: packets are recycled when their last
+	// flit is ejected, so a steady-state Step allocates nothing.
+	pktFree []*flit.Packet
+
+	// gang and the prebuilt phase closures implement the deterministic
+	// parallel stepper. parNow carries the cycle into the closures
+	// without a per-cycle allocation; the gang's run barrier orders the
+	// write against the workers' reads.
+	gang      *pool.Gang
+	parNow    int64
+	deliverFn func(i int)
+	computeFn func(i int)
+	probed    bool
 }
 
 // New builds the network. The configuration is normalized in place.
@@ -121,17 +147,27 @@ func New(cfg Config) (*Network, error) {
 	nodes := n.topo.Nodes()
 	master := rng.New(cfg.Seed)
 
+	// Precompute per-router routing tables (dst → output port) and, on a
+	// torus, the dateline VC-class candidate masks (dst, port) — the
+	// routing and VC-allocation stages are table lookups, not calls.
+	tor, isTorus := n.topo.(topology.Torus)
+	ports := cfg.Router.Ports
 	n.routers = make([]*router.Router, nodes)
 	for id := 0; id < nodes; id++ {
-		id := id
-		n.routers[id] = router.New(id, cfg.Router,
-			func(dst int) int { return n.topo.Route(id, dst) },
-			func(f flit.Flit, now int64) { n.handleEject(id, f, now) })
-		if tor, ok := n.topo.(topology.Torus); ok {
+		routes := make([]uint8, nodes)
+		for dst := 0; dst < nodes; dst++ {
+			routes[dst] = uint8(n.topo.Route(id, dst))
+		}
+		n.routers[id] = router.New(id, cfg.Router, routes)
+		if isTorus {
 			vcs := cfg.Router.VCs
-			n.routers[id].SetVCClassPolicy(func(dst, port int) uint64 {
-				return tor.VCMask(id, dst, port, vcs)
-			})
+			classTab := make([]uint64, nodes*ports)
+			for dst := 0; dst < nodes; dst++ {
+				for port := 0; port < ports; port++ {
+					classTab[dst*ports+port] = tor.VCMask(id, dst, port, vcs)
+				}
+			}
+			n.routers[id].SetVCClassTable(classTab)
 		}
 	}
 
@@ -167,7 +203,34 @@ func New(cfg Config) (*Network, error) {
 		}
 		n.sources[id] = newSource(n, id, inj, nodeRNG, fw, cw)
 	}
+
+	if cfg.StepWorkers > 1 {
+		n.gang = pool.NewGang(cfg.StepWorkers)
+		// In the deliver phase every router touches only its own input
+		// wires, so the full Idle check is safe; in the compute phase
+		// other routers push onto this router's input wires, so only the
+		// router-local ComputeIdle check may be used.
+		n.deliverFn = func(i int) {
+			if r := n.routers[i]; !r.Idle() {
+				r.Deliver(n.parNow)
+			}
+		}
+		n.computeFn = func(i int) {
+			if r := n.routers[i]; !r.ComputeIdle() {
+				r.Compute(n.parNow)
+			}
+		}
+	}
 	return n, nil
+}
+
+// Close releases the parallel stepper's workers. It is a no-op for
+// serial networks and must not be called twice.
+func (n *Network) Close() {
+	if n.gang != nil {
+		n.gang.Close()
+		n.gang = nil
+	}
 }
 
 // Config returns the (normalized) configuration.
@@ -188,8 +251,10 @@ func (n *Network) Router(id int) *router.Router { return n.routers[id] }
 // SourceQueueLen returns the source-queue depth at a node (for tests).
 func (n *Network) SourceQueueLen(id int) int { return n.sources[id].queueLen() }
 
-// SetProbes installs buffer-turnaround probes on every router.
+// SetProbes installs buffer-turnaround probes on every router. Probes
+// share one accumulator, so a probed network always steps serially.
 func (n *Network) SetProbes(t *stats.Turnaround) {
+	n.probed = true
 	for _, r := range n.routers {
 		r.SetProbe(t)
 	}
@@ -197,10 +262,36 @@ func (n *Network) SetProbes(t *stats.Turnaround) {
 
 // Step advances the whole network one cycle. Routers exchange all state
 // through ≥1-cycle wires, so the visit order within a cycle is
-// immaterial.
+// immaterial — which is also what makes the two-phase parallel stepper
+// exact: every Deliver only consumes items pushed in earlier cycles,
+// and every Compute only pushes items deliverable in later cycles.
+// Ejection callbacks and traffic sources always run serially, in node
+// order, so callback order (and thus all derived measurement) is
+// identical for any worker count.
 func (n *Network) Step(now int64) {
-	for _, r := range n.routers {
-		r.Step(now)
+	if n.gang != nil && !n.probed {
+		n.parNow = now
+		n.gang.Run(len(n.routers), n.deliverFn)
+		n.gang.Run(len(n.routers), n.computeFn)
+	} else {
+		for _, r := range n.routers {
+			// Skip routers with no buffered flits, latched grants, or
+			// in-flight wire traffic: stepping them is a no-op.
+			if r.Idle() {
+				continue
+			}
+			r.Step(now)
+		}
+	}
+	for id, r := range n.routers {
+		ejected := r.Ejected()
+		if len(ejected) == 0 {
+			continue
+		}
+		for _, f := range ejected {
+			n.handleEject(id, f, now)
+		}
+		r.ClearEjected()
 	}
 	for _, s := range n.sources {
 		s.step(now)
@@ -214,7 +305,26 @@ func (n *Network) handleEject(at int, f flit.Flit, now int64) {
 	if n.OnFlitEjected != nil {
 		n.OnFlitEjected(f, now)
 	}
-	if f.Pkt.Done() && n.OnPacketDone != nil {
-		n.OnPacketDone(f.Pkt, now)
+	if f.Pkt.Done() {
+		if n.OnPacketDone != nil {
+			n.OnPacketDone(f.Pkt, now)
+		}
+		n.freePacket(f.Pkt)
 	}
+}
+
+// allocPacket takes a zeroed packet from the pool (or allocates one).
+func (n *Network) allocPacket() *flit.Packet {
+	if len(n.pktFree) == 0 {
+		return &flit.Packet{}
+	}
+	p := n.pktFree[len(n.pktFree)-1]
+	n.pktFree = n.pktFree[:len(n.pktFree)-1]
+	return p
+}
+
+// freePacket recycles a fully ejected packet.
+func (n *Network) freePacket(p *flit.Packet) {
+	p.Reset()
+	n.pktFree = append(n.pktFree, p)
 }

@@ -1,0 +1,99 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+
+	"routersim/internal/flit"
+	"routersim/internal/router"
+	"routersim/internal/topology"
+)
+
+// eventTrace records every observable event of a run in order; two
+// engines are equivalent only if their traces match exactly.
+func eventTrace(t *testing.T, cfg Config, cycles int64) []string {
+	t.Helper()
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	var trace []string
+	net.OnPacketCreated = func(p *flit.Packet, now int64) {
+		trace = append(trace, fmt.Sprintf("c %d %d %d %d", now, p.ID, p.Src, p.Dst))
+	}
+	net.OnFlitEjected = func(f flit.Flit, now int64) {
+		trace = append(trace, fmt.Sprintf("e %d %d %d", now, f.Pkt.ID, f.Seq))
+	}
+	net.OnPacketDone = func(p *flit.Packet, now int64) {
+		trace = append(trace, fmt.Sprintf("d %d %d %d", now, p.ID, p.Latency()))
+	}
+	for now := int64(0); now < cycles; now++ {
+		net.Step(now)
+	}
+	return trace
+}
+
+// TestParallelStepperMatchesSerial: the two-phase parallel stepper must
+// produce the exact event sequence of the serial engine — every packet
+// creation, flit ejection, and completion at the same cycle in the same
+// order — for every router kind, for any worker count. Run under -race
+// in CI, this also certifies the phase barriers.
+func TestParallelStepperMatchesSerial(t *testing.T) {
+	kinds := []router.Kind{
+		router.Wormhole, router.VirtualChannel, router.SpeculativeVC,
+		router.SingleCycleWormhole, router.SingleCycleVC,
+	}
+	cycles := simCycles(6000)
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{K: 4, Router: router.DefaultConfig(kind), Seed: 11, InjectionRate: 0.5 * 1.0 / 5}
+			serial := eventTrace(t, cfg, cycles)
+			if len(serial) == 0 {
+				t.Fatal("no traffic in serial run")
+			}
+			for _, workers := range []int{2, 5} {
+				cfg := cfg
+				cfg.StepWorkers = workers
+				par := eventTrace(t, cfg, cycles)
+				if len(par) != len(serial) {
+					t.Fatalf("%d workers: %d events vs %d serial", workers, len(par), len(serial))
+				}
+				for i := range serial {
+					if par[i] != serial[i] {
+						t.Fatalf("%d workers: event %d diverged: %q vs serial %q", workers, i, par[i], serial[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelStepperTorus covers the torus topology (dateline VC class
+// tables) under the parallel stepper.
+func TestParallelStepperTorus(t *testing.T) {
+	cfg := Config{
+		K:             4,
+		Router:        router.DefaultConfig(router.SpeculativeVC),
+		Topo:          topology.NewTorus(4),
+		Seed:          5,
+		InjectionRate: 0.4 * 2.0 / 5,
+	}
+	cycles := simCycles(6000)
+	serial := eventTrace(t, cfg, cycles)
+	cfg.StepWorkers = 3
+	par := eventTrace(t, cfg, cycles)
+	if len(serial) == 0 {
+		t.Fatal("no traffic")
+	}
+	if len(par) != len(serial) {
+		t.Fatalf("%d events parallel vs %d serial", len(par), len(serial))
+	}
+	for i := range serial {
+		if par[i] != serial[i] {
+			t.Fatalf("event %d diverged: %q vs %q", i, par[i], serial[i])
+		}
+	}
+}

@@ -21,17 +21,23 @@ type source struct {
 	inj  traffic.Injector
 	rng  *rng.RNG
 
-	flitOut   *link.Wire[flit.Flit]
-	creditIn  *link.Wire[router.Credit]
-	credits   []int
-	busy      []bool // VC assigned to an in-flight packet stream
-	streams   []stream
-	rrNext    int // round-robin pointer over VCs for injection bandwidth
-	queue     []*flit.Packet
-	queueHead int
+	flitOut  *link.Wire[flit.Flit]
+	creditIn *link.Wire[router.Credit]
+	credits  []int
+	busy     []bool // VC assigned to an in-flight packet stream
+	inFlight int    // number of busy VCs (skip the injection scan at 0)
+	rrNext   int    // round-robin pointer over VCs for injection bandwidth
+	streams  []stream
+
+	// queue is an unbounded power-of-two ring of waiting packets.
+	queue []*flit.Packet
+	qhead int
+	qlen  int
 }
 
-// stream is an in-progress packet being streamed onto one VC.
+// stream is an in-progress packet being streamed onto one VC. The flit
+// buffer is reused across packets, so steady-state packetization does
+// not allocate.
 type stream struct {
 	flits []flit.Flit
 	next  int
@@ -47,6 +53,7 @@ func newSource(net *Network, node int, inj traffic.Injector, r *rng.RNG,
 		credits: make([]int, v),
 		busy:    make([]bool, v),
 		streams: make([]stream, v),
+		queue:   make([]*flit.Packet, 8),
 	}
 	for i := range s.credits {
 		s.credits[i] = net.cfg.Router.BufPerVC
@@ -54,12 +61,41 @@ func newSource(net *Network, node int, inj traffic.Injector, r *rng.RNG,
 	return s
 }
 
-func (s *source) queueLen() int { return len(s.queue) - s.queueHead }
+func (s *source) queueLen() int { return s.qlen }
+
+// pushQueue appends a packet to the source queue, doubling the ring when
+// full (source queues are unbounded, per the paper's infinite-queue
+// model).
+func (s *source) pushQueue(p *flit.Packet) {
+	if s.qlen == len(s.queue) {
+		grown := make([]*flit.Packet, 2*len(s.queue))
+		mask := len(s.queue) - 1
+		for i := 0; i < s.qlen; i++ {
+			grown[i] = s.queue[(s.qhead+i)&mask]
+		}
+		s.queue = grown
+		s.qhead = 0
+	}
+	s.queue[(s.qhead+s.qlen)&(len(s.queue)-1)] = p
+	s.qlen++
+}
+
+// popQueue removes and returns the head-of-queue packet; the queue must
+// be non-empty.
+func (s *source) popQueue() *flit.Packet {
+	p := s.queue[s.qhead]
+	s.queue[s.qhead] = nil
+	s.qhead = (s.qhead + 1) & (len(s.queue) - 1)
+	s.qlen--
+	return p
+}
 
 // step advances the source one cycle: receive returned credits, generate
 // new packets, bind queued packets to free VCs, and inject one flit.
 func (s *source) step(now int64) {
-	s.creditIn.Deliver(now, func(c router.Credit) { s.credits[c.VC]++ })
+	for c, ok := s.creditIn.Pop(now); ok; c, ok = s.creditIn.Pop(now) {
+		s.credits[c.VC]++
+	}
 
 	for i := s.inj.Tick(); i > 0; i-- {
 		s.generate(now)
@@ -67,24 +103,26 @@ func (s *source) step(now int64) {
 
 	// Bind head-of-queue packets to free virtual channels. A packet
 	// holds its VC until its tail is injected (the source performs the
-	// VC allocation of the injection channel).
-	for vc := range s.busy {
-		if s.busy[vc] || s.queueLen() == 0 {
+	// VC allocation of the injection channel). The scan exits as soon as
+	// the queue drains, and is skipped entirely when it is empty.
+	for vc := 0; vc < len(s.busy) && s.qlen > 0; vc++ {
+		if s.busy[vc] {
 			continue
 		}
-		p := s.queue[s.queueHead]
-		s.queue[s.queueHead] = nil
-		s.queueHead++
-		if s.queueHead > 1024 && s.queueHead*2 > len(s.queue) {
-			s.queue = append(s.queue[:0], s.queue[s.queueHead:]...)
-			s.queueHead = 0
-		}
+		p := s.popQueue()
 		s.busy[vc] = true
-		s.streams[vc] = stream{flits: flit.NewPacketFlits(p)}
+		s.inFlight++
+		st := &s.streams[vc]
+		st.flits = flit.AppendPacketFlits(st.flits[:0], p)
+		st.next = 0
 	}
 
 	// Inject at most one flit this cycle, round-robin over VCs with a
-	// pending flit and a credit.
+	// pending flit and a credit. Nothing in flight means nothing to
+	// scan.
+	if s.inFlight == 0 {
+		return
+	}
 	v := len(s.busy)
 	for k := 0; k < v; k++ {
 		vc := (s.rrNext + k) % v
@@ -99,26 +137,27 @@ func (s *source) step(now int64) {
 		st.next++
 		if st.next == len(st.flits) {
 			s.busy[vc] = false
-			s.streams[vc] = stream{}
+			s.inFlight--
+			st.next = 0
 		}
 		s.rrNext = (vc + 1) % v
 		return
 	}
 }
 
-// generate creates one packet and appends it to the source queue.
+// generate creates one packet (from the network's pool) and appends it
+// to the source queue.
 func (s *source) generate(now int64) {
 	dst := s.net.cfg.Pattern.Dest(s.node, s.net.Nodes(), s.rng)
-	p := &flit.Packet{
-		ID:        s.net.nextPacketID,
-		Src:       s.node,
-		Dst:       dst,
-		Size:      s.net.cfg.PacketSize,
-		CreatedAt: now,
-	}
+	p := s.net.allocPacket()
+	p.ID = s.net.nextPacketID
+	p.Src = s.node
+	p.Dst = dst
+	p.Size = s.net.cfg.PacketSize
+	p.CreatedAt = now
 	s.net.nextPacketID++
 	if cb := s.net.OnPacketCreated; cb != nil {
 		cb(p, now)
 	}
-	s.queue = append(s.queue, p)
+	s.pushQueue(p)
 }

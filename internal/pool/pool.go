@@ -47,3 +47,70 @@ func Run(n, workers int, fn func(i int)) {
 	}
 	wg.Wait()
 }
+
+// Gang is a persistent pool of workers for running many small parallel
+// phases without per-phase goroutine spawning — the engine under the
+// network's parallel stepper, which dispatches two phases per simulated
+// cycle. Jobs are claimed from a shared atomic counter, so which worker
+// runs which index is scheduling-dependent; callers must make fn(i)
+// write only state owned by index i, which is exactly the discipline
+// that keeps the stepper deterministic.
+type Gang struct {
+	workers int
+	work    chan gangPhase
+	// next and wg are reused across phases (Run is not reentrant), so
+	// dispatching a phase performs no heap allocation.
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+type gangPhase struct {
+	n  int
+	fn func(i int)
+}
+
+// NewGang starts a gang of the given size (<= 0 means GOMAXPROCS).
+// Close must be called to release the workers.
+func NewGang(workers int) *Gang {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	g := &Gang{workers: workers, work: make(chan gangPhase)}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for ph := range g.work {
+				for {
+					i := int(g.next.Add(1)) - 1
+					if i >= ph.n {
+						break
+					}
+					ph.fn(i)
+				}
+				g.wg.Done()
+			}
+		}()
+	}
+	return g
+}
+
+// Workers returns the gang size.
+func (g *Gang) Workers() int { return g.workers }
+
+// Run invokes fn(i) once for every i in [0, n) on the gang's workers and
+// returns when all invocations have finished. It must not be called
+// concurrently with itself.
+func (g *Gang) Run(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	g.next.Store(0)
+	g.wg.Add(g.workers)
+	ph := gangPhase{n: n, fn: fn}
+	for w := 0; w < g.workers; w++ {
+		g.work <- ph
+	}
+	g.wg.Wait()
+}
+
+// Close terminates the gang's workers. The gang must not be used after.
+func (g *Gang) Close() { close(g.work) }

@@ -26,6 +26,50 @@ func TestRunZeroJobs(t *testing.T) {
 	}
 }
 
+func TestGangCoversEveryIndexOncePerPhase(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		g := NewGang(workers)
+		const n, phases = 37, 50
+		var counts [n]atomic.Int32
+		for ph := 0; ph < phases; ph++ {
+			g.Run(n, func(i int) { counts[i].Add(1) })
+		}
+		g.Close()
+		for i := range counts {
+			if c := counts[i].Load(); c != phases {
+				t.Fatalf("workers=%d: index %d ran %d times over %d phases", workers, i, c, phases)
+			}
+		}
+	}
+}
+
+func TestGangPhaseIsBarrier(t *testing.T) {
+	// Everything written in phase k must be visible to phase k+1.
+	g := NewGang(4)
+	defer g.Close()
+	const n = 64
+	vals := make([]int, n)
+	out := make([]int, n)
+	g.Run(n, func(i int) { vals[i] = i * i })
+	g.Run(n, func(i int) { out[i] = vals[i] + vals[(i+1)%n] })
+	for i := 0; i < n; i++ {
+		want := i*i + ((i+1)%n)*((i+1)%n)
+		if out[i] != want {
+			t.Fatalf("index %d = %d after two phases, want %d", i, out[i], want)
+		}
+	}
+}
+
+func TestGangZeroJobs(t *testing.T) {
+	g := NewGang(2)
+	defer g.Close()
+	called := false
+	g.Run(0, func(i int) { called = true })
+	if called {
+		t.Error("fn called with n=0")
+	}
+}
+
 func TestRunBoundsConcurrency(t *testing.T) {
 	const workers = 3
 	var inFlight, peak atomic.Int32

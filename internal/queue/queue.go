@@ -14,9 +14,13 @@ import (
 // correct credit flow control this never happens.
 var ErrFull = errors.New("queue: push into full flit FIFO (credit accounting violated)")
 
-// FIFO is a fixed-capacity ring buffer of flits.
+// FIFO is a fixed-capacity ring buffer of flits. The ring is sized to a
+// power of two so head/tail wrap with a mask instead of a modulo; the
+// logical capacity (credit accounting) stays exactly what was asked for.
 type FIFO struct {
 	buf  []flit.Flit
+	mask int
+	cap  int
 	head int
 	n    int
 }
@@ -26,11 +30,15 @@ func NewFIFO(capacity int) *FIFO {
 	if capacity < 1 {
 		panic("queue: FIFO capacity must be at least 1")
 	}
-	return &FIFO{buf: make([]flit.Flit, capacity)}
+	ring := 1
+	for ring < capacity {
+		ring <<= 1
+	}
+	return &FIFO{buf: make([]flit.Flit, ring), mask: ring - 1, cap: capacity}
 }
 
 // Cap returns the FIFO capacity in flits.
-func (q *FIFO) Cap() int { return len(q.buf) }
+func (q *FIFO) Cap() int { return q.cap }
 
 // Len returns the number of buffered flits.
 func (q *FIFO) Len() int { return q.n }
@@ -39,14 +47,14 @@ func (q *FIFO) Len() int { return q.n }
 func (q *FIFO) Empty() bool { return q.n == 0 }
 
 // Full reports whether every slot is occupied.
-func (q *FIFO) Full() bool { return q.n == len(q.buf) }
+func (q *FIFO) Full() bool { return q.n == q.cap }
 
 // Push appends a flit; it returns ErrFull if no slot is free.
 func (q *FIFO) Push(f flit.Flit) error {
-	if q.Full() {
+	if q.n == q.cap {
 		return ErrFull
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = f
+	q.buf[(q.head+q.n)&q.mask] = f
 	q.n++
 	return nil
 }
@@ -69,7 +77,7 @@ func (q *FIFO) Pop() (flit.Flit, bool) {
 	}
 	f := q.buf[q.head]
 	q.buf[q.head] = flit.Flit{}
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & q.mask
 	q.n--
 	return f, true
 }

@@ -2,6 +2,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"routersim/internal/allocator"
 	"routersim/internal/flit"
@@ -50,17 +51,20 @@ type inputPort struct {
 	vcs       []inputVC
 	flitIn    *link.Wire[flit.Flit] // upstream pushes flits here (nil: unconnected edge)
 	creditOut *link.Wire[Credit]    // we push freed-buffer credits here (nil: unconnected)
+	// occ has bit c set while input VC c needs allocation attention:
+	// its FIFO is non-empty or its state is not idle. The allocation
+	// stages iterate set bits instead of scanning every VC.
+	occ uint64
 }
 
 // outputPort is one physical output channel: the downstream credit
 // state (credits per VC, outvc_state) plus the outgoing flit wire.
 type outputPort struct {
-	flitOut    *link.Wire[flit.Flit] // nil for the ejection port
-	creditIn   *link.Wire[Credit]    // downstream pushes returned credits here
-	creditPipe *link.Wire[Credit]    // credit-processing pipeline (nil when depth 0)
-	credits    []int                 // per downstream VC
-	vcBusy     []bool                // outvc_state: VC allocated to a packet
-	ejection   bool                  // local port: infinite buffering, immediate ejection
+	flitOut  *link.Wire[flit.Flit] // nil for the ejection port
+	creditIn *link.Wire[Credit]    // downstream pushes returned credits here
+	credits  []int                 // per downstream VC
+	vcBusy   uint64                // outvc_state bitmask: VC allocated to a packet
+	ejection bool                  // local port: infinite buffering, immediate ejection
 }
 
 // stGrant is a latched switch grant: the head-of-queue flit of (in, vc)
@@ -75,14 +79,30 @@ type Router struct {
 	in  []inputPort
 	out []outputPort
 
-	// route maps a destination node to this router's output port.
-	route func(dst int) int
-	// eject consumes flits leaving through the local output port.
-	eject func(f flit.Flit, now int64)
-	// classMask, when set, restricts the output VCs a packet may be
+	// occPorts has bit p set while input port p has a non-zero occ mask,
+	// letting the allocation stages (and the network's idle-router skip)
+	// ignore quiet ports entirely.
+	occPorts uint64
+
+	// routes maps a destination node to this router's output port. It is
+	// precomputed once (network.New) and read-only afterwards, so it is
+	// safe to share between concurrently stepping routers.
+	routes []uint8
+	// vcMaskAll has the low VCs bits set (the full candidate mask).
+	vcMaskAll uint64
+	// creditLag is the credit-processing pipeline depth in cycles,
+	// applied by popping the credit wires that many cycles late.
+	creditLag int64
+	// classTab, when set, restricts the output VCs a packet may be
 	// allocated on a given output port (dateline deadlock avoidance on
-	// tori). nil permits every VC.
-	classMask func(dst, port int) uint64
+	// tori), indexed dst*Ports+port. nil permits every VC.
+	classTab []uint64
+
+	// ejected collects the flits that left through the local output port
+	// this cycle. The network drains it (in router-id order) after all
+	// routers have stepped, which keeps ejection callbacks off the
+	// parallel compute phase and their order deterministic.
+	ejected []flit.Flit
 
 	// allocators (which are instantiated depends on Kind)
 	whArb     *allocator.WormholeSwitch
@@ -108,14 +128,17 @@ type Router struct {
 	whReleases  []int  // wormhole port releases registered this cycle
 }
 
-// New returns a router. route maps destination node to output port;
-// eject consumes flits that leave through the local port.
-func New(id int, cfg Config, route func(dst int) int, eject func(f flit.Flit, now int64)) *Router {
+// New returns a router. routes maps destination node to output port
+// (routes[dst] = port); it is retained and must not be mutated after.
+// Flits routed to port 0 (the local port) are ejected: they accumulate
+// in the buffer returned by Ejected until ClearEjected.
+func New(id int, cfg Config, routes []uint8) *Router {
 	if err := cfg.Validate(); err != nil {
 		panic(fmt.Sprintf("router %d: %v", id, err))
 	}
-	r := &Router{id: id, cfg: cfg, route: route, eject: eject}
+	r := &Router{id: id, cfg: cfg, routes: routes}
 	p, v := cfg.Ports, cfg.VCs
+	r.vcMaskAll = (uint64(1) << v) - 1
 	r.in = make([]inputPort, p)
 	r.out = make([]outputPort, p)
 	for i := 0; i < p; i++ {
@@ -124,14 +147,14 @@ func New(id int, cfg Config, route func(dst int) int, eject func(f flit.Flit, no
 			r.in[i].vcs[c] = inputVC{fifo: queue.NewFIFO(cfg.BufPerVC), outVC: -1}
 		}
 		r.out[i].credits = make([]int, v)
-		r.out[i].vcBusy = make([]bool, v)
 		for c := 0; c < v; c++ {
 			r.out[i].credits[c] = cfg.BufPerVC
 		}
-		if d := cfg.CreditProcessDelay(); d > 0 {
-			r.out[i].creditPipe = link.NewWire[Credit](d)
-		}
 	}
+	// The credit-processing pipeline of depth d (a credit received at t
+	// is visible at t+d) is implemented by draining the credit wires d
+	// cycles late — identical timing, no extra delay line.
+	r.creditLag = int64(cfg.CreditProcessDelay())
 	r.out[0].ejection = true
 
 	f := cfg.arb()
@@ -147,6 +170,15 @@ func New(id int, cfg Config, route func(dst int) int, eject func(f flit.Flit, no
 		r.specAlloc.PrioritizeNonSpec = cfg.SpecPriority
 	}
 	r.vaGrantThis = make([]int8, p*v)
+	// Preallocate the scratch buffers to their worst-case sizes so the
+	// steady-state cycle never grows a slice.
+	r.pending = make([]stGrant, 0, p)
+	r.next = make([]stGrant, 0, p)
+	r.portReqs = make([]allocator.PortRequest, 0, p)
+	r.swReqs = make([]allocator.SwitchRequest, 0, p*v)
+	r.specReqs = make([]allocator.SwitchRequest, 0, p*v)
+	r.vaReqs = make([]allocator.VCRequest, 0, p*v)
+	r.whReleases = make([]int, 0, p)
 	return r
 }
 
@@ -170,22 +202,26 @@ func (r *Router) ConnectOutput(port int, flitOut *link.Wire[flit.Flit], creditIn
 	r.out[port].creditIn = creditIn
 }
 
-// SetVCClassPolicy restricts VC-allocation candidates per (destination,
-// output port) — used for dateline virtual-channel classes on tori. It
-// must be set before the first Step.
-func (r *Router) SetVCClassPolicy(mask func(dst, port int) uint64) {
-	r.classMask = mask
+// SetVCClassTable restricts VC-allocation candidates per (destination,
+// output port), indexed dst*Ports+port — used for dateline virtual-
+// channel classes on tori. The table is precomputed by the network and
+// must be set before the first Step; it is read-only afterwards.
+func (r *Router) SetVCClassTable(tab []uint64) {
+	if tab != nil && len(tab)%r.cfg.Ports != 0 {
+		panic(fmt.Sprintf("router %d: VC class table length %d not a multiple of %d ports", r.id, len(tab), r.cfg.Ports))
+	}
+	r.classTab = tab
 }
 
 // vaCandidates builds the VC-allocation candidate mask for an input VC:
 // the free VCs of the routed output port, intersected with the class
 // policy.
 func (r *Router) vaCandidates(vc *inputVC) uint64 {
-	cands := allocator.FreeCandidates(r.out[vc.route].vcBusy)
-	if r.classMask != nil {
+	cands := ^r.out[vc.route].vcBusy & r.vcMaskAll
+	if r.classTab != nil {
 		hoq := vc.fifo.Peek()
 		if hoq != nil {
-			cands &= r.classMask(hoq.Pkt.Dst, vc.route)
+			cands &= r.classTab[hoq.Pkt.Dst*r.cfg.Ports+vc.route]
 		}
 	}
 	return cands
@@ -210,14 +246,106 @@ func (r *Router) Credits(out, vc int) int { return r.out[out].credits[vc] }
 func (r *Router) BufferedFlits(port, vc int) int { return r.in[port].vcs[vc].fifo.Len() }
 
 // OutVCBusy reports outvc_state for (out, vc) (for tests).
-func (r *Router) OutVCBusy(out, vc int) bool { return r.out[out].vcBusy[vc] }
+func (r *Router) OutVCBusy(out, vc int) bool { return r.out[out].vcBusy&(1<<vc) != 0 }
+
+// Ejected returns the flits that left through the local port since the
+// last ClearEjected, in ejection order.
+func (r *Router) Ejected() []flit.Flit { return r.ejected }
+
+// ClearEjected resets the ejection buffer (keeping its capacity).
+func (r *Router) ClearEjected() { r.ejected = r.ejected[:0] }
+
+// markOcc flags input VC (port, c) as needing allocation attention.
+func (r *Router) markOcc(port, c int) {
+	r.in[port].occ |= 1 << c
+	r.occPorts |= 1 << port
+}
+
+// syncOcc re-evaluates the occupancy bit of input VC (port, c) after a
+// pop or state change: the bit clears only when the VC is idle with an
+// empty FIFO.
+func (r *Router) syncOcc(port, c int) {
+	vc := &r.in[port].vcs[c]
+	if vc.state == vcIdle && vc.fifo.Empty() {
+		ip := &r.in[port]
+		ip.occ &^= 1 << c
+		if ip.occ == 0 {
+			r.occPorts &^= 1 << port
+		}
+	}
+}
+
+// ComputeIdle reports whether the Compute phase would be a no-op: no
+// occupied input VCs and no latched grants. Unlike Idle it reads only
+// router-local state, so it is safe to call while other routers are
+// concurrently pushing onto this router's input wires.
+func (r *Router) ComputeIdle() bool {
+	return r.occPorts == 0 && len(r.pending) == 0 && len(r.next) == 0
+}
+
+// Idle reports whether stepping the router this cycle would be a no-op:
+// no buffered or in-flight flits, no non-idle VC state, no latched
+// grants, and no credits in flight. The network uses it to skip quiet
+// routers entirely at low load.
+func (r *Router) Idle() bool {
+	if !r.ComputeIdle() {
+		return false
+	}
+	for port := range r.in {
+		if w := r.in[port].flitIn; w != nil && w.Len() > 0 {
+			return false
+		}
+	}
+	for o := range r.out {
+		op := &r.out[o]
+		if op.creditIn != nil && op.creditIn.Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // Step advances the router one cycle: deliver arrivals, execute latched
 // switch traversals, then run routing and allocation. All inter-router
 // communication crosses wires with >= 1 cycle delay, so routers may step
-// in any order within a cycle.
+// in any order within a cycle — or concurrently, split into the Deliver
+// and Compute phases (see the network's parallel stepper).
 func (r *Router) Step(now int64) {
-	r.deliver(now)
+	r.Deliver(now)
+	r.Compute(now)
+}
+
+// Deliver pops arriving flits into input FIFOs and moves credits through
+// the credit-processing pipeline into the counters. It only consumes
+// from the router's input wires and touches router-local state, so all
+// routers' Deliver phases may run concurrently.
+func (r *Router) Deliver(now int64) {
+	for port := range r.in {
+		ip := &r.in[port]
+		if ip.flitIn == nil {
+			continue
+		}
+		for f, ok := ip.flitIn.Pop(now); ok; f, ok = ip.flitIn.Pop(now) {
+			r.enqueue(port, f, now)
+		}
+	}
+	lagged := now - r.creditLag
+	for o := range r.out {
+		op := &r.out[o]
+		if op.creditIn == nil {
+			continue
+		}
+		for c, ok := op.creditIn.Pop(lagged); ok; c, ok = op.creditIn.Pop(lagged) {
+			op.credits[c.VC]++
+		}
+	}
+}
+
+// Compute executes last cycle's latched traversals and this cycle's
+// routing and allocation stages. It only pushes onto the router's
+// output wires and touches router-local state, so all routers' Compute
+// phases may run concurrently (after every Deliver has finished).
+func (r *Router) Compute(now int64) {
 	r.pending, r.next = r.next, r.pending[:0]
 
 	switch r.cfg.Kind {
@@ -238,36 +366,6 @@ func (r *Router) Step(now int64) {
 	}
 }
 
-// deliver pops arriving flits into input FIFOs and moves credits through
-// the credit-processing pipeline into the counters.
-func (r *Router) deliver(now int64) {
-	for port := range r.in {
-		ip := &r.in[port]
-		if ip.flitIn == nil {
-			continue
-		}
-		ip.flitIn.Deliver(now, func(f flit.Flit) {
-			r.enqueue(port, f, now)
-		})
-	}
-	for o := range r.out {
-		op := &r.out[o]
-		if op.creditPipe != nil {
-			op.creditPipe.Deliver(now, func(c Credit) { op.credits[c.VC]++ })
-		}
-		if op.creditIn == nil {
-			continue
-		}
-		op.creditIn.Deliver(now, func(c Credit) {
-			if op.creditPipe != nil {
-				op.creditPipe.Push(now, c)
-			} else {
-				op.credits[c.VC]++
-			}
-		})
-	}
-}
-
 func (r *Router) enqueue(port int, f flit.Flit, now int64) {
 	if int(f.VC) >= len(r.in[port].vcs) {
 		panic(fmt.Sprintf("router %d: flit arrived on VC %d of port %d (only %d VCs)",
@@ -285,6 +383,7 @@ func (r *Router) enqueue(port int, f flit.Flit, now int64) {
 	if err := vc.fifo.Push(f); err != nil {
 		panic(fmt.Sprintf("router %d: input %d vc %d: %v", r.id, port, f.VC, err))
 	}
+	r.markOcc(port, int(f.VC))
 }
 
 // send reads the head-of-queue flit of (in, vcIdx), rewrites its vcid to
@@ -307,9 +406,7 @@ func (r *Router) send(in, vcIdx int, now int64) {
 		if f.Pkt.Done() {
 			f.Pkt.EjectedAt = now
 		}
-		if r.eject != nil {
-			r.eject(f, now)
-		}
+		r.ejected = append(r.ejected, f)
 	} else {
 		op.flitOut.Push(now, f)
 	}
@@ -321,6 +418,7 @@ func (r *Router) send(in, vcIdx int, now int64) {
 		vc.outVC = -1
 		vc.readyAt = now
 	}
+	r.syncOcc(in, vcIdx)
 }
 
 // traversePending executes last cycle's switch grants (VC-style routers).
@@ -330,22 +428,30 @@ func (r *Router) traversePending(now int64) {
 	}
 }
 
-// routeHeads performs the routing/decode stage for every idle input VC
-// whose head-of-queue flit is a head flit buffered before this cycle.
+// routeHead performs the routing/decode stage for one idle input VC if
+// its head-of-queue flit is a head flit buffered before this cycle.
+func (r *Router) routeHead(vc *inputVC, now int64) {
+	hoq := vc.fifo.Peek()
+	if hoq == nil || !hoq.Kind.IsHead() || hoq.EnqueuedAt >= now || vc.readyAt > now {
+		return
+	}
+	vc.route = int(r.routes[hoq.Pkt.Dst])
+	vc.state = vcWaitVC
+	vc.readyAt = now + 1
+}
+
+// routeHeads performs the routing/decode stage for every idle input VC.
+// Only occupied VCs (occ bitmask) are visited. (The speculative router
+// folds this pass into its allocation scan; see allocSpec.)
 func (r *Router) routeHeads(now int64) {
-	for in := range r.in {
-		for c := range r.in[in].vcs {
+	for pm := r.occPorts; pm != 0; pm &= pm - 1 {
+		in := bits.TrailingZeros64(pm)
+		for m := r.in[in].occ; m != 0; m &= m - 1 {
+			c := bits.TrailingZeros64(m)
 			vc := &r.in[in].vcs[c]
-			if vc.state != vcIdle {
-				continue
+			if vc.state == vcIdle {
+				r.routeHead(vc, now)
 			}
-			hoq := vc.fifo.Peek()
-			if hoq == nil || !hoq.Kind.IsHead() || hoq.EnqueuedAt >= now || vc.readyAt > now {
-				continue
-			}
-			vc.route = r.route(hoq.Pkt.Dst)
-			vc.state = vcWaitVC
-			vc.readyAt = now + 1
 		}
 	}
 }
@@ -378,7 +484,7 @@ func (r *Router) grantSwitch(in, vcIdx int, now int64) {
 		// Release the output VC at grant time so next cycle's VC
 		// allocation can hand it to another packet; the input-side
 		// release happens when the tail actually traverses (send).
-		op.vcBusy[vc.outVC] = false
+		op.vcBusy &^= 1 << vc.outVC
 	}
 	r.next = append(r.next, stGrant{in: in, vc: vcIdx})
 	// Block further allocation actions for this VC until the traversal

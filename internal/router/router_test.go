@@ -27,7 +27,7 @@ type arrival struct {
 	at int64
 }
 
-// newRig builds a router whose routing function sends every packet to
+// newRig builds a router whose routing table sends every packet to
 // output port 1 (east), except packets destined to node 0, which eject.
 func newRig(cfg Config) *rig {
 	g := &rig{
@@ -36,25 +36,29 @@ func newRig(cfg Config) *rig {
 		out:     link.NewWire[flit.Flit](1),
 		outCred: link.NewWire[Credit](1),
 	}
-	g.r = New(7, cfg,
-		func(dst int) int {
-			if dst == 0 {
-				return 0
-			}
-			return 1
-		},
-		func(f flit.Flit, at int64) { g.ejected = append(g.ejected, arrival{f, at}) })
+	routes := make([]uint8, 128) // rig destinations are < 128
+	for dst := range routes {
+		if dst != 0 {
+			routes[dst] = 1
+		}
+	}
+	g.r = New(7, cfg, routes)
 	g.r.ConnectInput(0, g.in, g.inCred)
 	g.r.ConnectOutput(1, g.out, g.outCred)
 	return g
 }
 
-// step advances one cycle, draining the output wire.
+// step advances one cycle, draining the output wire and the router's
+// ejection buffer.
 func (g *rig) step() {
 	g.r.Step(g.now)
-	g.out.Deliver(g.now, func(f flit.Flit) {
+	for _, f := range g.r.Ejected() {
+		g.ejected = append(g.ejected, arrival{f, g.now})
+	}
+	g.r.ClearEjected()
+	for f, ok := g.out.Pop(g.now); ok; f, ok = g.out.Pop(g.now) {
 		g.arrivals = append(g.arrivals, arrival{f, g.now})
-	})
+	}
 	g.now++
 }
 

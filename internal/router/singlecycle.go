@@ -1,6 +1,10 @@
 package router
 
-import "routersim/internal/allocator"
+import (
+	"math/bits"
+
+	"routersim/internal/allocator"
+)
 
 // This file implements the idealized single-cycle ("unit latency")
 // routers used as the baseline in Figure 17: routing, allocation, and
@@ -15,7 +19,8 @@ func (r *Router) stepSingleCycleWH(now int64) {
 
 	// Switch arbitration (port held per packet), same cycle as routing.
 	r.portReqs = r.portReqs[:0]
-	for in := range r.in {
+	for pm := r.occPorts; pm != 0; pm &= pm - 1 {
+		in := bits.TrailingZeros64(pm)
 		vc := &r.in[in].vcs[0]
 		if vc.state == vcWaitVC {
 			r.portReqs = append(r.portReqs, allocator.PortRequest{In: in, Out: vc.route})
@@ -28,7 +33,8 @@ func (r *Router) stepSingleCycleWH(now int64) {
 	}
 
 	// Traversal in the same cycle.
-	for in := range r.in {
+	for pm := r.occPorts; pm != 0; pm &= pm - 1 {
+		in := bits.TrailingZeros64(pm)
 		vc := &r.in[in].vcs[0]
 		if vc.state != vcActive {
 			continue
@@ -60,8 +66,10 @@ func (r *Router) stepSingleCycleVC(now int64) {
 
 	// VC allocation, immediately usable this cycle.
 	r.vaReqs = r.vaReqs[:0]
-	for in := range r.in {
-		for c := range r.in[in].vcs {
+	for pm := r.occPorts; pm != 0; pm &= pm - 1 {
+		in := bits.TrailingZeros64(pm)
+		for m := r.in[in].occ; m != 0; m &= m - 1 {
+			c := bits.TrailingZeros64(m)
 			vc := &r.in[in].vcs[c]
 			if vc.state != vcWaitVC {
 				continue
@@ -77,13 +85,15 @@ func (r *Router) stepSingleCycleVC(now int64) {
 		vc := &r.in[g.In].vcs[g.VC]
 		vc.state = vcActive
 		vc.outVC = int8(g.OutVC)
-		r.out[g.Out].vcBusy[g.OutVC] = true
+		r.out[g.Out].vcBusy |= 1 << g.OutVC
 	}
 
 	// Switch allocation and traversal in the same cycle.
 	r.swReqs = r.swReqs[:0]
-	for in := range r.in {
-		for c := range r.in[in].vcs {
+	for pm := r.occPorts; pm != 0; pm &= pm - 1 {
+		in := bits.TrailingZeros64(pm)
+		for m := r.in[in].occ; m != 0; m &= m - 1 {
+			c := bits.TrailingZeros64(m)
 			vc := &r.in[in].vcs[c]
 			if vc.state != vcActive || vc.hoqEligible(now) == nil {
 				continue
@@ -102,7 +112,7 @@ func (r *Router) stepSingleCycleVC(now int64) {
 			op.credits[vc.outVC]--
 		}
 		if hoq := vc.fifo.Peek(); hoq != nil && hoq.Kind.IsTail() {
-			op.vcBusy[vc.outVC] = false
+			op.vcBusy &^= 1 << vc.outVC
 		}
 		r.send(g.In, g.VC, now)
 	}

@@ -1,6 +1,10 @@
 package router
 
-import "routersim/internal/allocator"
+import (
+	"math/bits"
+
+	"routersim/internal/allocator"
+)
 
 // This file implements the speculative virtual-channel router
 // (Section 3.1, Figure 4c): a 3-stage pipeline in which a head flit
@@ -13,17 +17,23 @@ import "routersim/internal/allocator"
 // allocSpec performs routing, then the combined VC + speculative switch
 // allocation stage. Requests for all three allocators are formed from
 // the state at the start of the stage (the hardware evaluates them in
-// parallel), then grants are combined.
+// parallel), then grants are combined. Only occupied VCs are visited.
 func (r *Router) allocSpec(now int64) {
-	r.routeHeads(now)
-
-	// Form requests from a consistent snapshot.
+	// One pass over the occupied VCs does both the routing stage and
+	// request formation: a head routed this cycle gets readyAt = now+1,
+	// so it cannot also request allocation this cycle — exactly the
+	// behaviour of separate scans, in one.
 	r.vaReqs = r.vaReqs[:0]
 	r.specReqs = r.specReqs[:0]
 	r.swReqs = r.swReqs[:0]
-	for in := range r.in {
-		for c := range r.in[in].vcs {
+	for pm := r.occPorts; pm != 0; pm &= pm - 1 {
+		in := bits.TrailingZeros64(pm)
+		for m := r.in[in].occ; m != 0; m &= m - 1 {
+			c := bits.TrailingZeros64(m)
 			vc := &r.in[in].vcs[c]
+			if vc.state == vcIdle {
+				r.routeHead(vc, now)
+			}
 			switch {
 			case vc.state == vcWaitVC && vc.readyAt <= now:
 				r.vaReqs = append(r.vaReqs, allocator.VCRequest{
@@ -46,17 +56,21 @@ func (r *Router) allocSpec(now int64) {
 	nsGrants, spGrants := r.specAlloc.Allocate(r.swReqs, r.specReqs)
 
 	// Apply VC allocation: winners hold an output VC and are
-	// non-speculative from the next cycle on.
-	for i := range r.vaGrantThis {
-		r.vaGrantThis[i] = -1
-	}
+	// non-speculative from the next cycle on. The grant scoreboard only
+	// needs clearing when VC requests were in play (speculative grants
+	// can only exist alongside them).
 	v := r.cfg.VCs
+	if len(r.vaReqs) > 0 {
+		for i := range r.vaGrantThis {
+			r.vaGrantThis[i] = -1
+		}
+	}
 	for _, g := range vaGrants {
 		vc := &r.in[g.In].vcs[g.VC]
 		vc.state = vcActive
 		vc.outVC = int8(g.OutVC)
 		vc.readyAt = now + 1
-		r.out[g.Out].vcBusy[g.OutVC] = true
+		r.out[g.Out].vcBusy |= 1 << g.OutVC
 		r.vaGrantThis[g.In*v+g.VC] = int8(g.OutVC)
 	}
 

@@ -1,6 +1,10 @@
 package router
 
-import "routersim/internal/allocator"
+import (
+	"math/bits"
+
+	"routersim/internal/allocator"
+)
 
 // This file implements the non-speculative virtual-channel router's
 // per-cycle behaviour: a 4-stage pipeline of routing, VC allocation,
@@ -18,11 +22,13 @@ func (r *Router) allocVC(now int64) {
 
 // allocateVCs runs one cycle of the separable VC allocator over every
 // input VC waiting for an output VC. Winners become active and may
-// request the switch from the next cycle.
+// request the switch from the next cycle. Only occupied VCs are visited.
 func (r *Router) allocateVCs(now int64) {
 	r.vaReqs = r.vaReqs[:0]
-	for in := range r.in {
-		for c := range r.in[in].vcs {
+	for pm := r.occPorts; pm != 0; pm &= pm - 1 {
+		in := bits.TrailingZeros64(pm)
+		for m := r.in[in].occ; m != 0; m &= m - 1 {
+			c := bits.TrailingZeros64(m)
 			vc := &r.in[in].vcs[c]
 			if vc.state != vcWaitVC || vc.readyAt > now {
 				continue
@@ -40,7 +46,7 @@ func (r *Router) allocateVCs(now int64) {
 		vc.state = vcActive
 		vc.outVC = int8(g.OutVC)
 		vc.readyAt = now + 1
-		r.out[g.Out].vcBusy[g.OutVC] = true
+		r.out[g.Out].vcBusy |= 1 << g.OutVC
 	}
 }
 
@@ -48,8 +54,10 @@ func (r *Router) allocateVCs(now int64) {
 // every active input VC with an eligible flit and a downstream credit.
 func (r *Router) allocateSwitch(now int64) {
 	r.swReqs = r.swReqs[:0]
-	for in := range r.in {
-		for c := range r.in[in].vcs {
+	for pm := r.occPorts; pm != 0; pm &= pm - 1 {
+		in := bits.TrailingZeros64(pm)
+		for m := r.in[in].occ; m != 0; m &= m - 1 {
+			c := bits.TrailingZeros64(m)
 			vc := &r.in[in].vcs[c]
 			if !r.switchEligible(vc, now) {
 				continue

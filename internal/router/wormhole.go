@@ -1,6 +1,10 @@
 package router
 
-import "routersim/internal/allocator"
+import (
+	"math/bits"
+
+	"routersim/internal/allocator"
+)
 
 // This file implements the wormhole router's per-cycle behaviour:
 // a 3-stage pipeline of routing, switch arbitration (the output port is
@@ -13,7 +17,7 @@ import "routersim/internal/allocator"
 
 // allocWormhole performs the routing and switch-arbitration stages, and
 // issues the per-cycle crossbar passages for input ports that hold their
-// output port.
+// output port. Only occupied ports (occ bitmask) are visited.
 func (r *Router) allocWormhole(now int64) {
 	r.routeHeads(now)
 
@@ -21,7 +25,8 @@ func (r *Router) allocWormhole(now int64) {
 	// their routed output port; winners hold the port until the tail
 	// departs. The arbiter's status bits mask requests for held ports.
 	r.portReqs = r.portReqs[:0]
-	for in := range r.in {
+	for pm := r.occPorts; pm != 0; pm &= pm - 1 {
+		in := bits.TrailingZeros64(pm)
 		vc := &r.in[in].vcs[0]
 		if vc.state != vcWaitVC || vc.readyAt > now {
 			continue
@@ -42,7 +47,8 @@ func (r *Router) allocWormhole(now int64) {
 
 	// Streaming: every other input port holding its output sends one
 	// flit per cycle, gated by credits.
-	for in := range r.in {
+	for pm := r.occPorts; pm != 0; pm &= pm - 1 {
+		in := bits.TrailingZeros64(pm)
 		vc := &r.in[in].vcs[0]
 		if vc.state != vcActive || vc.readyAt > now {
 			continue

@@ -79,6 +79,7 @@ func (r *Runner) Run() (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer net.Close()
 	ncfg := net.Config()
 
 	capacity := net.Capacity()

@@ -189,6 +189,11 @@ type SimConfig struct {
 	// Traffic (nil = uniform random, the paper's workload).
 	Pattern TrafficPattern
 
+	// StepWorkers selects the deterministic parallel network stepper
+	// (0 or 1 = serial engine; > 1 = that many workers). Results are
+	// byte-identical for every value; see PERF.md.
+	StepWorkers int
+
 	// Measurement protocol.
 	WarmupCycles   int64 // paper: 10,000
 	MeasurePackets int   // paper: 100,000
@@ -244,6 +249,7 @@ func (c SimConfig) lower() (sim.Config, error) {
 		PacketSize:  size,
 		Pattern:     c.Pattern,
 		CreditDelay: c.CreditDelay,
+		StepWorkers: c.StepWorkers,
 		Seed:        c.Seed,
 	}
 	ncfg.InjectionRate = sim.RateForLoad(c.LoadFraction, ncfg)

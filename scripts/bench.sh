@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# scripts/bench.sh <n> [extra go-test args...]
+#
+# Runs the performance-tracking benchmark suite and writes BENCH_<n>.json
+# (ns/op, B/op, allocs/op, and the reported paper metrics per benchmark),
+# so the perf trajectory is recorded once per PR. Compare two PRs with
+# benchstat on the raw output, or diff the JSON directly; see PERF.md for
+# the methodology.
+#
+#   scripts/bench.sh 2            # writes BENCH_2.json
+#   scripts/bench.sh 3 -benchtime=5s
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+n="${1:?usage: scripts/bench.sh <pr-number> [extra go test args]}"
+shift || true
+out="BENCH_${n}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# Hot-path micro benchmarks and the whole-network cycle benchmark.
+go test -run '^$' -benchmem -benchtime=2s "$@" \
+    -bench 'BenchmarkNetworkCycle$|BenchmarkMatrixArbiterGrant$|BenchmarkSeparableSwitchAllocate$|BenchmarkVCAllocatorAllocate$|BenchmarkPipelineDesign$' \
+    . | tee "$raw"
+
+# One full figure reproduction (latency-throughput curves + paper
+# metrics); a single iteration is already a complete load sweep.
+go test -run '^$' -benchmem -benchtime=1x "$@" \
+    -bench 'BenchmarkFigure13$' \
+    . | tee -a "$raw"
+
+awk -v pr="$n" '
+/^(goos|goarch|pkg|cpu):/ {
+    key = $1; sub(/:$/, "", key)
+    val = $0; sub(/^[a-z]+:[ \t]*/, "", val)
+    gsub(/"/, "\\\"", val)
+    env[key] = val
+    next
+}
+$1 ~ /^Benchmark/ && NF >= 4 {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    s = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, $2)
+    for (i = 3; i + 1 <= NF; i += 2) {
+        s = s sprintf(", \"%s\": %s", $(i+1), $i)
+    }
+    s = s "}"
+    bench[nb++] = s
+}
+END {
+    printf "{\n  \"pr\": %s,\n  \"env\": {", pr
+    split("goos goarch pkg cpu", order, " ")
+    sep = ""
+    for (j = 1; j <= 4; j++) {
+        k = order[j]
+        if (k in env) {
+            printf "%s\"%s\": \"%s\"", sep, k, env[k]
+            sep = ", "
+        }
+    }
+    printf "},\n  \"benchmarks\": [\n"
+    for (i = 0; i < nb; i++) {
+        printf "%s%s", bench[i], (i < nb - 1 ? ",\n" : "\n")
+    }
+    print "  ]\n}"
+}' "$raw" > "$out"
+
+echo "wrote $out" >&2
