@@ -11,6 +11,7 @@ import (
 	"routersim/internal/link"
 	"routersim/internal/network"
 	"routersim/internal/router"
+	"routersim/internal/topology"
 )
 
 // warmNetwork builds the benchmark network and steps it past warmup so
@@ -41,6 +42,48 @@ func TestNetworkStepZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state Network.Step allocates %.2f times per cycle, want 0", allocs)
+	}
+}
+
+// TestNetworkStepZeroAllocCrossTopology extends the zero-allocation
+// invariant to every topology family the graph-general layer added:
+// ring, 3-D torus, and hypercube steady-state cycles must also stay off
+// the heap (same pools and tables, different graphs and port counts).
+func TestNetworkStepZeroAllocCrossTopology(t *testing.T) {
+	for _, spec := range []string{"ring:16", "torus:k=4,n=3", "hypercube:16"} {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			topo, err := topology.New(spec, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rc := router.DefaultConfig(router.SpeculativeVC)
+			// 15% of capacity: comfortably below saturation on every
+			// wraparound topology (dateline classes halve the usable
+			// VCs), so the packet pool and source queues reach a steady
+			// state instead of growing without bound.
+			cfg := network.Config{
+				Topo:          topo,
+				Router:        rc,
+				Seed:          1,
+				InjectionRate: 0.15 * topo.UniformCapacity() / 5,
+			}
+			net, err := network.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			now := int64(0)
+			for ; now < 6000; now++ {
+				net.Step(now)
+			}
+			allocs := testing.AllocsPerRun(400, func() {
+				net.Step(now)
+				now++
+			})
+			if allocs != 0 {
+				t.Fatalf("%s: steady-state Network.Step allocates %.2f times per cycle, want 0", spec, allocs)
+			}
+		})
 	}
 }
 

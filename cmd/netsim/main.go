@@ -24,8 +24,8 @@ func main() {
 	vcs := flag.Int("vcs", 0, "virtual channels per port (default: paper config)")
 	buf := flag.Int("buf", 0, "flit buffers per VC (default: paper config)")
 	load := flag.Float64("load", 0.4, "offered load as a fraction of capacity")
-	k := flag.Int("k", 8, "network radix")
-	topo := flag.String("topo", "mesh", "topology: mesh or torus")
+	k := flag.Int("k", 8, "network size: radix for mesh/torus, node count for ring/hypercube")
+	topo := flag.String("topo", "mesh", "topology spec: mesh, torus, ring, hypercube, parameterized as mesh:k=8, torus:k=4,n=3, hypercube:64, ring:16")
 	pattern := flag.String("pattern", "uniform", "traffic pattern: uniform, transpose, bit-reversal, bit-complement, hotspot[:NODE:FRAC]")
 	pkt := flag.Int("packetsize", 5, "flits per packet")
 	creditDelay := flag.Int("credit-delay", 1, "credit propagation delay (cycles)")
@@ -102,13 +102,17 @@ func main() {
 	// Report the engine's canonicalized scenario and the derived job
 	// seed: the configuration and RNG stream that actually ran.
 	sc = r.Scenario
-	fmt.Printf("router=%s topo=%s%d pattern=%s vcs=%d buf=%d load=%.2f seed=%d (job seed %d)\n",
+	fmt.Printf("router=%s topo=%s k=%d pattern=%s vcs=%d buf=%d load=%.2f seed=%d (job seed %d)\n",
 		sc.Router, sc.Topology, sc.K, sc.Pattern, sc.VCs, sc.BufPerVC, sc.Load, *seed, r.Seed)
 	fmt.Printf("  offered   %.3f of capacity\n", res.OfferedLoad)
 	fmt.Printf("  accepted  %.3f of capacity\n", res.AcceptedLoad)
 	fmt.Printf("  latency   mean=%.1f p50=%d p95=%d max=%d cycles (%d packets)\n",
 		res.Latency.MeanLatency, res.Latency.P50, res.Latency.P95, res.Latency.MaxLatency, res.Latency.Packets)
 	fmt.Printf("  cycles    %d (saturated=%t)\n", res.Cycles, res.Saturated)
+	if r.Model != nil {
+		fmt.Printf("  model     p=%d v=%d -> %d pipeline stages (EQ 1)\n",
+			r.Model.Ports, r.Model.VCs, r.Model.Stages)
+	}
 }
 
 // runProbe measures the buffer-turnaround time (the credit-loop length

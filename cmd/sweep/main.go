@@ -9,6 +9,7 @@
 //	sweep -routers wormhole,vc,spec-vc -loads 0.1:0.9:0.1 -json -
 //	sweep -patterns uniform,transpose,bit-complement -k 8 -csv out.csv
 //	sweep -topos torus -routers spec-vc -vcs 2,4 -loads 0.2,0.4 -json -
+//	sweep -topos mesh,torus:k=4:n=3,hypercube:64,ring:16 -routers spec-vc -json -
 //
 // Figure mode reproduces the paper's simulated figures:
 //
@@ -26,6 +27,7 @@ import (
 	"strings"
 
 	"routersim"
+	"routersim/internal/topology"
 )
 
 func main() {
@@ -36,8 +38,8 @@ func main() {
 
 	// Matrix axes.
 	routers := flag.String("routers", "spec-vc", "comma-separated router kinds: wormhole, vc, spec-vc, wormhole-1cycle, vc-1cycle")
-	topos := flag.String("topos", "mesh", "comma-separated topologies: mesh, torus")
-	ks := flag.String("k", "8", "comma-separated network radices (k of the k×k network)")
+	topos := flag.String("topos", "mesh", "comma-separated topology specs: mesh, torus, ring, hypercube, parameterized as mesh:k=8, torus:k=4:n=3, hypercube:64, ring:16 (k=/n= params may separate with ':' or ',')")
+	ks := flag.String("k", "8", "comma-separated network sizes: radix for mesh/torus, node count for ring/hypercube")
 	patterns := flag.String("patterns", "uniform", "comma-separated traffic patterns: uniform, transpose, bit-reversal, bit-complement, hotspot[:NODE:FRAC]")
 	vcs := flag.String("vcs", "2", "comma-separated VC counts per port")
 	bufs := flag.String("bufs", "4", "comma-separated flit buffers per VC")
@@ -77,7 +79,7 @@ func main() {
 
 	matrix := routersim.ScenarioMatrix{
 		Routers:      splitList(*routers),
-		Topologies:   splitList(*topos),
+		Topologies:   splitSpecList(*topos),
 		Ks:           parseInts("k", *ks),
 		Patterns:     splitList(*patterns),
 		VCs:          parseInts("vcs", *vcs),
@@ -190,6 +192,23 @@ func splitList(s string) []string {
 		if f = strings.TrimSpace(f); f != "" {
 			out = append(out, f)
 		}
+	}
+	return out
+}
+
+// splitSpecList splits a comma-separated list of topology specs whose
+// parameters may themselves contain commas ("torus:k=4,n=3,ring:16"):
+// a fragment the spec grammar recognizes as pure parameters (k=4, n=3,
+// or a bare integer) continues the previous spec rather than starting a
+// new one.
+func splitSpecList(s string) []string {
+	var out []string
+	for _, f := range splitList(s) {
+		if len(out) > 0 && topology.IsParamFragment(f) {
+			out[len(out)-1] += "," + f
+			continue
+		}
+		out = append(out, f)
 	}
 	return out
 }

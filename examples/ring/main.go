@@ -1,0 +1,59 @@
+// Ring example: the graph-general topology layer driving networks the
+// paper never simulated. A bidirectional ring is the k-ary 1-cube torus
+// — each router has only p = 3 ports (local, clockwise, counter-
+// clockwise), the cheapest crossbar the delay model can be asked about,
+// but its dateline VC classes and long diameter make it saturate early.
+// The hypercube is the opposite corner: p grows with the network and
+// the diameter shrinks to log₂ N. Same node count, same router
+// microarchitecture, very different networks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"routersim"
+)
+
+func run(topo string, load float64) routersim.SimResult {
+	cfg := routersim.DefaultSimConfig(routersim.SpecVCRouter)
+	cfg.Topology = topo
+	cfg.LoadFraction = load
+	cfg.WarmupCycles = 2000
+	cfg.MeasurePackets = 4000
+	res, err := routersim.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("Speculative VC router (2 VCs x 4 bufs), 16 nodes, uniform traffic:")
+	fmt.Println()
+	fmt.Printf("%-14s %-9s %10s %12s %12s\n", "topology", "load", "accepted", "mean lat", "saturated")
+	for _, topo := range []string{"ring:16", "mesh:k=4", "torus:k=4", "hypercube:16"} {
+		for _, load := range []float64{0.2, 0.4} {
+			res := run(topo, load)
+			fmt.Printf("%-14s %-9.2f %10.3f %9.1f cy %12t\n",
+				topo, load, res.AcceptedLoad, res.Latency.MeanLatency, res.Saturated)
+		}
+	}
+	fmt.Println()
+
+	// The delay model closes the loop: each topology's port count p
+	// feeds the paper's pipeline packer, so the reported per-hop depth
+	// is consistent with the router actually being simulated.
+	fmt.Println("Delay model (EQ 1) at each topology's port count:")
+	for _, topo := range []string{"ring:16", "mesh:k=4", "hypercube:16"} {
+		sc := routersim.Scenario{Router: "spec-vc", Topology: topo, Load: 0.2}
+		if m := sc.DelayModel(); m != nil {
+			fmt.Printf("  %-14s p=%d v=%d -> %d pipeline stages\n", topo, m.Ports, m.VCs, m.Stages)
+		}
+	}
+	fmt.Println()
+	fmt.Println("The ring's 3-port router is the smallest crossbar the model prices;")
+	fmt.Println("its early saturation comes from the network, not the router: capacity")
+	fmt.Println("is bisection-limited at 8/N flits/node/cycle and dateline VC classes")
+	fmt.Println("reserve half the VCs for wrapped packets.")
+}

@@ -57,6 +57,10 @@ type JobResult struct {
 	Seed uint64 `json:"seed"`
 	// Result holds the simulation outcome (nil on error).
 	Result *sim.Result `json:"result,omitempty"`
+	// Model is the paper's delay model evaluated at the scenario's
+	// topology port count and VC count (nil for router kinds the model
+	// does not describe, i.e. the single-cycle baselines).
+	Model *DelayModel `json:"delay_model,omitempty"`
 	// Error is the job's failure, if any.
 	Error string `json:"error,omitempty"`
 	// Wall is the job's wall-clock run time (progress reporting only).
@@ -134,6 +138,7 @@ func runJob(i int, sc Scenario, opts Options) (jr JobResult) {
 		return jr
 	}
 	jr.Result = &res
+	jr.Model = sc.DelayModel()
 	return jr
 }
 

@@ -136,10 +136,13 @@ func TestMatrixValidate(t *testing.T) {
 	}
 	cases := []Matrix{
 		{Routers: []string{"nonsense"}},
-		{Topologies: []string{"hypercube"}},
+		{Topologies: []string{"klein-bottle"}},
+		{Topologies: []string{"hypercube"}, Ks: []int{6}}, // 6 nodes: not a power of two
 		{Patterns: []string{"nonsense"}},
 		{Patterns: []string{"bit-reversal"}, Ks: []int{6}},             // 36 nodes: not a power of two
 		{Topologies: []string{"torus"}, Routers: []string{"wormhole"}}, // torus needs VCs
+		{Topologies: []string{"ring:8"}, Routers: []string{"wormhole"}},
+		{Topologies: []string{"torus"}, VCs: []int{3}}, // dateline classes need even VCs
 		{Loads: []float64{-0.5}},
 	}
 	for i, m := range cases {
@@ -261,6 +264,105 @@ func TestTorusScenario(t *testing.T) {
 	}
 	if results[0].Result.Latency.Packets == 0 {
 		t.Error("torus job measured nothing")
+	}
+}
+
+// TestMultiTopologyMatrix: one matrix crossing all four topology
+// families must run every job and report the delay model evaluated at
+// each topology's actual port count.
+func TestMultiTopologyMatrix(t *testing.T) {
+	m := Matrix{
+		Topologies: []string{"mesh", "torus", "ring:16", "hypercube:16", "torus:k=4,n=3"},
+		Routers:    []string{"spec-vc"},
+		Ks:         []int{4},
+		Loads:      []float64{0.1},
+	}
+	results, err := Run(m, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("%d jobs, want 5", len(results))
+	}
+	// Canonicalization factors sizes out of the spec strings.
+	wantPorts := map[string]int{
+		"mesh": 5, "torus": 5, "ring": 3, "hypercube": 5, "torus:n=3": 7,
+	}
+	for _, r := range results {
+		if r.Error != "" {
+			t.Fatalf("%s failed: %s", r.Scenario.Label(), r.Error)
+		}
+		if r.Result.Latency.Packets == 0 {
+			t.Errorf("%s measured nothing", r.Scenario.Label())
+		}
+		if r.Model == nil {
+			t.Fatalf("%s carries no delay model", r.Scenario.Label())
+		}
+		if want := wantPorts[r.Scenario.Topology]; r.Model.Ports != want {
+			t.Errorf("%s: model ports %d, want %d", r.Scenario.Label(), r.Model.Ports, want)
+		}
+		if r.Model.Stages < 1 {
+			t.Errorf("%s: model stages %d", r.Scenario.Label(), r.Model.Stages)
+		}
+	}
+}
+
+// TestPinnedTopologySizeCanonicalizesK: a spec that states its own size
+// must override the K axis (and collapse duplicates across K values).
+func TestPinnedTopologySizeCanonicalizesK(t *testing.T) {
+	m := Matrix{
+		Topologies: []string{"hypercube:64"},
+		Ks:         []int{4, 8},
+		Loads:      []float64{0.1},
+	}
+	scs := m.Expand()
+	if len(scs) != 1 {
+		t.Fatalf("pinned-size spec expanded to %d jobs across the K axis, want 1", len(scs))
+	}
+	if scs[0].K != 64 || scs[0].Topology != "hypercube" {
+		t.Errorf("pinned size not factored into K: %+v", scs[0])
+	}
+	if got := scs[0].Label(); strings.Contains(got, "hypercube:6464") {
+		t.Errorf("label duplicates the pinned size: %q", got)
+	}
+}
+
+// TestEquivalentSpecsDeduplicate: every spelling of the same network —
+// bare spec + K axis, pinned node count, pinned dimension — must
+// canonicalize to one scenario and run once.
+func TestEquivalentSpecsDeduplicate(t *testing.T) {
+	m := Matrix{
+		Topologies: []string{"hypercube", "hypercube:16", "hypercube:n=4"},
+		Ks:         []int{16},
+		Loads:      []float64{0.1},
+	}
+	scs := m.Expand()
+	if len(scs) != 1 {
+		t.Fatalf("equivalent spec spellings expanded to %d jobs, want 1: %+v", len(scs), scs)
+	}
+	if scs[0].Topology != "hypercube" || scs[0].K != 16 {
+		t.Errorf("canonical scenario wrong: %+v", scs[0])
+	}
+}
+
+// TestDelayModelPerKind: the delay model describes the three paper
+// routers but not the single-cycle baselines, and its depth matches the
+// paper's pipelines at the mesh point (WH 3 / VC 4 / specVC 3 with the
+// deterministic R→p allocator).
+func TestDelayModelPerKind(t *testing.T) {
+	wantStages := map[string]int{"wormhole": 3, "vc": 4, "spec-vc": 3}
+	for kind, want := range wantStages {
+		sc := Scenario{Router: kind, Load: 0.1}
+		m := sc.DelayModel()
+		if m == nil {
+			t.Fatalf("%s: no delay model", kind)
+		}
+		if m.Ports != 5 || m.Stages != want {
+			t.Errorf("%s: model p=%d stages=%d, want p=5 stages=%d", kind, m.Ports, m.Stages, want)
+		}
+	}
+	if m := (Scenario{Router: "wormhole-1cycle", Load: 0.1}).DelayModel(); m != nil {
+		t.Errorf("single-cycle kind carries a delay model: %+v", m)
 	}
 }
 

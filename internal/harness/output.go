@@ -70,7 +70,7 @@ func (s *JSONStream) Close() error {
 
 // CSVHeader is the column set of WriteCSV, one row per job.
 const CSVHeader = "index,router,topology,k,pattern,vcs,buf_per_vc,packet_size,credit_delay,step_workers,load,seed," +
-	"offered,accepted,mean_latency,p50,p95,max_latency,packets,cycles,saturated,error"
+	"ports,model_stages,offered,accepted,mean_latency,p50,p95,max_latency,packets,cycles,saturated,error"
 
 // WriteCSV serializes results as CSV in job-index order, with the same
 // determinism guarantee as WriteJSON.
@@ -101,9 +101,16 @@ func writeCSVRow(w io.Writer, r JobResult) error {
 		cycles = r.Result.Cycles
 		saturated = r.Result.Saturated
 	}
-	_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%s,%d,%d,%d,%d,%d,%s,%d,%s,%s,%s,%d,%d,%d,%d,%d,%t,%s\n",
+	// Delay-model columns: topology port count and EQ-1 pipeline depth
+	// (0 for kinds the model does not describe, and for failed jobs).
+	var ports, modelStages int
+	if r.Model != nil {
+		ports, modelStages = r.Model.Ports, r.Model.Stages
+	}
+	_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%s,%d,%d,%d,%d,%d,%s,%d,%d,%d,%s,%s,%s,%d,%d,%d,%d,%d,%t,%s\n",
 		r.Index, csvEscape(sc.Router), csvEscape(sc.Topology), sc.K, csvEscape(sc.Pattern), sc.VCs, sc.BufPerVC,
 		sc.PacketSize, sc.CreditDelay, sc.StepWorkers, fmtFloat(sc.Load), r.Seed,
+		ports, modelStages,
 		fmtFloat(offered), fmtFloat(accepted), fmtFloat(mean),
 		p50, p95, max, packets, cycles, saturated, csvEscape(r.Error))
 	return err

@@ -9,6 +9,7 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 
 	"routersim/internal/network"
 	"routersim/internal/router"
@@ -23,9 +24,14 @@ import (
 type Scenario struct {
 	// Router is the microarchitecture name (router.ParseKind).
 	Router string `json:"router"`
-	// Topology is "mesh" or "torus".
+	// Topology is a topology spec (topology.New): "mesh", "torus",
+	// "ring", "hypercube", optionally parameterized — "mesh:k=8",
+	// "torus:k=4,n=3", "hypercube:64", "ring:16". A spec that pins its
+	// own size overrides the K axis (and canonicalization records the
+	// pinned size in K).
 	Topology string `json:"topology"`
-	// K is the network radix (k×k nodes).
+	// K is the network radix for mesh/torus specs, and the node count
+	// for ring/hypercube specs that don't state their own size.
 	K int `json:"k"`
 	// Pattern is the traffic pattern spec (traffic.New).
 	Pattern string `json:"pattern"`
@@ -185,6 +191,20 @@ func (s Scenario) canonical() Scenario {
 	if s.K == 0 {
 		s.K = 8
 	}
+	// Factor any stated size out of the topology spec: the canonical
+	// shape ("torus:n=3") goes back into Topology and a pinned size
+	// ("hypercube:64", "torus:k=4,n=3") overrides the K axis — so
+	// equivalent spellings of one network ("hypercube:16" at any K,
+	// "hypercube:n=4", "hypercube" at K=16) deduplicate to one job and
+	// labels state the size that runs. Parse errors are left for
+	// SimConfig to report.
+	if spec, err := topology.Parse(s.Topology); err == nil {
+		shape, pinned := spec.Canonical()
+		s.Topology = shape
+		if pinned != 0 {
+			s.K = pinned
+		}
+	}
 	if s.Pattern == "" {
 		s.Pattern = "uniform"
 	}
@@ -231,8 +251,20 @@ func (s Scenario) Label() string {
 	if s.StepWorkers > 1 {
 		stepper = fmt.Sprintf("/par%d", s.StepWorkers)
 	}
-	return fmt.Sprintf("%s/%s%d/%s/%dvcs×%dbuf%s/load=%.2f",
-		s.Router, s.Topology, s.K, s.Pattern, s.VCs, s.BufPerVC, stepper, s.Load)
+	// Canonical specs never pin their own size (canonical() factors it
+	// into K), but a hand-built scenario might; only size-unpinned specs
+	// get the K axis appended, so every label states the size exactly
+	// once (e.g. "mesh:n=3,k=4" at k=4 vs k=8).
+	topo := s.Topology
+	if spec, err := topology.Parse(topo); err != nil || spec.PinnedK() == 0 {
+		if strings.Contains(topo, ":") {
+			topo = fmt.Sprintf("%s,k=%d", topo, s.K)
+		} else {
+			topo = fmt.Sprintf("%s%d", topo, s.K)
+		}
+	}
+	return fmt.Sprintf("%s/%s/%s/%dvcs×%dbuf%s/load=%.2f",
+		s.Router, topo, s.Pattern, s.VCs, s.BufPerVC, stepper, s.Load)
 }
 
 // SimConfig lowers the scenario to a runnable simulation configuration
@@ -265,16 +297,11 @@ func (s Scenario) SimConfig(seed uint64, pr Protocol) (sim.Config, error) {
 	rc := router.DefaultConfig(kind)
 	rc.VCs = s.VCs
 	rc.BufPerVC = s.BufPerVC
-	var topo topology.Topology
-	switch s.Topology {
-	case "mesh":
-		topo = topology.NewMesh(s.K)
-	case "torus":
-		topo = topology.NewTorus(s.K)
-	default:
-		return sim.Config{}, fmt.Errorf("unknown topology %q (want mesh or torus)", s.Topology)
+	topo, err := topology.New(s.Topology, s.K)
+	if err != nil {
+		return sim.Config{}, err
 	}
-	pat, err := traffic.New(s.Pattern, s.K)
+	pat, err := traffic.New(s.Pattern, topo.Nodes())
 	if err != nil {
 		return sim.Config{}, err
 	}

@@ -1,7 +1,10 @@
 // Package network assembles routers into the paper's evaluation system:
-// a k×k mesh with dimension-ordered routing, credit-based flow control
-// on every link, constant-rate traffic sources with infinite source
-// queues, and immediate ejection at destinations (Section 5).
+// a topology graph (the paper's k×k mesh, or any topology.Topology —
+// k-ary n-cube tori, hypercubes, rings) with dimension-ordered routing,
+// credit-based flow control on every link, constant-rate traffic
+// sources with infinite source queues, and immediate ejection at
+// destinations (Section 5). The router port count and any
+// deadlock-avoidance VC-class policy come from the topology itself.
 package network
 
 import (
@@ -19,7 +22,8 @@ import (
 
 // Config parameterizes a network simulation instance.
 type Config struct {
-	// K is the mesh radix (the paper uses an 8×8 mesh).
+	// K is the mesh radix (the paper uses an 8×8 mesh). Ignored when
+	// Topo is set.
 	K int
 	// Router configures every router in the mesh.
 	Router router.Config
@@ -37,10 +41,11 @@ type Config struct {
 	// CreditDelay is the credit propagation delay in cycles (paper: 1;
 	// 4 in the Figure 18 experiment).
 	CreditDelay int
-	// Topo overrides the topology (nil = K×K mesh). A torus requires a
-	// VC router kind with an even VC count ≥ 2: deadlock freedom on the
-	// wraparound rings comes from dateline VC classes, which wormhole
-	// flow control cannot provide.
+	// Topo overrides the topology (nil = K×K mesh). A topology whose
+	// VCClasses() > 1 (tori, rings) requires a VC router kind with a VC
+	// count that is a positive multiple of the class count: deadlock
+	// freedom on the wraparound rings comes from dateline VC classes,
+	// which wormhole flow control cannot provide.
 	Topo topology.Topology
 	// StepWorkers selects the deterministic parallel stepper: with a
 	// value > 1, Step runs the routers' deliver and compute phases on
@@ -84,21 +89,28 @@ func (c *Config) Normalize() error {
 	if c.InjectionRate < 0 {
 		return fmt.Errorf("network: negative injection rate")
 	}
-	if c.Router.Ports == 0 {
-		c.Router.Ports = topology.NumPorts
-	}
-	if c.Router.Ports != topology.NumPorts {
-		return fmt.Errorf("network: mesh routers need %d ports, got %d", topology.NumPorts, c.Router.Ports)
-	}
 	if c.Topo == nil {
-		c.Topo = topology.NewMesh(c.K)
-	}
-	if _, torus := c.Topo.(topology.Torus); torus {
-		if !c.Router.Kind.UsesVCs() {
-			return fmt.Errorf("network: %v routers deadlock on a torus; use a VC router kind", c.Router.Kind)
+		mesh, err := topology.NewCube(c.K, 2, false)
+		if err != nil {
+			return fmt.Errorf("network: %w", err)
 		}
-		if c.Router.VCs < 2 || c.Router.VCs%2 != 0 {
-			return fmt.Errorf("network: torus dateline classes need an even VC count >= 2, got %d", c.Router.VCs)
+		c.Topo = mesh
+	}
+	// The router port count is purely structural — the topology fully
+	// determines it — so Normalize always derives it. (Router.Ports
+	// stays a real parameter for direct router construction; here any
+	// stated value, including DefaultConfig's 2-D mesh 5, is replaced.)
+	c.Router.Ports = c.Topo.Ports()
+	// Deadlock avoidance is the topology's call: a class count > 1
+	// (dateline classes on wraparound rings) needs VC flow control with
+	// the VCs split evenly across classes.
+	if classes := c.Topo.VCClasses(); classes > 1 {
+		if !c.Router.Kind.UsesVCs() {
+			return fmt.Errorf("network: %v routers deadlock on a %s; use a VC router kind", c.Router.Kind, c.Topo.Name())
+		}
+		if c.Router.VCs < classes || c.Router.VCs%classes != 0 {
+			return fmt.Errorf("network: %s VC classes need a positive multiple of %d VCs, got %d",
+				c.Topo.Name(), classes, c.Router.VCs)
 		}
 	}
 	return c.Router.Validate()
@@ -147,10 +159,11 @@ func New(cfg Config) (*Network, error) {
 	nodes := n.topo.Nodes()
 	master := rng.New(cfg.Seed)
 
-	// Precompute per-router routing tables (dst → output port) and, on a
-	// torus, the dateline VC-class candidate masks (dst, port) — the
-	// routing and VC-allocation stages are table lookups, not calls.
-	tor, isTorus := n.topo.(topology.Torus)
+	// Precompute per-router routing tables (dst → output port) and, on
+	// topologies with deadlock-avoidance VC classes (tori, rings), the
+	// candidate masks (dst, port) — the routing and VC-allocation stages
+	// are table lookups, not calls.
+	hasClasses := n.topo.VCClasses() > 1
 	ports := cfg.Router.Ports
 	n.routers = make([]*router.Router, nodes)
 	for id := 0; id < nodes; id++ {
@@ -159,12 +172,12 @@ func New(cfg Config) (*Network, error) {
 			routes[dst] = uint8(n.topo.Route(id, dst))
 		}
 		n.routers[id] = router.New(id, cfg.Router, routes)
-		if isTorus {
+		if hasClasses {
 			vcs := cfg.Router.VCs
 			classTab := make([]uint64, nodes*ports)
 			for dst := 0; dst < nodes; dst++ {
 				for port := 0; port < ports; port++ {
-					classTab[dst*ports+port] = tor.VCMask(id, dst, port, vcs)
+					classTab[dst*ports+port] = n.topo.VCMask(id, dst, port, vcs)
 				}
 			}
 			n.routers[id].SetVCClassTable(classTab)
@@ -173,15 +186,15 @@ func New(cfg Config) (*Network, error) {
 
 	// Inter-router links: for every directional output port with a
 	// neighbour, a flit wire (us → them) and a credit wire (them → us).
+	// The topology names the input port the link lands on.
 	for id := 0; id < nodes; id++ {
-		for port := topology.PortEast; port <= topology.PortSouth; port++ {
-			next, ok := n.topo.Neighbor(id, port)
+		for port := 1; port < ports; port++ {
+			next, inPort, ok := n.topo.Neighbor(id, port)
 			if !ok {
 				continue
 			}
 			fw := link.NewWire[flit.Flit](cfg.FlitDelay)
 			cw := link.NewWire[router.Credit](cfg.CreditDelay)
-			inPort := topology.Opposite(port)
 			n.routers[id].ConnectOutput(port, fw, cw)
 			n.routers[next].ConnectInput(inPort, fw, cw)
 		}

@@ -151,13 +151,18 @@ func TestNormalizeDefaultsAndErrors(t *testing.T) {
 	if c.K != 8 || c.PacketSize != 5 || c.FlitDelay != 1 || c.CreditDelay != 1 || c.Pattern == nil {
 		t.Errorf("defaults not filled: %+v", c)
 	}
+	// The port count is derived from the topology, whatever was stated.
+	if c.Router.Ports != 5 {
+		t.Errorf("mesh ports not derived: %d", c.Router.Ports)
+	}
 
 	bad := []Config{
 		{K: 1, Router: router.DefaultConfig(router.Wormhole)},
 		{K: 8, PacketSize: -1, Router: router.DefaultConfig(router.Wormhole)},
 		{K: 8, FlitDelay: -1, Router: router.DefaultConfig(router.Wormhole)},
 		{K: 8, InjectionRate: -0.1, Router: router.DefaultConfig(router.Wormhole)},
-		{K: 8, Router: router.Config{Kind: router.Wormhole, Ports: 4, VCs: 1, BufPerVC: 4}},
+		{K: 200, Router: router.DefaultConfig(router.Wormhole)}, // over topology.MaxNodes: an error, not a panic
+		{K: 8, Router: router.Config{Kind: router.Wormhole, VCs: 0, BufPerVC: 4}},
 	}
 	for i, b := range bad {
 		if err := b.Normalize(); err == nil {
@@ -198,7 +203,7 @@ func TestCreditConservation(t *testing.T) {
 	for id := 0; id < idle.Nodes(); id++ {
 		r := idle.Router(id)
 		for port := topology.PortEast; port <= topology.PortSouth; port++ {
-			if _, ok := k.Neighbor(id, port); !ok {
+			if _, _, ok := k.Neighbor(id, port); !ok {
 				continue
 			}
 			for vc := 0; vc < cfg.Router.VCs; vc++ {

@@ -71,29 +71,45 @@ func TestParallelStepperMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestParallelStepperTorus covers the torus topology (dateline VC class
-// tables) under the parallel stepper.
-func TestParallelStepperTorus(t *testing.T) {
-	cfg := Config{
-		K:             4,
-		Router:        router.DefaultConfig(router.SpeculativeVC),
-		Topo:          topology.NewTorus(4),
-		Seed:          5,
-		InjectionRate: 0.4 * 2.0 / 5,
-	}
-	cycles := simCycles(6000)
-	serial := eventTrace(t, cfg, cycles)
-	cfg.StepWorkers = 3
-	par := eventTrace(t, cfg, cycles)
-	if len(serial) == 0 {
-		t.Fatal("no traffic")
-	}
-	if len(par) != len(serial) {
-		t.Fatalf("%d events parallel vs %d serial", len(par), len(serial))
-	}
-	for i := range serial {
-		if par[i] != serial[i] {
-			t.Fatalf("event %d diverged: %q vs %q", i, par[i], serial[i])
-		}
+// TestParallelStepperCrossTopology covers every topology family under
+// the parallel stepper: the 2-D torus (dateline VC class tables), a 3-D
+// torus, a ring, and a hypercube must each produce the serial engine's
+// exact event trace for any worker count. Run under -race in CI.
+func TestParallelStepperCrossTopology(t *testing.T) {
+	specs := []string{"torus", "torus:k=3,n=3", "ring:12", "hypercube:16"}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			t.Parallel()
+			topo, err := topology.New(spec, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rc := router.DefaultConfig(router.SpeculativeVC)
+			cfg := Config{
+				Topo:          topo,
+				Router:        rc,
+				Seed:          5,
+				InjectionRate: 0.4 * topo.UniformCapacity() / 5,
+			}
+			cycles := simCycles(6000)
+			serial := eventTrace(t, cfg, cycles)
+			if len(serial) == 0 {
+				t.Fatal("no traffic")
+			}
+			for _, workers := range []int{2, 3} {
+				cfg := cfg
+				cfg.StepWorkers = workers
+				par := eventTrace(t, cfg, cycles)
+				if len(par) != len(serial) {
+					t.Fatalf("%d workers: %d events vs %d serial", workers, len(par), len(serial))
+				}
+				for i := range serial {
+					if par[i] != serial[i] {
+						t.Fatalf("%d workers: event %d diverged: %q vs %q", workers, i, par[i], serial[i])
+					}
+				}
+			}
+		})
 	}
 }

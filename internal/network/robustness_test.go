@@ -39,13 +39,35 @@ func TestRandomConfigurationsRunClean(t *testing.T) {
 		k := 2 + r.Intn(4)
 		var topo topology.Topology = topology.NewMesh(k)
 		if kind.UsesVCs() && rc.VCs%2 == 0 && rc.VCs >= 2 && r.Intn(3) == 0 {
-			topo = topology.NewTorus(k)
+			// Wraparound topologies (dateline VC classes) and the
+			// hypercube join the draw once the VC count permits them.
+			switch r.Intn(3) {
+			case 0:
+				topo = topology.NewTorus(k)
+			case 1:
+				ring, err := topology.NewRing(3 + r.Intn(10))
+				if err != nil {
+					t.Fatal(err)
+				}
+				topo = ring
+			case 2:
+				hc, err := topology.NewHypercube(1 << (2 + r.Intn(3)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				topo = hc
+			}
+		} else if r.Intn(4) == 0 {
+			cube, err := topology.NewCube(k, 3, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			topo = cube
 		}
 		patterns := []traffic.Pattern{
 			traffic.Uniform{},
-			traffic.Transpose{K: k},
 			traffic.BitComplement{},
-			traffic.Hotspot{Node: r.Intn(k * k), Frac: 0.25},
+			traffic.Hotspot{Node: r.Intn(topo.Nodes()), Frac: 0.25},
 		}
 		cfg := Config{
 			K:             k,

@@ -52,7 +52,7 @@ func TestTorusDeliversAllTraffic(t *testing.T) {
 		kind := kind
 		t.Run(kind.String(), func(t *testing.T) {
 			t.Parallel()
-			// 0.1 of torus capacity (= 0.2 flits/node/cycle). Dateline
+			// 0.2 flits/node/cycle. Dateline
 			// classes leave non-wrapping traffic only half the VCs
 			// (class 1), so the torus saturates well below its
 			// bisection bound — the cost of this deadlock-avoidance
@@ -108,46 +108,69 @@ func TestTorusUsesWrapLinks(t *testing.T) {
 	}
 }
 
-// TestTorusVCMaskProperties: the dateline mask must always leave at
-// least one candidate class, use class 0 only while the wrap is ahead,
-// and use class 1 on and after the crossing hop.
-func TestTorusVCMaskProperties(t *testing.T) {
-	tor := topology.NewTorus(5)
-	const v = 4
-	class0 := topology.VCClassMask(v, false)
-	class1 := topology.VCClassMask(v, true)
-	for cur := 0; cur < tor.Nodes(); cur++ {
-		for dst := 0; dst < tor.Nodes(); dst++ {
-			if cur == dst {
-				continue
+// TestWrapTopologiesDeliverAllTraffic extends the torus liveness check
+// to the other wraparound topology (the ring) and the hypercube, each
+// built from its spec: sustained load must drain without deadlock.
+func TestWrapTopologiesDeliverAllTraffic(t *testing.T) {
+	specs := []string{"ring:12", "hypercube:16", "torus:k=3,n=3"}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			t.Parallel()
+			topo, err := topology.New(spec, 0)
+			if err != nil {
+				t.Fatal(err)
 			}
-			// Walk the route, tracking when the wrap is crossed per
-			// dimension.
-			node := cur
-			crossed := map[bool]bool{} // key: isYDim
-			for node != dst {
-				port := tor.Route(node, dst)
-				mask := tor.VCMask(node, dst, port, v)
-				if mask == 0 {
-					t.Fatalf("empty VC mask at %d->%d via %s", node, dst, topology.PortName(port))
-				}
-				if mask != class0 && mask != class1 {
-					t.Fatalf("mask %b is neither class at %d->%d", mask, node, dst)
-				}
-				isY := port == topology.PortNorth || port == topology.PortSouth
-				wraps := tor.CrossesDateline(node, port)
-				if crossed[isY] && mask != class1 {
-					t.Fatalf("class 0 used after dateline at %d->%d", node, dst)
-				}
-				if wraps {
-					// The crossing hop itself must already be class 1.
-					if mask != class1 {
-						t.Fatalf("crossing hop not class 1 at %d->%d", node, dst)
-					}
-					crossed[isY] = true
-				}
-				node, _ = tor.Neighbor(node, port)
+			rc := router.DefaultConfig(router.SpeculativeVC)
+			cfg := Config{
+				Topo:          topo,
+				Router:        rc,
+				InjectionRate: 0.1 * topo.UniformCapacity() / 5,
+				Seed:          11,
 			}
+			net, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			created, done := 0, 0
+			net.OnPacketCreated = func(p *flit.Packet, now int64) { created++ }
+			net.OnPacketDone = func(p *flit.Packet, now int64) { done++ }
+			for now := int64(0); now < simCycles(20000); now++ {
+				net.Step(now)
+			}
+			if created == 0 {
+				t.Fatal("no packets created")
+			}
+			if float64(done) < 0.9*float64(created) {
+				t.Fatalf("%s: %d/%d packets delivered — possible deadlock", spec, done, created)
+			}
+		})
+	}
+}
+
+// TestWormholeRejectedOnWrapTopologies: the deadlock-avoidance rule now
+// lives behind the topology interface — every topology with VC classes
+// must reject wormhole flow control, not just the 2-D torus.
+func TestWormholeRejectedOnWrapTopologies(t *testing.T) {
+	for _, spec := range []string{"ring:8", "torus:k=4,n=3"} {
+		topo, err := topology.New(spec, 0)
+		if err != nil {
+			t.Fatal(err)
 		}
+		rc := router.DefaultConfig(router.Wormhole)
+		cfg := Config{Topo: topo, Router: rc, InjectionRate: 0.01, Seed: 1}
+		if err := cfg.Normalize(); err == nil {
+			t.Errorf("%s accepted a wormhole router", spec)
+		}
+	}
+	// The hypercube has no VC classes: wormhole is legal there.
+	topo, err := topology.New("hypercube:16", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := router.DefaultConfig(router.Wormhole)
+	cfg := Config{Topo: topo, Router: rc, InjectionRate: 0.01, Seed: 1}
+	if err := cfg.Normalize(); err != nil {
+		t.Errorf("hypercube rejected a wormhole router: %v", err)
 	}
 }

@@ -101,7 +101,8 @@ func (k Kind) UsesVCs() bool {
 // Config parameterizes one router instance.
 type Config struct {
 	Kind Kind
-	// Ports is the number of physical channels p (5 for a 2-D mesh).
+	// Ports is the number of physical channels p (5 for a 2-D mesh; the
+	// network layer derives it from the topology when left 0).
 	Ports int
 	// VCs is the number of virtual channels per physical channel
 	// (must be 1 for wormhole kinds).
@@ -142,8 +143,9 @@ func DefaultConfig(k Kind) Config {
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
-	if c.Ports < 2 {
-		return fmt.Errorf("router: %d ports; need at least 2", c.Ports)
+	if c.Ports < 2 || c.Ports > 64 {
+		// The allocation stages track port occupancy in a 64-bit mask.
+		return fmt.Errorf("router: %d ports; need 2..64", c.Ports)
 	}
 	if c.VCs < 1 || c.VCs > 64 {
 		return fmt.Errorf("router: %d VCs per port; need 1..64", c.VCs)

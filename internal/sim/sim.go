@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"routersim/internal/flit"
 	"routersim/internal/network"
@@ -201,7 +202,8 @@ func SweepLoads(base Config, loads []float64) ([]LoadPoint, error) {
 
 // RateForLoad converts a fraction of network capacity into the injection
 // rate in packets/node/cycle, using the configured topology's uniform
-// capacity (mesh: 4/k flits/node/cycle, torus: 8/k).
+// capacity (k-ary n-cube mesh: 4/k flits/node/cycle, torus/ring: 8/k,
+// hypercube: 2; a nil Topo means the default k×k mesh).
 func RateForLoad(frac float64, ncfg network.Config) float64 {
 	k := ncfg.K
 	if k == 0 {
@@ -211,7 +213,9 @@ func RateForLoad(frac float64, ncfg network.Config) float64 {
 	if size == 0 {
 		size = 5
 	}
-	capacity := 4.0 / float64(k)
+	// Same bound as Cube.UniformCapacity, including the injection-
+	// bandwidth cap, for the nil-Topo default mesh.
+	capacity := math.Min(4.0/float64(k), 1)
 	if ncfg.Topo != nil {
 		capacity = ncfg.Topo.UniformCapacity()
 	}

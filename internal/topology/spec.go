@@ -1,0 +1,169 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements the topology spec grammar used by the harness
+// and CLIs:
+//
+//	mesh                    k×k mesh, k from the radix axis
+//	mesh:k=8                8×8 mesh
+//	torus:k=4,n=3           4-ary 3-cube torus (64 nodes)
+//	mesh:n=3                k-ary 3-cube mesh, k from the radix axis
+//	hypercube:64            6-dimensional hypercube (64 nodes)
+//	hypercube:n=6           the same, by dimension
+//	ring:16                 16-node bidirectional ring
+//
+// A bare "hypercube" or "ring" takes its node count from the radix
+// axis. Parameters separate with "," or ":" interchangeably, so specs
+// survive comma-splitting CLIs when written with ":".
+
+// Names lists the base topology names New understands.
+func Names() []string { return []string{"mesh", "torus", "ring", "hypercube"} }
+
+// specParamKeys is the single registry of spec parameter keys, shared
+// by Parse and IsParamFragment so the grammar and the CLI re-join
+// heuristic cannot drift apart.
+var specParamKeys = map[string]bool{"k": true, "n": true}
+
+// hypercubeDimLimit bounds 1<<N against integer overflow before Build's
+// real MaxNodes check; PinnedK and Build must agree on it.
+const hypercubeDimLimit = 30
+
+// IsParamFragment reports whether a comma-separated list fragment is a
+// spec parameter ("k=4", "n=3", or a bare size) rather than the start
+// of a new topology spec. CLIs that split axis lists on commas use it
+// to re-join specs written with comma-separated parameters.
+func IsParamFragment(f string) bool {
+	if _, err := strconv.Atoi(f); err == nil {
+		return true
+	}
+	key, _, ok := strings.Cut(f, "=")
+	return ok && specParamKeys[key]
+}
+
+// Spec is a parsed topology spec, before sizes from context are
+// applied. Zero fields mean "not stated".
+type Spec struct {
+	// Base is the topology family: "mesh", "torus", "ring", "hypercube".
+	Base string
+	// K is the stated radix (mesh/torus) or node count (ring/hypercube).
+	K int
+	// N is the stated dimension count (mesh/torus/hypercube).
+	N int
+}
+
+// Parse parses a topology spec without applying context defaults.
+func Parse(spec string) (Spec, error) {
+	base, args, hasArgs := strings.Cut(spec, ":")
+	s := Spec{Base: base}
+	switch base {
+	case "mesh", "torus", "ring", "hypercube":
+	case "":
+		s.Base = "mesh"
+	default:
+		return Spec{}, fmt.Errorf("topology: unknown topology %q (want one of %s; e.g. mesh:k=8, torus:k=4,n=3, hypercube:64, ring:16)",
+			base, strings.Join(Names(), ", "))
+	}
+	if !hasArgs {
+		return s, nil
+	}
+	for _, field := range strings.FieldsFunc(args, func(r rune) bool { return r == ',' || r == ':' }) {
+		key, val, hasKey := strings.Cut(field, "=")
+		if !hasKey {
+			// A bare integer is the size: radix for mesh/torus, node
+			// count for ring/hypercube.
+			key, val = "k", field
+		}
+		if !specParamKeys[key] {
+			return Spec{}, fmt.Errorf("topology: %s: unknown parameter %q (want k=INT, n=INT, or a bare size)", spec, field)
+		}
+		v, err := strconv.Atoi(val)
+		if err != nil || v <= 0 {
+			return Spec{}, fmt.Errorf("topology: %s: parameter %q wants a positive integer", spec, field)
+		}
+		switch key {
+		case "k":
+			s.K = v
+		case "n":
+			if s.Base == "ring" {
+				return Spec{}, fmt.Errorf("topology: %s: a ring has no dimension parameter (it is the k-ary 1-cube)", spec)
+			}
+			s.N = v
+		}
+	}
+	return s, nil
+}
+
+// PinnedK returns the size the spec states explicitly (radix for
+// mesh/torus, node count for ring/hypercube), or 0 when the spec defers
+// to the context's radix axis. A hypercube pinned by dimension reports
+// its node count.
+func (s Spec) PinnedK() int {
+	if s.K != 0 {
+		return s.K
+	}
+	if s.Base == "hypercube" && s.N != 0 && s.N < hypercubeDimLimit {
+		return 1 << s.N
+	}
+	return 0
+}
+
+// Canonical factors any stated size out of the spec: it returns the
+// shape string — the base name plus non-default, non-size parameters,
+// e.g. "mesh", "torus:n=3", "hypercube" — and the pinned size (0 when
+// the spec defers to context). Two specs of the same network always
+// canonicalize identically ("hypercube:16" ≡ "hypercube:n=4"), which is
+// what lets the harness deduplicate equivalent scenarios.
+func (s Spec) Canonical() (shape string, pinnedK int) {
+	shape = s.Base
+	if (s.Base == "mesh" || s.Base == "torus") && s.N != 0 && s.N != 2 {
+		shape = fmt.Sprintf("%s:n=%d", s.Base, s.N)
+	}
+	return shape, s.PinnedK()
+}
+
+// Build constructs the topology, taking unstated sizes from defaultK
+// (the harness's radix axis).
+func (s Spec) Build(defaultK int) (Topology, error) {
+	k := s.K
+	if k == 0 {
+		k = defaultK
+	}
+	switch s.Base {
+	case "mesh", "torus", "":
+		n := s.N
+		if n == 0 {
+			n = 2
+		}
+		return NewCube(k, n, s.Base == "torus")
+	case "ring":
+		return NewRing(k)
+	case "hypercube":
+		if s.N != 0 {
+			if s.K != 0 && s.K != 1<<s.N {
+				return nil, fmt.Errorf("topology: hypercube size %d conflicts with n=%d (2^%d = %d nodes)", s.K, s.N, s.N, 1<<s.N)
+			}
+			if s.N >= hypercubeDimLimit {
+				return nil, fmt.Errorf("topology: hypercube dimension %d too large", s.N)
+			}
+			k = 1 << s.N
+		}
+		return NewHypercube(k)
+	default:
+		return nil, fmt.Errorf("topology: unknown topology %q", s.Base)
+	}
+}
+
+// New resolves a topology spec, taking unstated sizes from defaultK.
+// See the grammar at the top of this file.
+func New(spec string, defaultK int) (Topology, error) {
+	s, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.Build(defaultK)
+}

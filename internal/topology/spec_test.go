@@ -1,0 +1,130 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecGrammar(t *testing.T) {
+	cases := []struct {
+		spec     string
+		defaultK int
+		name     string
+		nodes    int
+		ports    int
+	}{
+		{"mesh", 8, "8x8 mesh", 64, 5},
+		{"", 8, "8x8 mesh", 64, 5},
+		{"mesh:k=4", 9, "4x4 mesh", 16, 5},
+		{"mesh:4", 9, "4x4 mesh", 16, 5},
+		{"torus", 4, "4x4 torus", 16, 5},
+		{"torus:k=4,n=3", 8, "4x4x4 torus", 64, 7},
+		{"torus:k=4:n=3", 8, "4x4x4 torus", 64, 7}, // ':' separator survives comma-splitting CLIs
+		{"mesh:n=3", 4, "4x4x4 mesh", 64, 7},
+		{"hypercube:64", 8, "6-cube (64 nodes)", 64, 7},
+		{"hypercube:n=6", 8, "6-cube (64 nodes)", 64, 7},
+		{"hypercube", 16, "4-cube (16 nodes)", 16, 5},
+		{"ring:16", 8, "16-node ring", 16, 3},
+		{"ring", 12, "12-node ring", 12, 3},
+	}
+	for _, c := range cases {
+		topo, err := New(c.spec, c.defaultK)
+		if err != nil {
+			t.Errorf("New(%q, %d): %v", c.spec, c.defaultK, err)
+			continue
+		}
+		if topo.Name() != c.name || topo.Nodes() != c.nodes || topo.Ports() != c.ports {
+			t.Errorf("New(%q, %d) = %s (%d nodes, %d ports), want %s (%d, %d)",
+				c.spec, c.defaultK, topo.Name(), topo.Nodes(), topo.Ports(), c.name, c.nodes, c.ports)
+		}
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	bad := []struct {
+		spec     string
+		defaultK int
+		wantSub  string
+	}{
+		{"klein-bottle", 8, "unknown topology"},
+		{"mesh:q=3", 8, "unknown parameter"},
+		{"mesh:k=zero", 8, "positive integer"},
+		{"mesh:k=-4", 8, "positive integer"},
+		{"ring:n=2", 8, "no dimension parameter"},
+		{"hypercube:48", 8, "power-of-two"},
+		{"hypercube", 9, "power-of-two"},
+		{"hypercube:64,n=5", 8, "conflicts"},
+		{"mesh:k=1", 8, "k >= 2"},
+		{"torus:k=2,n=30", 8, "nodes"},
+	}
+	for _, c := range bad {
+		_, err := New(c.spec, c.defaultK)
+		if err == nil {
+			t.Errorf("New(%q, %d) should fail", c.spec, c.defaultK)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("New(%q, %d) error %q does not mention %q", c.spec, c.defaultK, err, c.wantSub)
+		}
+	}
+}
+
+func TestSpecCanonical(t *testing.T) {
+	cases := map[string]struct {
+		shape string
+		k     int
+	}{
+		"mesh":          {"mesh", 0},
+		"mesh:k=8":      {"mesh", 8},
+		"mesh:n=2":      {"mesh", 0}, // n=2 is the default shape
+		"torus:k=4,n=3": {"torus:n=3", 4},
+		"hypercube:16":  {"hypercube", 16},
+		"hypercube:n=4": {"hypercube", 16},
+		"ring:16":       {"ring", 16},
+	}
+	for spec, want := range cases {
+		s, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		shape, k := s.Canonical()
+		if shape != want.shape || k != want.k {
+			t.Errorf("Canonical(%q) = (%q, %d), want (%q, %d)", spec, shape, k, want.shape, want.k)
+		}
+	}
+}
+
+func TestIsParamFragment(t *testing.T) {
+	for _, f := range []string{"k=4", "n=3", "16"} {
+		if !IsParamFragment(f) {
+			t.Errorf("IsParamFragment(%q) = false", f)
+		}
+	}
+	for _, f := range []string{"mesh", "torus:k=4", "ring:16", "q=2"} {
+		if IsParamFragment(f) {
+			t.Errorf("IsParamFragment(%q) = true", f)
+		}
+	}
+}
+
+func TestSpecPinnedK(t *testing.T) {
+	cases := map[string]int{
+		"mesh":          0,
+		"mesh:k=4":      4,
+		"torus:k=4,n=3": 4,
+		"hypercube:64":  64,
+		"hypercube:n=6": 64,
+		"hypercube":     0,
+		"ring:16":       16,
+		"ring":          0,
+	}
+	for spec, want := range cases {
+		s, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if got := s.PinnedK(); got != want {
+			t.Errorf("PinnedK(%q) = %d, want %d", spec, got, want)
+		}
+	}
+}

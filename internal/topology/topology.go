@@ -1,174 +1,113 @@
 // Package topology defines network topologies and deterministic routing
-// for the simulator. The paper evaluates an 8×8 mesh with
-// dimension-ordered (XY) routing — a R→p routing function, the most
-// general possible for deterministic routing (footnote 14). A torus with
-// dateline virtual-channel classes is provided as an extension.
+// for the simulator as a graph-general abstraction: any topology that
+// can name its ports, wire its neighbors, route deterministically, and
+// state its deadlock-avoidance virtual-channel policy plugs into the
+// network layer unchanged.
+//
+// The paper evaluates an 8×8 mesh with dimension-ordered (XY) routing —
+// a R→p routing function, the most general possible for deterministic
+// routing (footnote 14). This package generalizes that to k-ary n-cubes
+// of arbitrary dimension (meshes and tori), the hypercube (the 2-ary
+// n-cube), and the bidirectional ring (the k-ary 1-cube torus), each
+// with its own port count p — which is exactly the parameter the
+// paper's delay model is most sensitive to.
 package topology
 
 import "fmt"
 
-// Router port indices. Port 0 is the local (injection/ejection) port;
-// the four mesh directions follow. A 2-D mesh router therefore has
-// p = 5 physical channels, the paper's primary configuration.
+// Port 0 is always the local (injection/ejection) port. For 2-D cubes
+// the four directional ports keep the paper's mesh numbering; they are
+// provided for readability in 2-D-specific code and tests.
 const (
 	PortLocal = 0
-	PortEast  = 1 // +x
-	PortWest  = 2 // -x
-	PortNorth = 3 // +y
-	PortSouth = 4 // -y
-	NumPorts  = 5
+	PortEast  = 1 // dimension 0, positive
+	PortWest  = 2 // dimension 0, negative
+	PortNorth = 3 // dimension 1, positive
+	PortSouth = 4 // dimension 1, negative
 )
 
-// PortName returns a human-readable port label.
-func PortName(p int) string {
-	switch p {
-	case PortLocal:
-		return "local"
-	case PortEast:
-		return "east"
-	case PortWest:
-		return "west"
-	case PortNorth:
-		return "north"
-	case PortSouth:
-		return "south"
-	default:
-		return fmt.Sprintf("port%d", p)
-	}
-}
+// MaxPorts bounds the router port count of any topology: the router's
+// allocation stages index ports through 64-bit occupancy bitmasks.
+const MaxPorts = 64
 
-// Opposite returns the port on the neighbouring router that a given
-// output port connects to (east connects to the neighbour's west input,
-// and so on).
-func Opposite(p int) int {
-	switch p {
-	case PortEast:
-		return PortWest
-	case PortWest:
-		return PortEast
-	case PortNorth:
-		return PortSouth
-	case PortSouth:
-		return PortNorth
-	default:
-		panic(fmt.Sprintf("topology: port %d has no opposite", p))
-	}
-}
+// MaxNodes bounds the node count of any topology: routing tables are
+// precomputed per router (O(nodes) bytes each, O(nodes²) total), so an
+// unbounded spec would silently ask for gigabytes.
+const MaxNodes = 1 << 14
 
-// Topology describes a network graph over k×k routers with local ports.
+// Topology describes a network graph over routers with local ports. All
+// methods are pure functions of the topology's parameters: the network
+// layer precomputes routing and VC-class tables from them once, so none
+// of these are on the simulation hot path.
 type Topology interface {
+	// Name identifies the topology for reports.
+	Name() string
 	// Nodes returns the number of routers.
 	Nodes() int
+	// Ports returns the number of router ports p, including the local
+	// port 0 — the maximum degree; edge routers of a mesh leave some
+	// ports unconnected. This is the p of the paper's delay model.
+	Ports() int
+	// Degree returns the number of connected ports at node, including
+	// the local port (Degree == Ports away from mesh edges).
+	Degree(node int) int
 	// Neighbor returns the router reached from node through output port
-	// port, or ok=false if the port faces an edge (mesh boundary).
-	Neighbor(node, port int) (next int, ok bool)
+	// port and the input port it arrives on there, or ok=false if the
+	// port faces an edge (mesh boundary) or is the local port. The
+	// wiring is reciprocal: Neighbor(a, p) = (b, q, true) implies
+	// Neighbor(b, q) = (a, p, true).
+	Neighbor(node, port int) (next, inPort int, ok bool)
 	// Route returns the output port a packet at node cur should take
 	// toward dst (dimension-ordered). Route(cur, cur) is PortLocal.
 	Route(cur, dst int) int
+	// PortName returns a human-readable label for a port.
+	PortName(port int) string
+	// Diameter returns the maximum routed hop count between any pair.
+	Diameter() int
 	// UniformCapacity returns the bisection-limited network capacity
 	// under uniform random traffic, in flits per node per cycle.
 	UniformCapacity() float64
-	// Name identifies the topology for reports.
-	Name() string
+	// VCClasses returns the number of virtual-channel classes
+	// dimension-ordered routing needs for deadlock freedom: 1 when the
+	// channel dependency graph is already acyclic (meshes, hypercubes),
+	// 2 for dateline classes on wraparound rings (tori, rings). The
+	// router's VC count must be a positive multiple of VCClasses.
+	VCClasses() int
+	// VCMask returns the virtual channels (as a candidate bitmask over
+	// v VCs) that a packet at node cur heading to dst may allocate on
+	// the hop through port. Topologies with VCClasses() == 1 return the
+	// full mask; v must be a positive multiple of VCClasses().
+	VCMask(cur, dst, port, v int) uint64
 }
 
-// Mesh is a k×k 2-D mesh.
-type Mesh struct{ K int }
+// FullVCMask returns the unrestricted candidate mask over v VCs.
+func FullVCMask(v int) uint64 { return (uint64(1) << v) - 1 }
 
-// NewMesh returns a k×k mesh topology.
-func NewMesh(k int) Mesh {
-	if k < 2 {
-		panic("topology: mesh needs k >= 2")
+// VCClassMask returns the bitmask of virtual channels a packet may
+// request on its next hop, given v VCs per port split into two dateline
+// classes (low half = class 0, high half = class 1). crossed reports
+// whether the packet has already crossed the dateline in the dimension
+// it is currently traversing. v must be even and ≥ 2.
+func VCClassMask(v int, crossed bool) uint64 {
+	half := v / 2
+	low := (uint64(1) << half) - 1
+	if crossed {
+		return low << half
 	}
-	return Mesh{K: k}
+	return low
 }
 
-// Name implements Topology.
-func (m Mesh) Name() string { return fmt.Sprintf("%dx%d mesh", m.K, m.K) }
-
-// Nodes implements Topology.
-func (m Mesh) Nodes() int { return m.K * m.K }
-
-// XY returns the coordinates of a node.
-func (m Mesh) XY(node int) (x, y int) { return node % m.K, node / m.K }
-
-// Node returns the node at coordinates (x, y).
-func (m Mesh) Node(x, y int) int { return y*m.K + x }
-
-// Neighbor implements Topology.
-func (m Mesh) Neighbor(node, port int) (int, bool) {
-	x, y := m.XY(node)
-	switch port {
-	case PortEast:
-		if x == m.K-1 {
-			return 0, false
-		}
-		return m.Node(x+1, y), true
-	case PortWest:
-		if x == 0 {
-			return 0, false
-		}
-		return m.Node(x-1, y), true
-	case PortNorth:
-		if y == m.K-1 {
-			return 0, false
-		}
-		return m.Node(x, y+1), true
-	case PortSouth:
-		if y == 0 {
-			return 0, false
-		}
-		return m.Node(x, y-1), true
-	default:
-		return 0, false
+// checkSize validates a topology's node and port counts against the
+// package bounds.
+func checkSize(name string, nodes, ports int) error {
+	if nodes > MaxNodes {
+		return fmt.Errorf("topology: %s has %d nodes; max %d (routing tables are per-router)", name, nodes, MaxNodes)
 	}
-}
-
-// Route implements dimension-ordered XY routing: correct x first, then
-// y, then eject. XY routing on a mesh is deadlock-free without virtual
-// channels, which is why the paper can compare wormhole routers (no VCs)
-// against VC routers on equal terms.
-func (m Mesh) Route(cur, dst int) int {
-	cx, cy := m.XY(cur)
-	dx, dy := m.XY(dst)
-	switch {
-	case dx > cx:
-		return PortEast
-	case dx < cx:
-		return PortWest
-	case dy > cy:
-		return PortNorth
-	case dy < cy:
-		return PortSouth
-	default:
-		return PortLocal
+	if ports > MaxPorts {
+		return fmt.Errorf("topology: %s needs %d router ports; max %d", name, ports, MaxPorts)
 	}
+	return nil
 }
-
-// Distance returns the hop count between two nodes.
-func (m Mesh) Distance(a, b int) int {
-	ax, ay := m.XY(a)
-	bx, by := m.XY(b)
-	return abs(ax-bx) + abs(ay-by)
-}
-
-// AvgDistance returns the mean hop distance under uniform traffic with
-// self-addressed packets excluded: E[|Δx|+|Δy|] · N/(N−1), where
-// E[|Δ|] = (k²−1)/(3k) per dimension.
-func (m Mesh) AvgDistance() float64 {
-	k := float64(m.K)
-	n := k * k
-	perDim := (k*k - 1) / (3 * k)
-	return 2 * perDim * n / (n - 1)
-}
-
-// UniformCapacity returns the network capacity per node, in flits per
-// cycle, for uniform random traffic on a k×k mesh: the bisection of k
-// channels per direction carries half the traffic of half the nodes, so
-// λ·k²/4 ≤ k, i.e. capacity = 4/k flits/node/cycle (0.5 for the paper's
-// 8×8 mesh). Offered load in the experiments is expressed as a fraction
-// of this capacity.
-func (m Mesh) UniformCapacity() float64 { return 4 / float64(m.K) }
 
 func abs(x int) int {
 	if x < 0 {

@@ -6,65 +6,100 @@ import (
 	"testing/quick"
 )
 
-func TestMeshNeighborsReciprocal(t *testing.T) {
-	m := NewMesh(8)
-	for n := 0; n < m.Nodes(); n++ {
-		for port := PortEast; port <= PortSouth; port++ {
-			next, ok := m.Neighbor(n, port)
-			if !ok {
-				continue
+// testTopologies is the cross-topology test set: the paper's mesh, the
+// 2-D torus, a 3-D mesh and torus, odd-radix cases, a hypercube, and a
+// ring.
+func testTopologies(t *testing.T) []Topology {
+	t.Helper()
+	hc, err := NewHypercube(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := NewRing(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube3m, err := NewCube(4, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube3t, err := NewCube(3, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Topology{
+		NewMesh(8), NewMesh(5), NewTorus(4), NewTorus(5),
+		cube3m, cube3t, hc, ring,
+	}
+}
+
+// TestNeighborsReciprocal: every connected output port must arrive on
+// an input port whose own wiring leads straight back — the invariant the
+// network layer's link construction relies on.
+func TestNeighborsReciprocal(t *testing.T) {
+	for _, topo := range testTopologies(t) {
+		for n := 0; n < topo.Nodes(); n++ {
+			connected := 1 // local port
+			for port := 1; port < topo.Ports(); port++ {
+				next, inPort, ok := topo.Neighbor(n, port)
+				if !ok {
+					continue
+				}
+				connected++
+				back, backPort, ok2 := topo.Neighbor(next, inPort)
+				if !ok2 || back != n || backPort != port {
+					t.Fatalf("%s: neighbor not reciprocal: %d --%s--> %d (in %s) --> %d (in %s)",
+						topo.Name(), n, topo.PortName(port), next, topo.PortName(inPort), back, topo.PortName(backPort))
+				}
 			}
-			back, ok2 := m.Neighbor(next, Opposite(port))
-			if !ok2 || back != n {
-				t.Fatalf("neighbor not reciprocal: %d --%s--> %d --%s--> %d",
-					n, PortName(port), next, PortName(Opposite(port)), back)
+			if got := topo.Degree(n); got != connected {
+				t.Fatalf("%s: node %d Degree() = %d, counted %d connected ports",
+					topo.Name(), n, got, connected)
 			}
 		}
 	}
 }
 
-func TestMeshEdges(t *testing.T) {
-	m := NewMesh(4)
-	if _, ok := m.Neighbor(m.Node(3, 0), PortEast); ok {
-		t.Error("east edge should be open")
-	}
-	if _, ok := m.Neighbor(m.Node(0, 0), PortWest); ok {
-		t.Error("west edge should be open")
-	}
-	if _, ok := m.Neighbor(m.Node(0, 3), PortNorth); ok {
-		t.Error("north edge should be open")
-	}
-	if _, ok := m.Neighbor(m.Node(0, 0), PortSouth); ok {
-		t.Error("south edge should be open")
-	}
-}
-
-func TestXYRouteDeliversAndIsMinimal(t *testing.T) {
-	m := NewMesh(8)
-	for src := 0; src < m.Nodes(); src++ {
-		for dst := 0; dst < m.Nodes(); dst++ {
-			cur, hops := src, 0
-			for cur != dst {
-				port := m.Route(cur, dst)
-				if port == PortLocal {
-					t.Fatalf("premature ejection at %d routing to %d", cur, dst)
+// TestRouteDeliversWithinDiameter: for every (src, dst) pair of every
+// topology, the routing function must reach dst in exactly the minimal
+// distance, which never exceeds the diameter.
+func TestRouteDeliversWithinDiameter(t *testing.T) {
+	type distancer interface{ Distance(a, b int) int }
+	for _, topo := range testTopologies(t) {
+		diam := topo.Diameter()
+		maxSeen := 0
+		for src := 0; src < topo.Nodes(); src++ {
+			for dst := 0; dst < topo.Nodes(); dst++ {
+				cur, hops := src, 0
+				for cur != dst {
+					port := topo.Route(cur, dst)
+					if port == PortLocal {
+						t.Fatalf("%s: premature ejection at %d routing to %d", topo.Name(), cur, dst)
+					}
+					next, _, ok := topo.Neighbor(cur, port)
+					if !ok {
+						t.Fatalf("%s: route walked off an edge at %d toward %d via %s",
+							topo.Name(), cur, dst, topo.PortName(port))
+					}
+					cur = next
+					hops++
+					if hops > diam {
+						t.Fatalf("%s: route %d->%d exceeds diameter %d", topo.Name(), src, dst, diam)
+					}
 				}
-				next, ok := m.Neighbor(cur, port)
-				if !ok {
-					t.Fatalf("route walked off the mesh at %d toward %d", cur, dst)
+				if d := topo.(distancer).Distance(src, dst); hops != d {
+					t.Fatalf("%s: %d->%d took %d hops, minimal %d", topo.Name(), src, dst, hops, d)
 				}
-				cur = next
-				hops++
-				if hops > 2*m.K {
-					t.Fatalf("livelock routing %d->%d", src, dst)
+				if hops > maxSeen {
+					maxSeen = hops
+				}
+				if topo.Route(dst, dst) != PortLocal {
+					t.Fatalf("%s: Route(dst,dst) != local", topo.Name())
 				}
 			}
-			if hops != m.Distance(src, dst) {
-				t.Fatalf("%d->%d took %d hops, manhattan %d", src, dst, hops, m.Distance(src, dst))
-			}
-			if m.Route(dst, dst) != PortLocal {
-				t.Fatalf("Route(dst,dst) != local")
-			}
+		}
+		if maxSeen != diam {
+			t.Errorf("%s: worst routed pair is %d hops, Diameter() says %d", topo.Name(), maxSeen, diam)
 		}
 	}
 }
@@ -84,79 +119,84 @@ func TestXYRouteXFirst(t *testing.T) {
 		if x != dx && (port == PortNorth || port == PortSouth) {
 			t.Fatalf("moved in y at %d before x corrected", cur)
 		}
-		cur, _ = m.Neighbor(cur, port)
+		cur, _, _ = m.Neighbor(cur, port)
 	}
 }
 
-func TestMeshAvgDistance(t *testing.T) {
-	// Exhaustively computed mean hop distance (self excluded) must match
-	// the closed form.
-	m := NewMesh(8)
-	var sum, n float64
-	for a := 0; a < m.Nodes(); a++ {
-		for b := 0; b < m.Nodes(); b++ {
-			if a == b {
-				continue
+func TestMeshEdges(t *testing.T) {
+	m := NewMesh(4)
+	if _, _, ok := m.Neighbor(m.Node(3, 0), PortEast); ok {
+		t.Error("east edge should be open")
+	}
+	if _, _, ok := m.Neighbor(m.Node(0, 0), PortWest); ok {
+		t.Error("west edge should be open")
+	}
+	if _, _, ok := m.Neighbor(m.Node(0, 3), PortNorth); ok {
+		t.Error("north edge should be open")
+	}
+	if _, _, ok := m.Neighbor(m.Node(0, 0), PortSouth); ok {
+		t.Error("south edge should be open")
+	}
+	if deg := m.Degree(m.Node(0, 0)); deg != 3 {
+		t.Errorf("mesh corner degree %d, want 3", deg)
+	}
+	if deg := m.Degree(m.Node(1, 1)); deg != 5 {
+		t.Errorf("mesh interior degree %d, want 5", deg)
+	}
+}
+
+// TestAvgDistance: the closed forms must match exhaustive computation
+// on every test topology.
+func TestAvgDistance(t *testing.T) {
+	type avg interface {
+		Distance(a, b int) int
+		AvgDistance() float64
+	}
+	for _, topo := range testTopologies(t) {
+		a := topo.(avg)
+		var sum, n float64
+		for i := 0; i < topo.Nodes(); i++ {
+			for j := 0; j < topo.Nodes(); j++ {
+				if i == j {
+					continue
+				}
+				sum += float64(a.Distance(i, j))
+				n++
 			}
-			sum += float64(m.Distance(a, b))
-			n++
+		}
+		if got, want := a.AvgDistance(), sum/n; math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: AvgDistance = %v, exhaustive %v", topo.Name(), got, want)
 		}
 	}
-	want := sum / n
-	if got := m.AvgDistance(); math.Abs(got-want) > 1e-9 {
-		t.Fatalf("AvgDistance = %v, exhaustive %v", got, want)
-	}
 	// The paper's 8×8 mesh: ≈5.33 hops.
-	if got := m.AvgDistance(); math.Abs(got-5.333) > 0.01 {
+	if got := NewMesh(8).AvgDistance(); math.Abs(got-5.333) > 0.01 {
 		t.Errorf("8x8 mean distance %v, want ≈5.33", got)
 	}
 }
 
 func TestUniformCapacity(t *testing.T) {
-	if got := NewMesh(8).UniformCapacity(); got != 0.5 {
-		t.Fatalf("8x8 uniform capacity = %v, want 0.5 flits/node/cycle", got)
+	cases := []struct {
+		spec string
+		k    int
+		want float64
+	}{
+		{"mesh", 8, 0.5},
+		{"mesh", 4, 1.0},
+		{"torus", 8, 1.0},     // 8/k, at the injection-bandwidth cap
+		{"torus", 4, 1.0},     // bisection allows 2, injection caps at 1
+		{"mesh:n=3", 4, 1.0},  // 4/k independent of n
+		{"torus:n=3", 8, 1.0}, // 8/k independent of n
+		{"ring:16", 0, 0.5},   // 8/16
+		{"ring:32", 0, 0.25},
+		{"hypercube:64", 0, 1.0}, // bisection allows 2 at every size; injection caps at 1
 	}
-	if got := NewMesh(4).UniformCapacity(); got != 1.0 {
-		t.Fatalf("4x4 uniform capacity = %v, want 1.0", got)
-	}
-}
-
-func TestTorusNeighborsAlwaysConnected(t *testing.T) {
-	tor := NewTorus(4)
-	for n := 0; n < tor.Nodes(); n++ {
-		for port := PortEast; port <= PortSouth; port++ {
-			next, ok := tor.Neighbor(n, port)
-			if !ok {
-				t.Fatalf("torus port %s of %d unconnected", PortName(port), n)
-			}
-			back, _ := tor.Neighbor(next, Opposite(port))
-			if back != n {
-				t.Fatalf("torus neighbor not reciprocal at %d", n)
-			}
+	for _, c := range cases {
+		topo, err := New(c.spec, c.k)
+		if err != nil {
+			t.Fatalf("New(%q, %d): %v", c.spec, c.k, err)
 		}
-	}
-}
-
-func TestTorusRouteMinimal(t *testing.T) {
-	tor := NewTorus(5)
-	for src := 0; src < tor.Nodes(); src++ {
-		for dst := 0; dst < tor.Nodes(); dst++ {
-			cur, hops := src, 0
-			for cur != dst {
-				port := tor.Route(cur, dst)
-				next, ok := tor.Neighbor(cur, port)
-				if !ok || port == PortLocal {
-					t.Fatalf("bad torus route at %d toward %d", cur, dst)
-				}
-				cur = next
-				hops++
-				if hops > 2*tor.K {
-					t.Fatalf("torus livelock %d->%d", src, dst)
-				}
-			}
-			if hops != tor.Distance(src, dst) {
-				t.Fatalf("torus %d->%d: %d hops, minimal %d", src, dst, hops, tor.Distance(src, dst))
-			}
+		if got := topo.UniformCapacity(); got != c.want {
+			t.Errorf("%s (k=%d) capacity %v, want %v", c.spec, c.k, got, c.want)
 		}
 	}
 }
@@ -172,6 +212,9 @@ func TestTorusDateline(t *testing.T) {
 	if !tor.CrossesDateline(tor.Node(0, 0), PortWest) {
 		t.Error("west wrap from x=0 must cross dateline")
 	}
+	if NewMesh(4).CrossesDateline(0, PortWest) {
+		t.Error("mesh has no dateline")
+	}
 }
 
 func TestVCClassMask(t *testing.T) {
@@ -181,9 +224,91 @@ func TestVCClassMask(t *testing.T) {
 	if m := VCClassMask(4, true); m != 0b1100 {
 		t.Fatalf("class 1 mask %b", m)
 	}
+	if m := FullVCMask(3); m != 0b111 {
+		t.Fatalf("full mask %b", m)
+	}
 }
 
-func TestMeshNodeXYRoundTrip(t *testing.T) {
+// TestVCMaskProperties: on every wraparound topology the dateline mask
+// must always leave at least one candidate class, use class 0 only
+// while the wrap is ahead, and use class 1 on and after the crossing
+// hop. Topologies without classes must never restrict candidates.
+func TestVCMaskProperties(t *testing.T) {
+	const v = 4
+	class0 := VCClassMask(v, false)
+	class1 := VCClassMask(v, true)
+	for _, topo := range testTopologies(t) {
+		if topo.VCClasses() == 1 {
+			for cur := 0; cur < topo.Nodes(); cur++ {
+				for port := 0; port < topo.Ports(); port++ {
+					if m := topo.VCMask(cur, (cur+1)%topo.Nodes(), port, v); m != FullVCMask(v) {
+						t.Fatalf("%s: classless topology restricted VCs: %b", topo.Name(), m)
+					}
+				}
+			}
+			continue
+		}
+		cube := topo.(Cube)
+		for cur := 0; cur < topo.Nodes(); cur++ {
+			for dst := 0; dst < topo.Nodes(); dst++ {
+				if cur == dst {
+					continue
+				}
+				node := cur
+				crossed := make([]bool, cube.N) // per dimension
+				for node != dst {
+					port := topo.Route(node, dst)
+					mask := topo.VCMask(node, dst, port, v)
+					if mask == 0 {
+						t.Fatalf("%s: empty VC mask at %d->%d via %s", topo.Name(), node, dst, topo.PortName(port))
+					}
+					if mask != class0 && mask != class1 {
+						t.Fatalf("%s: mask %b is neither class at %d->%d", topo.Name(), mask, node, dst)
+					}
+					d, _ := dimOf(port)
+					wraps := cube.CrossesDateline(node, port)
+					if crossed[d] && mask != class1 {
+						t.Fatalf("%s: class 0 used after dateline at %d->%d", topo.Name(), node, dst)
+					}
+					if wraps {
+						// The crossing hop itself must already be class 1.
+						if mask != class1 {
+							t.Fatalf("%s: crossing hop not class 1 at %d->%d", topo.Name(), node, dst)
+						}
+						crossed[d] = true
+					}
+					node, _, _ = topo.Neighbor(node, port)
+				}
+			}
+		}
+	}
+}
+
+func TestPortNames(t *testing.T) {
+	m := NewMesh(4)
+	for port, want := range []string{"local", "east", "west", "north", "south"} {
+		if got := m.PortName(port); got != want {
+			t.Errorf("mesh port %d named %q, want %q", port, got, want)
+		}
+	}
+	// No panic paths: out-of-range ports get a generic label.
+	if got := m.PortName(99); got != "port99" {
+		t.Errorf("out-of-range port named %q", got)
+	}
+	// Per-topology names are unique within each topology.
+	for _, topo := range testTopologies(t) {
+		seen := map[string]bool{}
+		for port := 0; port < topo.Ports(); port++ {
+			name := topo.PortName(port)
+			if name == "" || seen[name] {
+				t.Errorf("%s: bad or duplicate port name %q", topo.Name(), name)
+			}
+			seen[name] = true
+		}
+	}
+}
+
+func TestCubeNodeXYRoundTrip(t *testing.T) {
 	prop := func(kRaw, nRaw uint8) bool {
 		k := 2 + int(kRaw%14)
 		m := NewMesh(k)
@@ -196,11 +321,37 @@ func TestMeshNodeXYRoundTrip(t *testing.T) {
 	}
 }
 
-func TestOppositePanicsOnLocal(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Opposite(local) must panic")
+func TestCoordStride(t *testing.T) {
+	c, err := NewCube(4, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// node = x + 4y + 16z
+	node := 1 + 4*2 + 16*3
+	for d, want := range []int{1, 2, 3} {
+		if got := c.Coord(node, d); got != want {
+			t.Errorf("coord %d of %d = %d, want %d", d, node, got, want)
 		}
-	}()
-	Opposite(PortLocal)
+	}
+	if c.Nodes() != 64 || c.Ports() != 7 || c.Diameter() != 6 {
+		t.Errorf("4-ary 3-torus: nodes=%d ports=%d diameter=%d", c.Nodes(), c.Ports(), c.Diameter())
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewCube(1, 2, false); err == nil {
+		t.Error("radix 1 accepted")
+	}
+	if _, err := NewCube(4, 0, false); err == nil {
+		t.Error("dimension 0 accepted")
+	}
+	if _, err := NewCube(2, 20, true); err == nil {
+		t.Error("2^20-node cube accepted (over MaxNodes)")
+	}
+	if _, err := NewHypercube(48); err == nil {
+		t.Error("non-power-of-two hypercube accepted")
+	}
+	if _, err := NewRing(1); err == nil {
+		t.Error("1-node ring accepted")
+	}
 }

@@ -13,32 +13,42 @@ func Names() []string {
 	return []string{"uniform", "transpose", "bit-reversal", "bit-complement", "hotspot"}
 }
 
-// New resolves a traffic pattern by name for a k×k network (n = k²
-// nodes). Recognized specs:
+// validSpecs renders the accepted spec forms for error messages.
+func validSpecs() string {
+	return "uniform, transpose, bit-reversal, bit-complement, hotspot, hotspot:NODE:FRAC"
+}
+
+// New resolves a traffic pattern by name for a network of nodes nodes
+// (any topology — patterns are defined over node indices, not grid
+// coordinates). Recognized specs:
 //
 //	uniform               the paper's workload
-//	transpose             (x,y) → (y,x)
-//	bit-reversal          i → reverse of i's bits (n must be a power of two)
-//	bit-complement        i → n-1-i
+//	transpose             swap the index's bit halves ((x,y) → (y,x) on a
+//	                      power-of-two mesh); nodes must be 4^m
+//	bit-reversal          i → reverse of i's bits (nodes must be a power of two)
+//	bit-complement        i → nodes-1-i
 //	hotspot               10% of traffic to node 0, rest uniform
 //	hotspot:NODE:FRAC     e.g. hotspot:0:0.2
 //
 // Parameterized specs separate fields with ':'. Unknown names and
-// parameters that cannot apply to the network size are errors.
-func New(spec string, k int) (Pattern, error) {
-	n := k * k
+// parameters that cannot apply to the network size are errors that name
+// the valid specs.
+func New(spec string, nodes int) (Pattern, error) {
 	name, args, hasArgs := strings.Cut(spec, ":")
 	if hasArgs && name != "hotspot" {
-		return nil, fmt.Errorf("traffic: pattern %q takes no parameters (only hotspot:NODE:FRAC does)", spec)
+		return nil, fmt.Errorf("traffic: pattern %q takes no parameters (valid specs: %s)", spec, validSpecs())
 	}
 	switch name {
 	case "uniform", "":
 		return Uniform{}, nil
 	case "transpose":
-		return Transpose{K: k}, nil
+		if nodes <= 0 || bits.OnesCount(uint(nodes)) != 1 || (bits.Len(uint(nodes))-1)%2 != 0 {
+			return nil, fmt.Errorf("traffic: transpose needs a node count that is an even power of two (4, 16, 64, ...), got %d", nodes)
+		}
+		return Transpose{}, nil
 	case "bit-reversal", "bitrev":
-		if n <= 0 || bits.OnesCount(uint(n)) != 1 {
-			return nil, fmt.Errorf("traffic: bit-reversal needs a power-of-two node count, got %d (k=%d)", n, k)
+		if nodes <= 0 || bits.OnesCount(uint(nodes)) != 1 {
+			return nil, fmt.Errorf("traffic: bit-reversal needs a power-of-two node count, got %d", nodes)
 		}
 		return BitReversal{}, nil
 	case "bit-complement", "bitcomp":
@@ -48,7 +58,7 @@ func New(spec string, k int) (Pattern, error) {
 		if args != "" {
 			fields := strings.Split(args, ":")
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("traffic: hotspot wants NODE:FRAC, got %q", args)
+				return nil, fmt.Errorf("traffic: hotspot wants NODE:FRAC, got %q (valid specs: %s)", args, validSpecs())
 			}
 			node, err := strconv.Atoi(fields[0])
 			if err != nil {
@@ -60,14 +70,14 @@ func New(spec string, k int) (Pattern, error) {
 			}
 			h = Hotspot{Node: node, Frac: frac}
 		}
-		if h.Node < 0 || h.Node >= n {
-			return nil, fmt.Errorf("traffic: hotspot node %d outside [0,%d)", h.Node, n)
+		if h.Node < 0 || h.Node >= nodes {
+			return nil, fmt.Errorf("traffic: hotspot node %d outside [0,%d)", h.Node, nodes)
 		}
 		if h.Frac < 0 || h.Frac > 1 {
 			return nil, fmt.Errorf("traffic: hotspot fraction %v outside [0,1]", h.Frac)
 		}
 		return h, nil
 	default:
-		return nil, fmt.Errorf("traffic: unknown pattern %q (want one of %s)", spec, strings.Join(Names(), ", "))
+		return nil, fmt.Errorf("traffic: unknown pattern %q (valid specs: %s)", spec, validSpecs())
 	}
 }

@@ -42,16 +42,21 @@ func (Uniform) Dest(src, n int, r *rng.RNG) int {
 	return d
 }
 
-// Transpose sends node (x, y) to node (y, x) on a k×k network.
-type Transpose struct{ K int }
+// Transpose swaps the two halves of the node index's bits — on a k×k
+// network with power-of-two k this is the matrix transpose
+// (x, y) → (y, x). It is defined for any node count that is an even
+// power of two (so the index splits into two equal halves), which lets
+// the same pattern run on meshes, tori, rings, and hypercubes alike.
+type Transpose struct{}
 
 // Name implements Pattern.
-func (t Transpose) Name() string { return "transpose" }
+func (Transpose) Name() string { return "transpose" }
 
 // Dest implements Pattern.
-func (t Transpose) Dest(src, n int, r *rng.RNG) int {
-	x, y := src%t.K, src/t.K
-	return x*t.K + y
+func (Transpose) Dest(src, n int, r *rng.RNG) int {
+	half := (bits.Len(uint(n)) - 1) / 2
+	lo := src & ((1 << half) - 1)
+	return lo<<half | src>>half
 }
 
 // BitComplement sends node i to node (n-1)-i.

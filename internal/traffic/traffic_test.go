@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"routersim/internal/rng"
@@ -35,10 +36,15 @@ func TestUniformExcludesSelfAndCoversAll(t *testing.T) {
 }
 
 func TestTranspose(t *testing.T) {
-	p := Transpose{K: 8}
+	p := Transpose{}
 	// node (x,y)=(3,5) = 5*8+3 = 43 -> (5,3) = 3*8+5 = 29
 	if d := p.Dest(43, 64, nil); d != 29 {
 		t.Fatalf("transpose(43) = %d, want 29", d)
+	}
+	// On a 16-node network (ring, hypercube, or 4x4 mesh alike) the
+	// pattern swaps 2-bit halves: 9 = 0b1001 -> 0b0110 = 6.
+	if d := p.Dest(9, 16, nil); d != 6 {
+		t.Fatalf("transpose(9) on 16 nodes = %d, want 6", d)
 	}
 }
 
@@ -159,8 +165,8 @@ func TestPermutationPatterns(t *testing.T) {
 		p    Pattern
 		n    int
 	}{
-		{"transpose 8x8", Transpose{K: 8}, 64},
-		{"transpose 4x4", Transpose{K: 4}, 16},
+		{"transpose 64", Transpose{}, 64},
+		{"transpose 16", Transpose{}, 16},
 		{"bit-reversal 64", BitReversal{}, 64},
 		{"bit-reversal 16", BitReversal{}, 16},
 		{"bit-complement 64", BitComplement{}, 64},
@@ -228,59 +234,59 @@ func TestHotspotEmpiricalFraction(t *testing.T) {
 
 func TestNewPatternSpecs(t *testing.T) {
 	good := []struct {
-		spec string
-		k    int
-		want string
+		spec  string
+		nodes int
+		want  string
 	}{
-		{"uniform", 8, "uniform"},
-		{"transpose", 8, "transpose"},
-		{"bit-reversal", 8, "bit-reversal"},
-		{"bitrev", 4, "bit-reversal"},
-		{"bit-complement", 6, "bit-complement"},
-		{"hotspot", 8, "hotspot(0,0.10)"},
-		{"hotspot:3:0.25", 8, "hotspot(3,0.25)"},
+		{"uniform", 64, "uniform"},
+		{"transpose", 64, "transpose"},
+		{"transpose", 16, "transpose"}, // 16-node ring or hypercube alike
+		{"bit-reversal", 64, "bit-reversal"},
+		{"bitrev", 16, "bit-reversal"},
+		{"bit-reversal", 32, "bit-reversal"}, // any power of two, square or not
+		{"bit-complement", 36, "bit-complement"},
+		{"hotspot", 64, "hotspot(0,0.10)"},
+		{"hotspot:3:0.25", 64, "hotspot(3,0.25)"},
 	}
 	for _, c := range good {
-		p, err := New(c.spec, c.k)
+		p, err := New(c.spec, c.nodes)
 		if err != nil {
-			t.Errorf("New(%q, %d): %v", c.spec, c.k, err)
+			t.Errorf("New(%q, %d): %v", c.spec, c.nodes, err)
 			continue
 		}
 		if p.Name() != c.want {
-			t.Errorf("New(%q, %d).Name() = %q, want %q", c.spec, c.k, p.Name(), c.want)
+			t.Errorf("New(%q, %d).Name() = %q, want %q", c.spec, c.nodes, p.Name(), c.want)
 		}
 	}
 	bad := []struct {
-		spec string
-		k    int
+		spec  string
+		nodes int
 	}{
-		{"nonsense", 8},
-		{"bit-reversal", 6}, // 36 nodes: not a power of two
-		{"hotspot:99999:0.1", 8},
-		{"hotspot:0:1.5", 8},
-		{"hotspot:zero:0.1", 8},
-		{"hotspot:0", 8},
-		{"transpose:4", 8}, // only hotspot takes parameters
-		{"uniform:0.5", 8},
+		{"nonsense", 64},
+		{"bit-reversal", 36}, // not a power of two
+		{"transpose", 36},    // not a power of two
+		{"transpose", 32},    // odd bit count: no equal halves to swap
+		{"hotspot:99999:0.1", 64},
+		{"hotspot:0:1.5", 64},
+		{"hotspot:zero:0.1", 64},
+		{"hotspot:0", 64},
+		{"transpose:4", 64}, // only hotspot takes parameters
+		{"uniform:0.5", 64},
 	}
 	for _, c := range bad {
-		if _, err := New(c.spec, c.k); err == nil {
-			t.Errorf("New(%q, %d) should fail", c.spec, c.k)
+		if _, err := New(c.spec, c.nodes); err == nil {
+			t.Errorf("New(%q, %d) should fail", c.spec, c.nodes)
 		}
 	}
-	// Transpose from New must bind the network's k.
-	p, err := New("transpose", 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// (x,y)=(1,2) on k=4 is node 9 → (2,1) is node 6.
-	if d := p.Dest(9, 16, nil); d != 6 {
-		t.Errorf("transpose k=4: Dest(9) = %d, want 6", d)
+	// Error messages must name the valid specs.
+	_, err := New("nonsense", 64)
+	if err == nil || !strings.Contains(err.Error(), "bit-reversal") {
+		t.Errorf("unknown-pattern error should list valid specs, got %v", err)
 	}
 }
 
 func TestPatternNames(t *testing.T) {
-	pats := []Pattern{Uniform{}, Transpose{K: 8}, BitComplement{}, BitReversal{}, Hotspot{Node: 1, Frac: 0.1}}
+	pats := []Pattern{Uniform{}, Transpose{}, BitComplement{}, BitReversal{}, Hotspot{Node: 1, Frac: 0.1}}
 	seen := map[string]bool{}
 	for _, p := range pats {
 		name := p.Name()

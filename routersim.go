@@ -34,6 +34,7 @@ import (
 	"routersim/internal/network"
 	"routersim/internal/router"
 	"routersim/internal/sim"
+	"routersim/internal/topology"
 	"routersim/internal/traffic"
 )
 
@@ -112,9 +113,19 @@ type TrafficPattern = traffic.Pattern
 func UniformTraffic() TrafficPattern { return traffic.Uniform{} }
 
 // TrafficByName resolves a traffic pattern spec ("uniform", "transpose",
-// "bit-reversal", "bit-complement", "hotspot[:NODE:FRAC]") for a k×k
-// network.
-func TrafficByName(spec string, k int) (TrafficPattern, error) { return traffic.New(spec, k) }
+// "bit-reversal", "bit-complement", "hotspot[:NODE:FRAC]") for a
+// network of the given node count.
+func TrafficByName(spec string, nodes int) (TrafficPattern, error) { return traffic.New(spec, nodes) }
+
+// Topology is a network topology: node graph, deterministic routing,
+// port metadata, and deadlock-avoidance VC-class policy.
+type Topology = topology.Topology
+
+// TopologyByName resolves a topology spec ("mesh", "torus", "ring",
+// "hypercube", optionally parameterized: "mesh:k=8", "torus:k=4,n=3",
+// "hypercube:64", "ring:16"). Specs that don't state their own size
+// take k as the radix (mesh/torus) or node count (ring/hypercube).
+func TopologyByName(spec string, k int) (Topology, error) { return topology.New(spec, k) }
 
 // ParseRouterKind resolves a router kind from its name.
 func ParseRouterKind(s string) (RouterKind, bool) { return router.ParseKind(s) }
@@ -141,6 +152,10 @@ type MatrixProtocol = harness.Protocol
 
 // MatrixResult is the outcome of one scenario job.
 type MatrixResult = harness.JobResult
+
+// ScenarioDelayModel is the paper's delay model evaluated at a
+// scenario's topology port count and VC count (see Scenario.DelayModel).
+type ScenarioDelayModel = harness.DelayModel
 
 // RunMatrix expands the matrix and runs every job on a bounded,
 // deterministic worker pool. Results come back in job-index order; the
@@ -181,7 +196,8 @@ type SimConfig struct {
 	BufPerVC int // flit buffers per VC (per port for wormhole)
 
 	// Network parameters.
-	MeshRadix    int     // k of the k×k mesh (paper: 8)
+	Topology     string  // topology spec (empty = "mesh"; see TopologyByName)
+	MeshRadix    int     // radix k for mesh/torus, node count for ring/hypercube (paper: 8)
 	PacketSize   int     // flits per packet (paper: 5)
 	CreditDelay  int     // credit propagation delay in cycles (paper: 1)
 	LoadFraction float64 // offered load as a fraction of capacity
@@ -243,8 +259,13 @@ func (c SimConfig) lower() (sim.Config, error) {
 	if c.LoadFraction < 0 {
 		return sim.Config{}, fmt.Errorf("routersim: negative load fraction")
 	}
+	topo, err := topology.New(c.Topology, k)
+	if err != nil {
+		return sim.Config{}, err
+	}
 	ncfg := network.Config{
 		K:           k,
+		Topo:        topo,
 		Router:      rc,
 		PacketSize:  size,
 		Pattern:     c.Pattern,
