@@ -11,6 +11,7 @@ import (
 	"routersim/internal/link"
 	"routersim/internal/network"
 	"routersim/internal/router"
+	"routersim/internal/stats"
 	"routersim/internal/topology"
 )
 
@@ -100,6 +101,38 @@ func TestWireZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("Wire push/drain allocates %.2f times per cycle, want 0", allocs)
+	}
+}
+
+// TestStreamAddZeroAlloc: the streaming latency accumulator's hot Add
+// path — called once per tagged packet, for every job of a matrix —
+// must never touch the heap (its histogram is a fixed-size array), and
+// the batch-means accumulator must stay allocation-free once its
+// preallocated batch slice is sized.
+func TestStreamAddZeroAlloc(t *testing.T) {
+	s := stats.NewStream()
+	v := int64(1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		v = (v*6364136223846793005 + 1442695040888963407) % 100000
+		if v < 0 {
+			v = -v
+		}
+		s.Add(v)
+	})
+	if allocs != 0 {
+		t.Errorf("Stream.Add allocates %.2f times per sample, want 0", allocs)
+	}
+
+	// Unit batches force the pair-collapse path to run repeatedly
+	// during the 1000+ observations: collapsing must also be heap-free.
+	b := stats.NewBatchMeans(1)
+	x := 0.0
+	allocs = testing.AllocsPerRun(1000, func() {
+		x += 1.5
+		b.Add(x)
+	})
+	if allocs != 0 {
+		t.Errorf("BatchMeans.Add allocates %.2f times per observation, want 0", allocs)
 	}
 }
 

@@ -31,6 +31,8 @@ func main() {
 	creditDelay := flag.Int("credit-delay", 1, "credit propagation delay (cycles)")
 	warmup := flag.Int64("warmup", 10000, "warm-up cycles")
 	packets := flag.Int("packets", 20000, "tagged sample size")
+	exact := flag.Bool("exact", false, "store every latency sample for exact percentiles (default streams with O(1) memory)")
+	ciTarget := flag.Float64("ci-target", 0, "end the run early once the relative 95% CI half-width of mean latency reaches this (0 = run the full sample)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	probe := flag.Bool("probe-turnaround", false, "measure the buffer turnaround time (Figure 16)")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
@@ -63,7 +65,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-probe-turnaround supports only -topo mesh, -pattern uniform, and text output")
 			os.Exit(2)
 		}
-		runProbe(*kindStr, *vcs, *buf, *k, *pkt, *creditDelay, *load, *warmup, *packets, *seed)
+		runProbe(*kindStr, *vcs, *buf, *k, *pkt, *creditDelay, *load, *warmup, *packets, *seed, *exact, *ciTarget)
 		return
 	}
 
@@ -79,8 +81,11 @@ func main() {
 		Load:        *load,
 	}
 	r, err := routersim.RunScenario(sc, routersim.MatrixOptions{
-		Seed:     *seed,
-		Protocol: routersim.MatrixProtocol{Warmup: *warmup, Packets: *packets},
+		Seed: *seed,
+		Protocol: routersim.MatrixProtocol{
+			Warmup: *warmup, Packets: *packets,
+			Exact: *exact, CITarget: *ciTarget,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -105,9 +110,14 @@ func main() {
 	fmt.Printf("router=%s topo=%s k=%d pattern=%s vcs=%d buf=%d load=%.2f seed=%d (job seed %d)\n",
 		sc.Router, sc.Topology, sc.K, sc.Pattern, sc.VCs, sc.BufPerVC, sc.Load, *seed, r.Seed)
 	fmt.Printf("  offered   %.3f of capacity\n", res.OfferedLoad)
-	fmt.Printf("  accepted  %.3f of capacity\n", res.AcceptedLoad)
-	fmt.Printf("  latency   mean=%.1f p50=%d p95=%d max=%d cycles (%d packets)\n",
-		res.Latency.MeanLatency, res.Latency.P50, res.Latency.P95, res.Latency.MaxLatency, res.Latency.Packets)
+	fmt.Printf("  accepted  %.3f ±%.3f of capacity\n", res.AcceptedLoad, res.AcceptedCI)
+	fmt.Printf("  latency   mean=%.1f ±%.1f p50=%d p95=%d max=%d cycles (%d packets)\n",
+		res.Latency.MeanLatency, res.Latency.MeanCI, res.Latency.P50, res.Latency.P95,
+		res.Latency.MaxLatency, res.Latency.Packets)
+	if res.Latency.Censored > 0 {
+		fmt.Printf("  censored  %d tagged packets undrained: latency columns are lower bounds\n",
+			res.Latency.Censored)
+	}
 	fmt.Printf("  cycles    %d (saturated=%t)\n", res.Cycles, res.Saturated)
 	if r.Model != nil {
 		fmt.Printf("  model     p=%d v=%d -> %d pipeline stages (EQ 1)\n",
@@ -118,9 +128,11 @@ func main() {
 // runProbe measures the buffer-turnaround time (the credit-loop length
 // of Figure 16), which needs the probe path of the facade rather than a
 // plain harness job.
-func runProbe(kindStr string, vcs, buf, k, pkt, creditDelay int, load float64, warmup int64, packets int, seed uint64) {
+func runProbe(kindStr string, vcs, buf, k, pkt, creditDelay int, load float64, warmup int64, packets int, seed uint64, exact bool, ciTarget float64) {
 	kind, _ := routersim.ParseRouterKind(kindStr)
 	cfg := routersim.DefaultSimConfig(kind)
+	cfg.ExactLatency = exact
+	cfg.CITarget = ciTarget
 	if vcs > 0 {
 		cfg.VCs = vcs
 	}

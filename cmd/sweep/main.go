@@ -11,6 +11,13 @@
 //	sweep -topos torus -routers spec-vc -vcs 2,4 -loads 0.2,0.4 -json -
 //	sweep -topos mesh,torus:k=4:n=3,hypercube:64,ring:16 -routers spec-vc -json -
 //
+// Saturation mode replaces the loads axis with an adaptive bisection,
+// emitting each scenario's knee (saturation load, delivered throughput,
+// and search cost) as one row:
+//
+//	sweep -saturation -routers wormhole,vc,spec-vc -sat-tol 0.02 -csv -
+//	sweep -saturation -topos mesh,torus -routers spec-vc -json -
+//
 // Figure mode reproduces the paper's simulated figures:
 //
 //	sweep -figure 13              # quick protocol (scaled sample)
@@ -48,9 +55,16 @@ func main() {
 	stepWorkers := flag.String("step-workers", "0", "comma-separated parallel-stepper worker counts (0/1 = serial engine; results are identical for every value)")
 	loads := flag.String("loads", "0.2", "loads as fractions of capacity: comma list or lo:hi:step range")
 
+	// Saturation-search mode: replace the loads axis with an adaptive
+	// bisection per scenario.
+	saturation := flag.Bool("saturation", false, "find each scenario's saturation load by adaptive bisection instead of sweeping -loads; emits one row per scenario")
+	satTol := flag.Float64("sat-tol", 0.01, "load resolution of the -saturation bisection (fraction of capacity)")
+
 	// Protocol and execution.
 	warmup := flag.Int64("warmup", 2000, "warm-up cycles per job")
 	packets := flag.Int("packets", 1500, "tagged sample size per job")
+	exact := flag.Bool("exact", false, "store every latency sample for exact percentiles (default streams with O(1) memory per job)")
+	ciTarget := flag.Float64("ci-target", 0, "end each job early once the relative 95% CI half-width of mean latency reaches this (0 = run the full sample)")
 	seed := flag.Uint64("seed", 1, "base seed; each job derives its own seed from it")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); never affects results")
 	jsonPath := flag.String("json", "", "write results as JSON to this file ('-' for stdout)")
@@ -67,6 +81,7 @@ func main() {
 			"vcs": true, "bufs": true, "packetsize": true, "credit-delays": true,
 			"step-workers": true, "loads": true, "warmup": true, "packets": true,
 			"workers": true, "json": true, "quiet": true,
+			"saturation": true, "sat-tol": true, "exact": true, "ci-target": true,
 		}
 		flag.Visit(func(f *flag.Flag) {
 			if matrixOnly[f.Name] {
@@ -89,6 +104,26 @@ func main() {
 		StepWorkers:  parseInts("step-workers", *stepWorkers),
 		Loads:        parseLoads(*loads),
 	}
+	opts := routersim.MatrixOptions{
+		Workers: *workers,
+		Seed:    *seed,
+		Protocol: routersim.MatrixProtocol{
+			Warmup: *warmup, Packets: *packets,
+			Exact: *exact, CITarget: *ciTarget,
+		},
+	}
+
+	if *saturation {
+		// The search owns the load axis; an explicit grid is a mode mix.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "loads" {
+				fatal(fmt.Errorf("-loads does not apply to -saturation (the bisection owns the load axis)"))
+			}
+		})
+		runSaturation(matrix, opts, *satTol, *jsonPath, *csvPath, *quiet)
+		return
+	}
+
 	// Invalid cells of the cross product are not fatal: the harness
 	// records them per job, so one incompatible combination (say,
 	// wormhole × torus in a routers × topologies sweep) doesn't discard
@@ -102,12 +137,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "note: %d duplicate scenario(s) collapsed (axes overlap after canonicalization)\n",
 			requested-jobs)
 	}
-
-	opts := routersim.MatrixOptions{
-		Workers:  *workers,
-		Seed:     *seed,
-		Protocol: routersim.MatrixProtocol{Warmup: *warmup, Packets: *packets},
-	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "matrix: %d jobs (seed %d)\n", jobs, *seed)
 		opts.Progress = routersim.MatrixProgressPrinter(os.Stderr)
@@ -118,34 +147,79 @@ func main() {
 		fatal(err)
 	}
 
+	emitResults(*jsonPath, *csvPath,
+		func(w *os.File) error { return routersim.WriteMatrixJSON(w, results) },
+		func(w *os.File) error { return routersim.WriteMatrixCSV(w, results) })
+	exitOnFailures(len(results), func(i int) (string, string) {
+		return results[i].Scenario.Label(), results[i].Error
+	})
+}
+
+// emitResults routes a payload to -json and/or -csv files ('-' for
+// stdout), falling back to CSV on stdout when neither was requested.
+func emitResults(jsonPath, csvPath string, writeJSON, writeCSV func(*os.File) error) {
 	wroteSomewhere := false
-	if *jsonPath != "" {
-		writeTo(*jsonPath, func(w *os.File) error { return routersim.WriteMatrixJSON(w, results) })
+	if jsonPath != "" {
+		writeTo(jsonPath, writeJSON)
 		wroteSomewhere = true
 	}
-	if *csvPath != "" {
-		writeTo(*csvPath, func(w *os.File) error { return routersim.WriteMatrixCSV(w, results) })
+	if csvPath != "" {
+		writeTo(csvPath, writeCSV)
 		wroteSomewhere = true
 	}
 	if !wroteSomewhere {
-		if err := routersim.WriteMatrixCSV(os.Stdout, results); err != nil {
+		if err := writeCSV(os.Stdout); err != nil {
 			fatal(err)
 		}
 	}
+}
+
+// exitOnFailures summarizes per-job failures on stderr and exits 1 if
+// any occurred. errAt reports job i's label and error ("" = success).
+func exitOnFailures(total int, errAt func(i int) (label, errMsg string)) {
 	failed := 0
 	firstErr := ""
-	for _, r := range results {
-		if r.Error != "" {
+	for i := 0; i < total; i++ {
+		label, e := errAt(i)
+		if e != "" {
 			failed++
 			if firstErr == "" {
-				firstErr = fmt.Sprintf("%s: %s", r.Scenario.Label(), r.Error)
+				firstErr = label + ": " + e
 			}
 		}
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "%d of %d jobs failed; first: %s\n", failed, len(results), firstErr)
+		fmt.Fprintf(os.Stderr, "%d of %d jobs failed; first: %s\n", failed, total, firstErr)
 		os.Exit(1)
 	}
+}
+
+// runSaturation is matrix mode with the load axis replaced by the
+// adaptive bisection: one saturation row per scenario.
+func runSaturation(matrix routersim.ScenarioMatrix, opts routersim.MatrixOptions, tol float64, jsonPath, csvPath string, quiet bool) {
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "saturation search: tol %v (seed %d)\n", tol, opts.Seed)
+	}
+	results, err := routersim.FindSaturations(matrix, opts, routersim.SaturationSearch{Step: tol})
+	if err != nil {
+		fatal(err)
+	}
+	if !quiet {
+		for _, r := range results {
+			status := fmt.Sprintf("saturation=%.4f throughput=%.4f (%d probes, %d cycles)",
+				r.Load, r.Throughput, len(r.Probes), r.Cycles)
+			if r.Error != "" {
+				status = "error: " + r.Error
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s\n", r.Index+1, len(results), r.Scenario.Label(), status)
+		}
+	}
+	emitResults(jsonPath, csvPath,
+		func(w *os.File) error { return routersim.WriteSaturationJSON(w, results) },
+		func(w *os.File) error { return routersim.WriteSaturationCSV(w, results) })
+	exitOnFailures(len(results), func(i int) (string, string) {
+		return results[i].Scenario.Label(), results[i].Error
+	})
 }
 
 func runFigures(figure string, all, full bool, seed uint64, csvPath string) {

@@ -89,8 +89,11 @@ func runCurves(pr Protocol, specs []curveSpec) ([]Curve, error) {
 			CreditDelay: cs.creditDelay,
 		}
 		opts := harness.Options{
-			Seed:     pr.Seed,
-			Protocol: harness.Protocol{Warmup: pr.Warmup, Packets: pr.Packets},
+			Seed: pr.Seed,
+			// Figures are the bit-identical reproduction path: exact
+			// latency samples, no streaming approximation, no early
+			// CI termination.
+			Protocol: harness.Protocol{Warmup: pr.Warmup, Packets: pr.Packets, Exact: true},
 		}
 		pts, err := harness.Curve(sc, pr.Loads, opts)
 		if err != nil {
@@ -168,6 +171,67 @@ func Figure18(pr Protocol) (FigureResult, error) {
 		{"specVC (4-cycle credit propagation)", router.SpeculativeVC, 2, 4, 4},
 	})
 	return FigureResult{ID: "figure18", Title: "Effect of credit propagation delay", Curves: curves}, err
+}
+
+// SaturationPoint is one adaptive saturation-search outcome: a router
+// configuration's knee located by bisection instead of a load grid.
+type SaturationPoint struct {
+	// Name is the configuration label, matching the figure legends.
+	Name string
+	// Load is the saturation load (fraction of capacity); the true
+	// knee lies within Step above it.
+	Load float64
+	// Throughput is the accepted load measured at the knee.
+	Throughput float64
+	// Probes and Cycles are the search's cost.
+	Probes int
+	Cycles int64
+}
+
+// Saturations locates the saturation point of each Figure 13 router
+// configuration with the harness's adaptive bisection
+// (harness.FindSaturation) at the given load resolution — the paper's
+// headline comparison (WH / VC / specVC knees) without sweeping a
+// fixed grid past saturation. The searches share the protocol's seed
+// chain, so the table is deterministic.
+func Saturations(pr Protocol, step float64) ([]SaturationPoint, error) {
+	specs := []curveSpec{
+		{"WH (8 bufs)", router.Wormhole, 1, 8, 1},
+		{"VC (2vcsX4bufs)", router.VirtualChannel, 2, 4, 1},
+		{"specVC (2vcsX4bufs)", router.SpeculativeVC, 2, 4, 1},
+	}
+	out := make([]SaturationPoint, len(specs))
+	for i, cs := range specs {
+		sc := harness.Scenario{
+			Router:      cs.kind.String(),
+			Topology:    "mesh",
+			K:           8,
+			Pattern:     "uniform",
+			VCs:         cs.vcs,
+			BufPerVC:    cs.buf,
+			PacketSize:  5,
+			CreditDelay: cs.creditDelay,
+		}
+		opts := harness.Options{
+			Seed:     pr.Seed,
+			Protocol: harness.Protocol{Warmup: pr.Warmup, Packets: pr.Packets},
+		}
+		sr, err := harness.FindSaturation(sc, opts, harness.SearchOptions{Step: step})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: saturation %q: %w", cs.name, err)
+		}
+		if sr.Error != "" {
+			return nil, fmt.Errorf("experiments: saturation %q: %s", cs.name, sr.Error)
+		}
+		out[i] = SaturationPoint{
+			Name:       cs.name,
+			Load:       sr.Load,
+			Throughput: sr.Throughput,
+			Probes:     len(sr.Probes),
+			Cycles:     sr.Cycles,
+		}
+	}
+	return out, nil
 }
 
 // Figure16Turnaround measures the buffer turnaround time of every

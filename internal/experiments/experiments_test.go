@@ -146,6 +146,45 @@ func TestRenderers(t *testing.T) {
 	}
 }
 
+// TestSaturationsOrdering runs the adaptive bisection for the Figure 13
+// configurations and checks the paper's headline ordering: the
+// speculative VC router saturates at or above the non-speculative VC
+// router, which beats wormhole — the same ordering the grid sweep
+// finds, at a fraction of the simulated cycles.
+func TestSaturationsOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation search")
+	}
+	pts, err := Saturations(tinyProtocol(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points, want 3", len(pts))
+	}
+	wh, vc, spec := pts[0], pts[1], pts[2]
+	if !(spec.Load >= vc.Load && vc.Load > wh.Load) {
+		t.Errorf("saturation ordering broken: WH %.2f, VC %.2f, spec %.2f", wh.Load, vc.Load, spec.Load)
+	}
+	for _, p := range pts {
+		if p.Probes == 0 || p.Cycles == 0 {
+			t.Errorf("%s: search ran nothing: %+v", p.Name, p)
+		}
+		if p.Load > 0 && p.Throughput <= 0 {
+			t.Errorf("%s: knee %.2f carries no measured throughput", p.Name, p.Load)
+		}
+	}
+	var buf strings.Builder
+	if err := WriteSaturations(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"WH (8 bufs)", "specVC", "probes"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("saturation table missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
 func TestSortedTurnaroundKeys(t *testing.T) {
 	keys := SortedTurnaroundKeys(map[string]int64{"z": 1, "a": 2, "m": 3})
 	if len(keys) != 3 || keys[0] != "a" || keys[2] != "z" {

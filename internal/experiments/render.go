@@ -12,15 +12,19 @@ import (
 )
 
 // WriteCSV emits a figure's curves as CSV: one row per (curve, load).
+// The censored column counts tagged packets the cycle cap cut off; a
+// nonzero count means the latency columns are survivor-biased lower
+// bounds, so such rows must be read as saturated points.
 func WriteCSV(w io.Writer, fig FigureResult) error {
-	if _, err := fmt.Fprintln(w, "figure,curve,offered_load,mean_latency,p95_latency,accepted_load,saturated"); err != nil {
+	if _, err := fmt.Fprintln(w, "figure,curve,offered_load,mean_latency,p95_latency,accepted_load,censored,saturated"); err != nil {
 		return err
 	}
 	for _, c := range fig.Curves {
 		for _, p := range c.Points {
 			lat := p.Result.Latency
-			if _, err := fmt.Fprintf(w, "%s,%q,%.3f,%.2f,%d,%.4f,%t\n",
-				fig.ID, c.Name, p.Load, lat.MeanLatency, lat.P95, p.Result.AcceptedLoad, p.Result.Saturated); err != nil {
+			if _, err := fmt.Fprintf(w, "%s,%q,%.3f,%.2f,%d,%.4f,%d,%t\n",
+				fig.ID, c.Name, p.Load, lat.MeanLatency, lat.P95, p.Result.AcceptedLoad,
+				lat.Censored, p.Result.Saturated); err != nil {
 				return err
 			}
 		}
@@ -83,7 +87,15 @@ func PlotASCII(w io.Writer, fig FigureResult) error {
 	for ci, c := range fig.Curves {
 		for pi, p := range c.Points {
 			lat := p.Result.Latency.MeanLatency
-			if p.Result.Latency.Packets == 0 || math.IsNaN(lat) {
+			if p.Result.Latency.Censored > 0 {
+				// Survivor-biased sample: the true mean is off the top
+				// of the plot, however low the surviving packets'
+				// average looks — pin the point to the clip line. This
+				// includes fully censored points (zero survivors),
+				// which would otherwise vanish from the plot at their
+				// most saturated loads.
+				lat = yMax
+			} else if p.Result.Latency.Packets == 0 || math.IsNaN(lat) {
 				continue
 			}
 			if lat > yMax {
@@ -108,6 +120,20 @@ func PlotASCII(w io.Writer, fig FigureResult) error {
 	fmt.Fprintln(w, " (% capacity)")
 	for ci, c := range fig.Curves {
 		fmt.Fprintf(w, "   %c = %s\n", marks[ci%len(marks)], c.Name)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteSaturations renders the adaptive saturation-search table: one
+// row per router configuration with the knee, its delivered
+// throughput, and what the search cost.
+func WriteSaturations(w io.Writer, pts []SaturationPoint) error {
+	fmt.Fprintln(w, "saturation search (adaptive bisection, paper's 140-cycle latency cap)")
+	fmt.Fprintf(w, "%-36s %12s %12s %8s %12s\n", "config", "saturation", "throughput", "probes", "cycles")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-36s %11.0f%% %11.1f%% %8d %12d\n",
+			p.Name, 100*p.Load, 100*p.Throughput, p.Probes, p.Cycles)
 	}
 	_, err := fmt.Fprintln(w)
 	return err

@@ -17,6 +17,15 @@ type Protocol struct {
 	Warmup int64 `json:"warmup"`
 	// Packets in the tagged sample (0 = paper's 100,000).
 	Packets int `json:"packets"`
+	// Exact stores every latency sample per job for exact percentiles —
+	// the bit-identical paper-figure reproduction mode. The default
+	// streams samples into a log-binned histogram with O(1) memory per
+	// job (exact mean/max, ≤ 1.6% percentile error).
+	Exact bool `json:"exact,omitempty"`
+	// CITarget, when > 0, ends each job's tagged sample early once the
+	// relative 95% batch-means CI half-width of mean latency reaches it
+	// (e.g. 0.02 for ±2%) — a speed win on long sub-saturation runs.
+	CITarget float64 `json:"ci_target,omitempty"`
 }
 
 // QuickProtocol is a scaled-down protocol for smoke runs and tests.

@@ -68,9 +68,12 @@ func (s *JSONStream) Close() error {
 	return s.err
 }
 
-// CSVHeader is the column set of WriteCSV, one row per job.
+// CSVHeader is the column set of WriteCSV, one row per job. censored
+// counts tagged packets the cycle cap cut off (nonzero ⇒ the latency
+// columns are lower bounds, not measurements); mean_ci and accepted_ci
+// are 95% batch-means confidence half-widths.
 const CSVHeader = "index,router,topology,k,pattern,vcs,buf_per_vc,packet_size,credit_delay,step_workers,load,seed," +
-	"ports,model_stages,offered,accepted,mean_latency,p50,p95,max_latency,packets,cycles,saturated,error"
+	"ports,model_stages,offered,accepted,accepted_ci,mean_latency,mean_ci,p50,p95,max_latency,packets,censored,cycles,saturated,error"
 
 // WriteCSV serializes results as CSV in job-index order, with the same
 // determinism guarantee as WriteJSON.
@@ -88,16 +91,19 @@ func WriteCSV(w io.Writer, results []JobResult) error {
 
 func writeCSVRow(w io.Writer, r JobResult) error {
 	sc := r.Scenario
-	var offered, accepted, mean float64
+	var offered, accepted, acceptedCI, mean, meanCI float64
 	var p50, p95, max, cycles int64
-	var packets int
+	var packets, censored int
 	saturated := false
 	if r.Result != nil {
 		offered = r.Result.OfferedLoad
 		accepted = r.Result.AcceptedLoad
+		acceptedCI = r.Result.AcceptedCI
 		mean = r.Result.Latency.MeanLatency
+		meanCI = r.Result.Latency.MeanCI
 		p50, p95, max = r.Result.Latency.P50, r.Result.Latency.P95, r.Result.Latency.MaxLatency
 		packets = r.Result.Latency.Packets
+		censored = r.Result.Latency.Censored
 		cycles = r.Result.Cycles
 		saturated = r.Result.Saturated
 	}
@@ -107,12 +113,12 @@ func writeCSVRow(w io.Writer, r JobResult) error {
 	if r.Model != nil {
 		ports, modelStages = r.Model.Ports, r.Model.Stages
 	}
-	_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%s,%d,%d,%d,%d,%d,%s,%d,%d,%d,%s,%s,%s,%d,%d,%d,%d,%d,%t,%s\n",
+	_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%s,%d,%d,%d,%d,%d,%s,%d,%d,%d,%s,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%t,%s\n",
 		r.Index, csvEscape(sc.Router), csvEscape(sc.Topology), sc.K, csvEscape(sc.Pattern), sc.VCs, sc.BufPerVC,
 		sc.PacketSize, sc.CreditDelay, sc.StepWorkers, fmtFloat(sc.Load), r.Seed,
 		ports, modelStages,
-		fmtFloat(offered), fmtFloat(accepted), fmtFloat(mean),
-		p50, p95, max, packets, cycles, saturated, csvEscape(r.Error))
+		fmtFloat(offered), fmtFloat(accepted), fmtFloat(acceptedCI), fmtFloat(mean), fmtFloat(meanCI),
+		p50, p95, max, packets, censored, cycles, saturated, csvEscape(r.Error))
 	return err
 }
 

@@ -323,6 +323,8 @@ func (s Scenario) SimConfig(seed uint64, pr Protocol) (sim.Config, error) {
 		Net:            ncfg,
 		WarmupCycles:   pr.Warmup,
 		MeasurePackets: pr.Packets,
+		ExactLatency:   pr.Exact,
+		CITarget:       pr.CITarget,
 	}
 	if err := cfg.Net.Normalize(); err != nil {
 		return sim.Config{}, err

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"routersim/internal/network"
+	"routersim/internal/router"
+	"routersim/internal/topology"
+)
+
+// TestCensoredCountAtSaturation: past saturation the cycle cap cuts off
+// the slowest tagged packets; the result must carry exactly how many,
+// and stay flagged saturated (the surviving latency sample is biased
+// low, never a valid measurement).
+func TestCensoredCountAtSaturation(t *testing.T) {
+	cfg := lowLoadCfg(router.Wormhole, 1, 8)
+	cfg.MeasurePackets = 2000
+	cfg.Net.InjectionRate = 0.95 * 0.5 / 5
+	// At 95% load tagged latencies run to thousands of cycles; a cap
+	// shortly after the injection window guarantees the slowest tagged
+	// packets are still in flight when the run is cut off.
+	cfg.MaxCycles = cfg.WarmupCycles + 2500
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Fatalf("95%% load should saturate: %+v", res)
+	}
+	if res.Latency.Censored != res.Tagged-res.TaggedDone {
+		t.Errorf("censored %d != tagged %d - done %d", res.Latency.Censored, res.Tagged, res.TaggedDone)
+	}
+	if res.Latency.Censored <= 0 {
+		t.Errorf("a capped saturated run must report censored packets: %+v", res)
+	}
+	if IsSaturated(res, 140) != true {
+		t.Error("censored result must be saturated under the knee predicate")
+	}
+}
+
+// TestNoCensoringBelowSaturation: a clean run reports zero censored
+// packets and positive CI half-widths on both measured quantities.
+func TestNoCensoringBelowSaturation(t *testing.T) {
+	cfg := lowLoadCfg(router.SpeculativeVC, 2, 4)
+	cfg.MeasurePackets = 2000
+	res := runLoad(t, cfg, 0.3)
+	if res.Latency.Censored != 0 {
+		t.Errorf("clean run reports %d censored packets", res.Latency.Censored)
+	}
+	if res.Latency.MeanCI <= 0 {
+		t.Errorf("no latency CI on a full sample: %+v", res.Latency)
+	}
+	if res.AcceptedCI <= 0 {
+		t.Errorf("no throughput CI on a full window: %+v", res)
+	}
+	// The CI must be plausible: a tight band around a stable mean, not
+	// wider than the mean itself.
+	if res.Latency.MeanCI > res.Latency.MeanLatency {
+		t.Errorf("latency CI ±%.1f wider than the mean %.1f", res.Latency.MeanCI, res.Latency.MeanLatency)
+	}
+}
+
+// TestStreamingMatchesExact: on identical seeds the streaming
+// accumulator must agree with the exact-sample path exactly on every
+// run-level quantity and on mean/max, and within one log-histogram
+// sub-bin (1/64 relative) on percentiles.
+func TestStreamingMatchesExact(t *testing.T) {
+	base := lowLoadCfg(router.SpeculativeVC, 2, 4)
+	base.MeasurePackets = 1500
+	base.Net.InjectionRate = 0.4 * 0.5 / 5
+
+	exact := base
+	exact.ExactLatency = true
+	er, err := Run(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := Run(base) // streaming is the default
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if er.Cycles != sr.Cycles || er.Tagged != sr.Tagged || er.TaggedDone != sr.TaggedDone ||
+		er.Saturated != sr.Saturated || er.AcceptedLoad != sr.AcceptedLoad {
+		t.Fatalf("accumulator choice changed the simulation itself:\nexact  %+v\nstream %+v", er, sr)
+	}
+	if er.Latency.MeanLatency != sr.Latency.MeanLatency || er.Latency.MaxLatency != sr.Latency.MaxLatency ||
+		er.Latency.Packets != sr.Latency.Packets || er.Latency.MeanCI != sr.Latency.MeanCI {
+		t.Errorf("exact moments diverged:\nexact  %+v\nstream %+v", er.Latency, sr.Latency)
+	}
+	for _, c := range []struct {
+		name     string
+		ex, strm int64
+	}{{"p50", er.Latency.P50, sr.Latency.P50}, {"p95", er.Latency.P95, sr.Latency.P95}} {
+		tol := float64(c.ex)/64 + 1
+		if math.Abs(float64(c.strm-c.ex)) > tol {
+			t.Errorf("%s: streaming %d vs exact %d, want within %.1f", c.name, c.strm, c.ex, tol)
+		}
+	}
+}
+
+// TestDrainAllowanceScalesWithDiameter is the regression for the fixed
+// 30,000-cycle drain cap: the allowance must never shrink below the
+// legacy floor (the paper's 8×8-mesh runs stay cycle-identical) and
+// must grow with topology diameter and packet size, so a long ring's
+// slowest in-flight packets are not falsely labeled saturated.
+func TestDrainAllowanceScalesWithDiameter(t *testing.T) {
+	mk := func(spec string, packetSize, creditDelay int) network.Config {
+		topo, err := topology.New(spec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return network.Config{Topo: topo, PacketSize: packetSize, CreditDelay: creditDelay}
+	}
+	mesh8, err := topology.New("mesh:k=8", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainAllowance(network.Config{Topo: mesh8, PacketSize: 5, CreditDelay: 1}); got != 30000 {
+		t.Errorf("8×8 mesh allowance %d, want the legacy 30000 (cycle-identical paper runs)", got)
+	}
+	ring256 := drainAllowance(mk("ring:256", 5, 1))
+	if ring256 <= 30000 {
+		t.Errorf("256-ring allowance %d should exceed the fixed 30000", ring256)
+	}
+	ring512 := drainAllowance(mk("ring:512", 5, 1))
+	if ring512 != 2*ring256 {
+		t.Errorf("doubling the diameter should double the allowance: %d vs %d", ring512, ring256)
+	}
+	big := drainAllowance(mk("ring:256", 32, 1))
+	if big <= ring256 {
+		t.Errorf("8× packet size should grow the allowance: %d vs %d", big, ring256)
+	}
+}
+
+// TestHighDiameterRingDrainsClean: a sub-saturation run on a
+// high-diameter ring must complete unsaturated with zero censoring
+// under the derived cap (the configuration whose drain the fixed
+// allowance under-budgeted as diameters grow).
+func TestHighDiameterRingDrainsClean(t *testing.T) {
+	topo, err := topology.New("ring:64", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := router.DefaultConfig(router.SpeculativeVC)
+	cfg := Config{
+		Net: network.Config{
+			Topo:   topo,
+			Router: rc,
+			Seed:   1,
+		},
+		WarmupCycles:   1500,
+		MeasurePackets: 300,
+	}
+	// 15% of ring capacity: below the dateline-limited knee.
+	cfg.Net.InjectionRate = RateForLoad(0.15, cfg.Net)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saturated || res.Latency.Censored != 0 {
+		t.Fatalf("sub-saturation 64-ring falsely saturated: %+v", res)
+	}
+	if res.TaggedDone != cfg.MeasurePackets {
+		t.Errorf("%d/%d tagged packets drained", res.TaggedDone, cfg.MeasurePackets)
+	}
+}
+
+// TestRateForLoadMatchesTopology: the nil-Topo default must route
+// through the same Cube.UniformCapacity as an explicit topology — one
+// source of truth for the capacity bound, including the
+// injection-bandwidth cap on small radices.
+func TestRateForLoadMatchesTopology(t *testing.T) {
+	for _, k := range []int{2, 4, 8, 16} {
+		implicit := RateForLoad(0.6, network.Config{K: k, PacketSize: 5})
+		explicit := RateForLoad(0.6, network.Config{Topo: topology.NewMesh(k), PacketSize: 5})
+		if implicit != explicit {
+			t.Errorf("k=%d: nil-Topo rate %v != explicit mesh rate %v", k, implicit, explicit)
+		}
+	}
+	// k=0 means the default 8×8 mesh (capacity 0.5): 0.5·0.5/5.
+	if got := RateForLoad(0.5, network.Config{}); got != 0.5*0.5/5 {
+		t.Errorf("default-mesh rate %v, want %v", got, 0.5*0.5/5)
+	}
+	// The injection-bandwidth cap: a 2×2 mesh's bisection bound (4/2)
+	// exceeds the 1 flit/node/cycle a local port can inject; capacity
+	// must be capped at 1.
+	if got, want := RateForLoad(1, network.Config{K: 2, PacketSize: 5}), 1.0/5; got != want {
+		t.Errorf("small-radix rate %v, want injection-capped %v", got, want)
+	}
+}
+
+// TestCITargetEndsRunEarly: with a loose CI target a stable
+// sub-saturation run must stop tagging before the full sample, stay
+// unsaturated, and censor nothing — and the shortened sample must
+// still measure the same latency as the full one within its own CI.
+func TestCITargetEndsRunEarly(t *testing.T) {
+	full := lowLoadCfg(router.SpeculativeVC, 2, 4)
+	full.MeasurePackets = 6000
+	full.Net.InjectionRate = 0.2 * 0.5 / 5
+	fr, err := Run(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	capped := full
+	capped.CITarget = 0.05
+	cr, err := Run(capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Tagged >= fr.Tagged {
+		t.Fatalf("CI target did not shorten the sample: %d vs %d packets", cr.Tagged, fr.Tagged)
+	}
+	if cr.Saturated || cr.Latency.Censored != 0 {
+		t.Fatalf("early-terminated run mislabeled: %+v", cr)
+	}
+	if cr.TaggedDone != cr.Tagged {
+		t.Errorf("early stop left %d tagged packets unaccounted", cr.Tagged-cr.TaggedDone)
+	}
+	if cr.Cycles >= fr.Cycles {
+		t.Errorf("early stop did not save cycles: %d vs %d", cr.Cycles, fr.Cycles)
+	}
+	// The shortened estimate must be consistent with the full run.
+	tol := 3*cr.Latency.MeanCI + 1
+	if math.Abs(cr.Latency.MeanLatency-fr.Latency.MeanLatency) > tol {
+		t.Errorf("early estimate %.2f vs full %.2f: outside ±%.2f", cr.Latency.MeanLatency, fr.Latency.MeanLatency, tol)
+	}
+}

@@ -3,16 +3,35 @@
 // packets, and a drain phase that runs until every tagged packet has
 // been received. Latency is measured from packet creation (including
 // source queueing) to last-flit ejection.
+//
+// The measurement engine is statistically honest about the two failure
+// modes of that protocol. At or past saturation the drain phase hits
+// its cycle cap with tagged packets still in flight; those undrained
+// packets are the *slowest* of the sample, so the surviving latencies
+// are biased low — the result carries the censored count and consumers
+// must treat censored summaries as saturated, not as valid latencies.
+// Below saturation, consecutive latency samples are serially correlated
+// (queue states persist), so confidence intervals come from batch
+// means, not the dishonestly tight s/√n of raw samples.
 package sim
 
 import (
 	"fmt"
-	"math"
 
 	"routersim/internal/flit"
 	"routersim/internal/network"
 	"routersim/internal/pool"
 	"routersim/internal/stats"
+	"routersim/internal/topology"
+)
+
+// ciBatches is the number of batch-means batches a full tagged sample
+// is divided into; minStopBatches is the least number of completed
+// batches before CITarget may end a run early (a variance estimate over
+// fewer batches is too noisy to stop on).
+const (
+	ciBatches      = 20
+	minStopBatches = 8
 )
 
 // Config parameterizes one simulation run.
@@ -23,8 +42,20 @@ type Config struct {
 	// MeasurePackets is the tagged sample size (paper: 100,000).
 	MeasurePackets int
 	// MaxCycles caps the run for loads beyond saturation; 0 derives a
-	// cap from the offered load and sample size.
+	// cap from the offered load, sample size, and topology diameter.
 	MaxCycles int64
+	// ExactLatency stores every tagged latency sample for exact
+	// percentiles — the paper-figure reproduction mode. The default
+	// streams samples into a fixed-size log-binned histogram (mean and
+	// max stay exact; percentiles carry ≤ 1.6% relative error), so a
+	// matrix of thousands of jobs holds no per-sample memory.
+	ExactLatency bool
+	// CITarget, when > 0, ends the tagged sample early once the 95%
+	// batch-means confidence half-width of mean latency falls to
+	// CITarget × mean (e.g. 0.02 for ±2%). Sub-saturation runs that
+	// converge early skip the rest of their sample; saturated runs
+	// never converge and still run to their cycle cap.
+	CITarget float64
 	// Probe enables the buffer-turnaround probe on all routers.
 	Probe bool
 }
@@ -37,10 +68,19 @@ type Result struct {
 	// AcceptedLoad is the measured ejection rate as a fraction of
 	// capacity.
 	AcceptedLoad float64 `json:"accepted_load"`
-	// Latency summarizes tagged-packet latency in cycles.
+	// AcceptedCI is the 95% batch-means confidence half-width on
+	// AcceptedLoad, as a fraction of capacity (0 when the measurement
+	// window closed before enough batches completed).
+	AcceptedCI float64 `json:"accepted_ci,omitempty"`
+	// Latency summarizes tagged-packet latency in cycles. Its Censored
+	// field counts tagged packets still undrained at the cycle cap:
+	// when nonzero the latency columns are biased low (the undrained
+	// packets are the slowest) and must be read as saturated, not as
+	// valid latencies.
 	Latency stats.Summary `json:"latency"`
 	// Saturated is true when the run hit MaxCycles before every tagged
-	// packet was received — the network is past its saturation point.
+	// packet was received, or accepted throughput fell short of the
+	// offered load — the network is past its saturation point.
 	Saturated bool `json:"saturated"`
 	// Cycles is the number of simulated cycles.
 	Cycles int64 `json:"cycles"`
@@ -67,6 +107,26 @@ func NewRunner(cfg Config) *Runner { return &Runner{cfg: cfg} }
 // Config returns the Runner's base configuration.
 func (r *Runner) Config() Config { return r.cfg }
 
+// drainAllowance is the post-injection drain budget in cycles. It
+// scales with the topology's diameter and the packet length — the
+// dominant terms of worst-case packet latency — with a wide congestion
+// multiplier, and never drops below the legacy fixed 30,000 cycles:
+// the floor keeps the paper's 8×8-mesh runs cycle-identical, while
+// high-diameter topologies (long rings, high-n tori) get the slack
+// their longest routes actually need instead of being falsely labeled
+// saturated when a clean run simply drains slowly.
+func drainAllowance(ncfg network.Config) int64 {
+	const floor = 30000
+	if ncfg.Topo == nil {
+		return floor // Normalize always sets Topo; defensive only
+	}
+	scaled := 64 * int64(ncfg.Topo.Diameter()) * int64(ncfg.PacketSize+ncfg.CreditDelay+8)
+	if scaled < floor {
+		return floor
+	}
+	return scaled
+}
+
 // Run executes one simulation to completion.
 func (r *Runner) Run() (Result, error) {
 	cfg := r.cfg
@@ -87,32 +147,57 @@ func (r *Runner) Run() (Result, error) {
 	offeredFlits := ncfg.InjectionRate * float64(ncfg.PacketSize)
 	offeredFrac := offeredFlits / capacity
 
+	pktPerCycle := ncfg.InjectionRate * float64(net.Nodes())
+	var window int64
+	if pktPerCycle > 0 {
+		window = int64(float64(cfg.MeasurePackets)/pktPerCycle) + 1
+	}
 	maxCycles := cfg.MaxCycles
 	if maxCycles == 0 {
-		// Time to inject the sample at the offered rate, with generous
-		// drain allowance; beyond saturation the cap ends the run.
-		pktPerCycle := ncfg.InjectionRate * float64(net.Nodes())
 		if pktPerCycle <= 0 {
 			return Result{}, fmt.Errorf("sim: zero injection rate; nothing to measure")
 		}
-		window := int64(float64(cfg.MeasurePackets)/pktPerCycle) + 1
-		maxCycles = cfg.WarmupCycles + 4*window + 30000
+		// Time to inject the sample at the offered rate, plus a drain
+		// allowance scaled to the topology's diameter and packet size;
+		// beyond saturation the cap ends the run.
+		maxCycles = cfg.WarmupCycles + 4*window + drainAllowance(ncfg)
 	}
 
+	var lat stats.Accumulator
+	if cfg.ExactLatency {
+		lat = &stats.Latency{}
+	} else {
+		lat = stats.NewStream()
+	}
+	latBatchSize := int64(cfg.MeasurePackets / ciBatches)
+	if latBatchSize < 1 {
+		latBatchSize = 1
+	}
+	// Throughput batches are time-based: one observation per slice of
+	// the measurement window (each observation enters as a unit batch;
+	// the accumulator collapses adjacent slices into longer batches as
+	// a capped run measures far past the injection window, keeping the
+	// batch count bounded and the interval honest).
+	thBatchLen := window / ciBatches
+	if thBatchLen < 64 {
+		thBatchLen = 64
+	}
 	var (
-		lat        stats.Latency
-		th         = stats.NewThroughput(net.Nodes())
-		turn       stats.Turnaround
-		tagged     int
-		taggedDone int
-		measuring  = false
+		latBatch     = stats.NewBatchMeans(latBatchSize)
+		thBatch      = stats.NewBatchMeans(1)
+		th           = stats.NewThroughput(net.Nodes())
+		turn         stats.Turnaround
+		tagged       int
+		taggedDone   int
+		sampleTarget = cfg.MeasurePackets
+		measuring    = false
 	)
 	if cfg.Probe {
 		net.SetProbes(&turn)
 	}
 
 	net.OnPacketCreated = func(p *flit.Packet, now int64) {
-		if measuring && tagged < cfg.MeasurePackets {
+		if measuring && tagged < sampleTarget {
 			p.Tagged = true
 			tagged++
 		}
@@ -124,17 +209,42 @@ func (r *Runner) Run() (Result, error) {
 		if p.Tagged {
 			taggedDone++
 			lat.Add(p.Latency())
+			latBatch.Add(float64(p.Latency()))
 		}
 	}
 
+	var (
+		measureStart int64
+		lastFlits    int64
+		checkedAt    int
+	)
 	now := int64(0)
 	for ; now < maxCycles; now++ {
 		if now == cfg.WarmupCycles {
 			measuring = true
+			measureStart = now
 			th.Open(now)
 		}
 		net.Step(now)
-		if measuring && tagged == cfg.MeasurePackets && taggedDone == tagged {
+		if !measuring {
+			continue
+		}
+		if (now-measureStart+1)%thBatchLen == 0 {
+			f := th.Flits()
+			thBatch.Add(float64(f-lastFlits) / float64(net.Nodes()) / float64(thBatchLen))
+			lastFlits = f
+		}
+		if cfg.CITarget > 0 && sampleTarget == cfg.MeasurePackets {
+			if b := latBatch.Batches(); b >= minStopBatches && b != checkedAt {
+				checkedAt = b
+				if mean, half, ok := latBatch.CI(); ok && mean > 0 && half <= cfg.CITarget*mean {
+					// Enough precision: stop tagging, drain what is in
+					// flight, and report the shortened sample.
+					sampleTarget = tagged
+				}
+			}
+		}
+		if tagged >= sampleTarget && taggedDone == tagged {
 			now++
 			break
 		}
@@ -149,10 +259,13 @@ func (r *Runner) Run() (Result, error) {
 		TaggedDone:    taggedDone,
 		MinTurnaround: turn.Min(),
 	}
+	if _, half, ok := thBatch.CI(); ok {
+		res.AcceptedCI = half / capacity
+	}
 	// Past saturation, accepted throughput plateaus below the offered
 	// load (source queues grow without bound); tagged packets injected
 	// early may still drain, so completion alone is not the criterion.
-	res.Saturated = taggedDone < cfg.MeasurePackets ||
+	res.Saturated = taggedDone < sampleTarget ||
 		res.AcceptedLoad < res.OfferedLoad*0.95-0.005
 	if lat.Count() > 0 {
 		res.Latency = stats.Summary{
@@ -163,7 +276,14 @@ func (r *Runner) Run() (Result, error) {
 			Packets:     lat.Count(),
 			Accepted:    th.FlitsPerNodeCycle(),
 		}
+		if _, half, ok := latBatch.CI(); ok {
+			res.Latency.MeanCI = half
+		}
 	}
+	// Censored counts the tagged packets the cycle cap cut off — the
+	// slowest of the sample, so any latency summary alongside a nonzero
+	// censored count is a lower bound, not a measurement.
+	res.Latency.Censored = tagged - taggedDone
 	return res, nil
 }
 
@@ -202,24 +322,41 @@ func SweepLoads(base Config, loads []float64) ([]LoadPoint, error) {
 
 // RateForLoad converts a fraction of network capacity into the injection
 // rate in packets/node/cycle, using the configured topology's uniform
-// capacity (k-ary n-cube mesh: 4/k flits/node/cycle, torus/ring: 8/k,
-// hypercube: 2; a nil Topo means the default k×k mesh).
+// capacity. A nil Topo means the default k×k mesh: the same topology
+// network.Config.Normalize will construct, so the capacity bound has a
+// single source of truth (Cube.UniformCapacity, including its
+// injection-bandwidth cap) that cannot drift from the network layer's.
 func RateForLoad(frac float64, ncfg network.Config) float64 {
-	k := ncfg.K
-	if k == 0 {
-		k = 8
-	}
 	size := ncfg.PacketSize
 	if size == 0 {
 		size = 5
 	}
-	// Same bound as Cube.UniformCapacity, including the injection-
-	// bandwidth cap, for the nil-Topo default mesh.
-	capacity := math.Min(4.0/float64(k), 1)
-	if ncfg.Topo != nil {
-		capacity = ncfg.Topo.UniformCapacity()
+	topo := ncfg.Topo
+	if topo == nil {
+		k := ncfg.K
+		if k == 0 {
+			k = 8
+		}
+		mesh, err := topology.NewCube(k, 2, false)
+		if err != nil {
+			// An invalid radix is Normalize's error to report; any
+			// finite capacity keeps the conversion well-defined until
+			// the simulation rejects the config.
+			mesh = topology.NewMesh(8)
+		}
+		topo = mesh
 	}
-	return frac * capacity / float64(size)
+	return frac * topo.UniformCapacity() / float64(size)
+}
+
+// IsSaturated reports whether a result should be treated as past
+// saturation for knee-finding: the run hit its cycle cap or a
+// throughput shortfall (Result.Saturated), measured no packets, or its
+// mean latency exceeds latencyCap (the paper's plots clip at 140
+// cycles). It is the shared saturation predicate of the grid-sweep
+// knee (SaturationLoad) and the harness's adaptive bisection.
+func IsSaturated(r Result, latencyCap float64) bool {
+	return r.Saturated || r.Latency.Packets == 0 || r.Latency.MeanLatency > latencyCap
 }
 
 // SaturationLoad estimates the saturation point from a swept curve: the
@@ -230,8 +367,7 @@ func RateForLoad(frac float64, ncfg network.Config) float64 {
 func SaturationLoad(pts []LoadPoint, latencyCap float64) float64 {
 	sat := 0.0
 	for _, pt := range pts {
-		if pt.Result.Saturated || pt.Result.Latency.MeanLatency > latencyCap ||
-			pt.Result.Latency.Packets == 0 {
+		if IsSaturated(pt.Result, latencyCap) {
 			break
 		}
 		sat = pt.Load

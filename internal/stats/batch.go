@@ -1,0 +1,108 @@
+package stats
+
+import "math"
+
+// maxBatches bounds the stored batch means. When the cap is reached,
+// adjacent batches collapse pairwise into batches of twice the length —
+// the classic streaming batch-means scheme — so the accumulator is O(1)
+// memory for any observation count and long runs get *longer* batches
+// (less serial correlation between them), not more batches (which would
+// shrink the t-interval as 1/√k without the correlation decaying).
+const maxBatches = 40
+
+// BatchMeans estimates a 95% confidence interval on the mean of a
+// correlated time series by the method of batch means: consecutive
+// observations are folded into equal-length batches, and the batch
+// means — far closer to independent than the raw samples, whose serial
+// correlation (queue states persist across packets and cycles) would
+// make a naive s/√n interval dishonestly tight — feed a Student-t
+// interval over at most maxBatches batches.
+//
+// The accumulator is allocation-free after construction (the batch
+// slice is preallocated at its fixed cap) and its Add path never
+// touches the heap.
+type BatchMeans struct {
+	size  int64     // observations per batch (doubles on collapse)
+	cur   float64   // running sum of the open batch
+	n     int64     // observations in the open batch
+	means []float64 // completed batch means, at most maxBatches
+}
+
+// NewBatchMeans returns an accumulator folding every size consecutive
+// observations into one batch (sizes < 1 are treated as 1).
+func NewBatchMeans(size int64) *BatchMeans {
+	if size < 1 {
+		size = 1
+	}
+	return &BatchMeans{size: size, means: make([]float64, 0, maxBatches)}
+}
+
+// Add records one observation.
+func (b *BatchMeans) Add(v float64) {
+	b.cur += v
+	b.n++
+	if b.n < b.size {
+		return
+	}
+	if len(b.means) == maxBatches {
+		// Collapse adjacent pairs: each stored mean now covers twice
+		// the observations, halving the count without losing any.
+		for i := 0; i < maxBatches/2; i++ {
+			b.means[i] = (b.means[2*i] + b.means[2*i+1]) / 2
+		}
+		b.means = b.means[:maxBatches/2]
+		b.size *= 2
+		if b.n < b.size {
+			return // the open batch continues at the doubled length
+		}
+	}
+	b.means = append(b.means, b.cur/float64(b.n))
+	b.cur, b.n = 0, 0
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int { return len(b.means) }
+
+// BatchSize returns the current observations-per-batch (it doubles each
+// time the batch cap is reached).
+func (b *BatchMeans) BatchSize() int64 { return b.size }
+
+// CI returns the batch-means point estimate and 95% confidence
+// half-width. ok is false with fewer than two completed batches (no
+// variance estimate); a trailing partial batch is excluded.
+func (b *BatchMeans) CI() (mean, half float64, ok bool) {
+	k := len(b.means)
+	if k < 2 {
+		return 0, 0, false
+	}
+	for _, m := range b.means {
+		mean += m
+	}
+	mean /= float64(k)
+	var ss float64
+	for _, m := range b.means {
+		d := m - mean
+		ss += d * d
+	}
+	s := math.Sqrt(ss / float64(k-1))
+	return mean, tCritical95(k-1) * s / math.Sqrt(float64(k)), true
+}
+
+// tCritical95 returns the two-sided 95% Student-t critical value for
+// the given degrees of freedom (the normal 1.96 beyond the table).
+func tCritical95(df int) float64 {
+	if df < 1 {
+		return math.Inf(1)
+	}
+	if df <= len(t95) {
+		return t95[df-1]
+	}
+	return 1.96
+}
+
+// t95[df-1] is the two-sided 95% critical value of Student's t.
+var t95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}

@@ -9,7 +9,26 @@ import (
 	"sort"
 )
 
-// Latency accumulates per-packet latency samples (cycles).
+// Accumulator is a sink for per-packet latency samples (cycles). Two
+// implementations exist: Latency stores every sample for exact
+// percentiles (the paper-figure reproduction mode), Stream folds samples
+// into a log-binned histogram with O(1) memory for large matrices.
+type Accumulator interface {
+	// Add records one sample. Samples must be >= 0.
+	Add(cycles int64)
+	// Count returns the number of samples.
+	Count() int
+	// Mean returns the average latency, or NaN with no samples.
+	Mean() float64
+	// Max returns the largest sample.
+	Max() int64
+	// Percentile returns the q-quantile (0 <= q <= 1) by nearest rank.
+	Percentile(q float64) int64
+}
+
+// Latency accumulates per-packet latency samples (cycles), storing every
+// sample: percentiles are exact. For memory-bounded accumulation over
+// large job matrices use Stream instead.
 type Latency struct {
 	samples []int64
 	sum     int64
@@ -41,7 +60,9 @@ func (l *Latency) Mean() float64 {
 // Max returns the largest sample.
 func (l *Latency) Max() int64 { return l.max }
 
-// Percentile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank.
+// Percentile returns the q-quantile (0 ≤ q ≤ 1) by the standard
+// nearest-rank definition: the smallest sample with at least ⌈q·n⌉
+// samples at or below it.
 func (l *Latency) Percentile(q float64) int64 {
 	if len(l.samples) == 0 {
 		return 0
@@ -50,14 +71,21 @@ func (l *Latency) Percentile(q float64) int64 {
 		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
 		l.sorted = true
 	}
-	idx := int(q*float64(len(l.samples)-1) + 0.5)
-	if idx < 0 {
-		idx = 0
+	return l.samples[nearestRank(q, len(l.samples))-1]
+}
+
+// nearestRank returns the 1-based nearest rank ⌈q·n⌉ clamped to [1, n].
+// The epsilon absorbs float dust: 0.95·100 must rank 95, not 96, even
+// though float64(0.95)·100 lands a hair above 95.
+func nearestRank(q float64, n int) int {
+	rank := int(math.Ceil(q*float64(n) - 1e-9))
+	if rank < 1 {
+		rank = 1
 	}
-	if idx >= len(l.samples) {
-		idx = len(l.samples) - 1
+	if rank > n {
+		rank = n
 	}
-	return l.samples[idx]
+	return rank
 }
 
 // Histogram buckets the samples for distribution reports.
@@ -95,6 +123,9 @@ func (t *Throughput) Eject(cycle int64) {
 		}
 	}
 }
+
+// Flits returns the flits counted inside the window so far.
+func (t *Throughput) Flits() int64 { return t.flits }
 
 // Close fixes the end of the window.
 func (t *Throughput) Close(cycle int64) {
@@ -146,15 +177,32 @@ func (t *Turnaround) Count() int { return len(t.intervals) }
 // harness's serialized payloads in one consistent snake_case schema.
 type Summary struct {
 	MeanLatency float64 `json:"mean_latency"`
-	P50         int64   `json:"p50"`
-	P95         int64   `json:"p95"`
-	MaxLatency  int64   `json:"max_latency"`
-	Packets     int     `json:"packets"`
-	Accepted    float64 `json:"accepted"` // flits/node/cycle
+	// MeanCI is the 95% batch-means confidence half-width on the mean
+	// latency, in cycles (0 when too few batches completed to estimate).
+	MeanCI     float64 `json:"mean_ci,omitempty"`
+	P50        int64   `json:"p50"`
+	P95        int64   `json:"p95"`
+	MaxLatency int64   `json:"max_latency"`
+	Packets    int     `json:"packets"`
+	// Censored counts tagged packets still undrained when the run hit
+	// its cycle cap. A censored summary is biased low: the slowest
+	// packets are missing from the sample, so the latency columns must
+	// be read as a lower bound (renderers show such points as
+	// saturated, not as valid latencies).
+	Censored int     `json:"censored,omitempty"`
+	Accepted float64 `json:"accepted"` // flits/node/cycle
 }
 
 // String renders the summary on one line.
 func (s Summary) String() string {
-	return fmt.Sprintf("packets=%d latency mean=%.1f p50=%d p95=%d max=%d accepted=%.4f flits/node/cycle",
-		s.Packets, s.MeanLatency, s.P50, s.P95, s.MaxLatency, s.Accepted)
+	ci := ""
+	if s.MeanCI > 0 {
+		ci = fmt.Sprintf("±%.1f ", s.MeanCI)
+	}
+	censored := ""
+	if s.Censored > 0 {
+		censored = fmt.Sprintf(" censored=%d", s.Censored)
+	}
+	return fmt.Sprintf("packets=%d latency mean=%.1f %sp50=%d p95=%d max=%d%s accepted=%.4f flits/node/cycle",
+		s.Packets, s.MeanLatency, ci, s.P50, s.P95, s.MaxLatency, censored, s.Accepted)
 }

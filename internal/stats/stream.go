@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Stream bin layout: values below 2^streamSubBits are counted exactly
+// (one bin per value); above that, each power-of-two octave is split
+// into 2^streamSubBits log-spaced sub-bins, bounding the relative
+// quantile error at 2^-streamSubBits (≈1.6% at 6 sub-bits). Count, sum,
+// min, and max are tracked exactly, so Mean and Max carry no binning
+// error at all — only the percentiles are approximate.
+const (
+	streamSubBits = 6
+	streamSubBins = 1 << streamSubBits
+	// 63-bit values span octaves streamSubBits..62, one linear block
+	// plus one block per octave above it.
+	streamBins = streamSubBins * (64 - streamSubBits)
+)
+
+// Stream accumulates latency samples into a fixed-size log-binned
+// histogram: O(1) memory however many samples arrive, with a hot Add
+// path that never allocates. It is the measurement engine's default
+// accumulator; the exact-sample Latency is retained for bit-identical
+// paper-figure reproduction.
+type Stream struct {
+	bins  [streamBins]int64
+	count int64
+	sum   int64
+	min   int64
+	max   int64
+}
+
+// NewStream returns an empty streaming accumulator.
+func NewStream() *Stream { return &Stream{} }
+
+// streamBin maps a sample to its bin index.
+func streamBin(v int64) int {
+	u := uint64(v)
+	if u < streamSubBins {
+		return int(u)
+	}
+	msb := bits.Len64(u) - 1
+	sub := int(u>>(uint(msb)-streamSubBits)) - streamSubBins
+	return (msb-streamSubBits+1)*streamSubBins + sub
+}
+
+// streamRep returns a bin's representative value: exact below the
+// linear/log boundary, the bin midpoint above it.
+func streamRep(bin int) int64 {
+	if bin < streamSubBins {
+		return int64(bin)
+	}
+	octave := bin/streamSubBins - 1 + streamSubBits
+	sub := bin % streamSubBins
+	width := int64(1) << (uint(octave) - streamSubBits)
+	lo := int64(1)<<uint(octave) + int64(sub)*width
+	return lo + width>>1
+}
+
+// Add implements Accumulator. Negative samples are clamped to 0 (the
+// simulator never produces them; the clamp keeps the bin index safe).
+func (s *Stream) Add(cycles int64) {
+	if cycles < 0 {
+		cycles = 0
+	}
+	if s.count == 0 || cycles < s.min {
+		s.min = cycles
+	}
+	if cycles > s.max {
+		s.max = cycles
+	}
+	s.count++
+	s.sum += cycles
+	s.bins[streamBin(cycles)]++
+}
+
+// Count implements Accumulator.
+func (s *Stream) Count() int { return int(s.count) }
+
+// Mean implements Accumulator; it is exact (tracked as a running sum).
+func (s *Stream) Mean() float64 {
+	if s.count == 0 {
+		return math.NaN()
+	}
+	return float64(s.sum) / float64(s.count)
+}
+
+// Max implements Accumulator; it is exact.
+func (s *Stream) Max() int64 { return s.max }
+
+// Min returns the smallest sample (exact), or 0 with no samples.
+func (s *Stream) Min() int64 { return s.min }
+
+// Percentile implements Accumulator by nearest rank over the binned
+// distribution. The extreme ranks return the exactly-tracked min and
+// max; interior ranks carry the bin's relative error (≤ 2^-6 ≈ 1.6%)
+// and are clamped into [min, max], so the reported quantiles can never
+// order impossibly against the exact extremes (e.g. p50 > max on a
+// tightly clustered sample whose bin midpoint lies above every value).
+func (s *Stream) Percentile(q float64) int64 {
+	if s.count == 0 {
+		return 0
+	}
+	rank := int64(nearestRank(q, int(s.count)))
+	if rank <= 1 {
+		return s.min
+	}
+	if rank >= s.count {
+		return s.max
+	}
+	cum := int64(0)
+	for b, n := range s.bins {
+		cum += n
+		if cum >= rank {
+			rep := streamRep(b)
+			if rep < s.min {
+				rep = s.min
+			}
+			if rep > s.max {
+				rep = s.max
+			}
+			return rep
+		}
+	}
+	return s.max // unreachable: bins sum to count
+}

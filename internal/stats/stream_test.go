@@ -1,0 +1,273 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNearestRankSmallN pins the standard nearest-rank formula ⌈q·n⌉ on
+// the small sample sizes where it disagrees with the previous
+// `int(q·(n−1)+0.5)` rank. Each case lists both expectations so the
+// table documents exactly where the old formula was nonstandard.
+func TestNearestRankSmallN(t *testing.T) {
+	cases := []struct {
+		n       int
+		q       float64
+		want    int // 1-based nearest rank ⌈q·n⌉
+		oldRank int // what the old formula picked (1-based), for the record
+	}{
+		{n: 1, q: 0.5, want: 1, oldRank: 1},
+		{n: 2, q: 0.5, want: 1, oldRank: 2}, // disagrees
+		{n: 3, q: 0.5, want: 2, oldRank: 2},
+		{n: 4, q: 0.5, want: 2, oldRank: 3},  // disagrees
+		{n: 4, q: 0.25, want: 1, oldRank: 2}, // disagrees
+		{n: 5, q: 0.95, want: 5, oldRank: 5},
+		{n: 10, q: 0.95, want: 10, oldRank: 10},
+		{n: 20, q: 0.95, want: 19, oldRank: 19},
+		{n: 21, q: 0.95, want: 20, oldRank: 20},
+		{n: 100, q: 0.95, want: 95, oldRank: 95},
+		{n: 100, q: 0.5, want: 50, oldRank: 51}, // disagrees
+		{n: 100, q: 0, want: 1, oldRank: 1},
+		{n: 100, q: 1, want: 100, oldRank: 100},
+		{n: 3, q: 1.0 / 3.0, want: 1, oldRank: 2}, // disagrees
+		{n: 3, q: 2.0 / 3.0, want: 2, oldRank: 2}, // ⌈q·n⌉ must not float up to 3
+	}
+	for _, c := range cases {
+		if got := nearestRank(c.q, c.n); got != c.want {
+			t.Errorf("nearestRank(%v, %d) = %d, want %d", c.q, c.n, got, c.want)
+		}
+		// Sanity-check the documented old rank so the table stays honest.
+		old := int(c.q*float64(c.n-1) + 0.5)
+		if old < 0 {
+			old = 0
+		}
+		if old >= c.n {
+			old = c.n - 1
+		}
+		if old+1 != c.oldRank {
+			t.Errorf("case n=%d q=%v: documented oldRank %d, formula gives %d", c.n, c.q, c.oldRank, old+1)
+		}
+	}
+}
+
+// TestLatencyPercentileNearestRank applies the rank table through the
+// exact accumulator on distinguishable samples.
+func TestLatencyPercentileNearestRank(t *testing.T) {
+	var l Latency
+	for i := int64(1); i <= 4; i++ {
+		l.Add(i * 10)
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{{0, 10}, {0.25, 10}, {0.5, 20}, {0.75, 30}, {0.95, 40}, {1, 40}}
+	for _, c := range cases {
+		if got := l.Percentile(c.q); got != c.want {
+			t.Errorf("P%v of {10,20,30,40} = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	s := NewStream()
+	if !math.IsNaN(s.Mean()) {
+		t.Error("empty stream mean should be NaN")
+	}
+	if s.Count() != 0 || s.Max() != 0 || s.Percentile(0.5) != 0 {
+		t.Errorf("empty stream not zero-valued: count=%d max=%d p50=%d", s.Count(), s.Max(), s.Percentile(0.5))
+	}
+}
+
+// TestStreamExactBelowLinearBoundary: values below 2^6 occupy one bin
+// each, so every quantile is exact there.
+func TestStreamExactBelowLinearBoundary(t *testing.T) {
+	s := NewStream()
+	var l Latency
+	for i := int64(1); i <= 63; i++ {
+		s.Add(i)
+		l.Add(i)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 1} {
+		if got, want := s.Percentile(q), l.Percentile(q); got != want {
+			t.Errorf("P%v = %d, want exact %d", q, got, want)
+		}
+	}
+	if s.Mean() != l.Mean() || s.Max() != l.Max() || s.Count() != l.Count() {
+		t.Errorf("stream moments diverge from exact: mean %v/%v max %d/%d",
+			s.Mean(), l.Mean(), s.Max(), l.Max())
+	}
+}
+
+// TestStreamQuantileTolerance: above the linear range, quantiles must
+// stay within one sub-bin (2^-6 relative) of the exact value, while
+// mean, max, and min stay exact.
+func TestStreamQuantileTolerance(t *testing.T) {
+	s := NewStream()
+	var l Latency
+	// Deterministic skewed samples spanning several octaves.
+	v := int64(1)
+	for i := 0; i < 10000; i++ {
+		v = (v*2862933555777941757 + 3037000493) % 200000
+		if v < 0 {
+			v = -v
+		}
+		s.Add(v)
+		l.Add(v)
+	}
+	if s.Mean() != l.Mean() || s.Max() != l.Max() {
+		t.Fatalf("exact moments diverged: mean %v/%v max %d/%d", s.Mean(), l.Mean(), s.Max(), l.Max())
+	}
+	for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99} {
+		exact := float64(l.Percentile(q))
+		got := float64(s.Percentile(q))
+		tol := exact/64 + 1 // one sub-bin of relative error
+		if math.Abs(got-exact) > tol {
+			t.Errorf("P%v = %v, want %v ± %v", q, got, exact, tol)
+		}
+	}
+	if s.Percentile(0) != l.Percentile(0) || s.Percentile(1) != l.Percentile(1) {
+		t.Errorf("extreme ranks should be exact: min %d/%d max %d/%d",
+			s.Percentile(0), l.Percentile(0), s.Percentile(1), l.Percentile(1))
+	}
+}
+
+// TestStreamPercentileClamped: a tightly clustered sample must never
+// report an interior percentile outside the exact [min, max] — bin
+// midpoints above the true max would otherwise order impossibly
+// (p50 > max_latency) in serialized output.
+func TestStreamPercentileClamped(t *testing.T) {
+	s := NewStream()
+	for i := 0; i < 100; i++ {
+		s.Add(1000) // bin [1000, 1008): midpoint 1004 > max
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := s.Percentile(q); got != 1000 {
+			t.Errorf("P%v of 100×{1000} = %d, want 1000", q, got)
+		}
+	}
+	s2 := NewStream()
+	s2.Add(1000)
+	s2.Add(1001)
+	for _, q := range []float64{0.25, 0.5, 0.75} {
+		if got := s2.Percentile(q); got < 1000 || got > 1001 {
+			t.Errorf("P%v of {1000,1001} = %d, want within [1000, 1001]", q, got)
+		}
+	}
+}
+
+// TestStreamBinRoundTrip: every bin's representative value must map
+// back into the bin that produced it, across the whole value range.
+func TestStreamBinRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, 1<<40 + 12345, 1<<62 + 99} {
+		bin := streamBin(v)
+		rep := streamRep(bin)
+		if got := streamBin(rep); got != bin {
+			t.Errorf("value %d: bin %d rep %d maps back to bin %d", v, bin, rep, got)
+		}
+		if rel := math.Abs(float64(rep-v)) / math.Max(float64(v), 1); rel > 1.0/64+1e-9 {
+			t.Errorf("value %d: representative %d off by %.3f relative, want ≤ 1/64", v, rep, rel)
+		}
+	}
+}
+
+func TestBatchMeansCI(t *testing.T) {
+	b := NewBatchMeans(10)
+	if _, _, ok := b.CI(); ok {
+		t.Error("empty accumulator must not report a CI")
+	}
+	// Constant observations: zero-width interval.
+	for i := 0; i < 100; i++ {
+		b.Add(42)
+	}
+	if b.Batches() != 10 {
+		t.Fatalf("batches = %d, want 10", b.Batches())
+	}
+	mean, half, ok := b.CI()
+	if !ok || mean != 42 || half != 0 {
+		t.Errorf("constant series CI = %v ± %v (ok=%t), want 42 ± 0", mean, half, ok)
+	}
+
+	// Alternating batches of 0s and 10s: batch means alternate 0/10,
+	// mean 5, batch std √(100/9·...) — just assert the bracket is sane
+	// and covers the mean.
+	b2 := NewBatchMeans(5)
+	for i := 0; i < 100; i++ {
+		if (i/5)%2 == 0 {
+			b2.Add(0)
+		} else {
+			b2.Add(10)
+		}
+	}
+	mean2, half2, ok2 := b2.CI()
+	if !ok2 || mean2 != 5 || half2 <= 0 {
+		t.Errorf("alternating series CI = %v ± %v (ok=%t), want mean 5 with positive width", mean2, half2, ok2)
+	}
+}
+
+// TestBatchMeansPartialBatchExcluded: a trailing partial batch must not
+// contribute (it would bias the variance).
+func TestBatchMeansPartialBatchExcluded(t *testing.T) {
+	b := NewBatchMeans(10)
+	for i := 0; i < 25; i++ {
+		b.Add(1)
+	}
+	if b.Batches() != 2 {
+		t.Errorf("batches = %d, want 2 (partial third excluded)", b.Batches())
+	}
+	mean, _, ok := b.CI()
+	if !ok || mean != 1 {
+		t.Errorf("CI over complete batches = %v (ok=%t), want 1", mean, ok)
+	}
+}
+
+// TestBatchMeansCollapse: past the batch cap, adjacent batches collapse
+// pairwise into doubled-length batches — the batch count stays within
+// [maxBatches/2, maxBatches] for any observation count, the mean is
+// exactly preserved, and long runs get longer (less correlated)
+// batches rather than a 1/√k-shrinking interval over correlated ones.
+func TestBatchMeansCollapse(t *testing.T) {
+	b := NewBatchMeans(1)
+	n := 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := float64(i % 7)
+		sum += v
+		b.Add(v)
+	}
+	if got := b.Batches(); got < maxBatches/2 || got > maxBatches {
+		t.Fatalf("batches = %d, want within [%d, %d] after collapsing", got, maxBatches/2, maxBatches)
+	}
+	if b.BatchSize() <= 1 {
+		t.Errorf("batch size %d should have doubled past the cap", b.BatchSize())
+	}
+	mean, half, ok := b.CI()
+	if !ok {
+		t.Fatal("no CI after 100k observations")
+	}
+	// Completed batches cover batches*size observations; their mean
+	// must exactly equal the mean of that covered prefix.
+	covered := int(b.BatchSize()) * b.Batches()
+	var prefix float64
+	for i := 0; i < covered; i++ {
+		prefix += float64(i % 7)
+	}
+	prefix /= float64(covered)
+	if math.Abs(mean-prefix) > 1e-9 {
+		t.Errorf("collapsed mean %v != covered-prefix mean %v", mean, prefix)
+	}
+	if half <= 0 || half > 1 {
+		t.Errorf("CI half-width %v implausible for a bounded periodic series", half)
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	cases := map[int]float64{1: 12.706, 2: 4.303, 30: 2.042, 31: 1.96, 1000: 1.96}
+	for df, want := range cases {
+		if got := tCritical95(df); got != want {
+			t.Errorf("t(df=%d) = %v, want %v", df, got, want)
+		}
+	}
+	if !math.IsInf(tCritical95(0), 1) {
+		t.Error("df=0 should be unusable (infinite width)")
+	}
+}

@@ -51,6 +51,22 @@ func Turnarounds(pr Protocol) (map[string]int64, error) {
 	return experiments.Figure16Turnaround(pr)
 }
 
+// SaturationPoint is one adaptive saturation-search outcome for a
+// paper router configuration.
+type SaturationPoint = experiments.SaturationPoint
+
+// SaturationTable locates the saturation point of each Figure 13
+// router configuration by adaptive bisection (FindSaturation) at the
+// given load resolution, instead of sweeping a fixed grid.
+func SaturationTable(pr Protocol, step float64) ([]SaturationPoint, error) {
+	return experiments.Saturations(pr, step)
+}
+
+// WriteSaturationTable renders a SaturationTable as text.
+func WriteSaturationTable(w io.Writer, pts []SaturationPoint) error {
+	return experiments.WriteSaturations(w, pts)
+}
+
 // WriteFigure renders a figure as a text table plus an ASCII plot.
 func WriteFigure(w io.Writer, fig FigureResult) error {
 	if err := experiments.WriteTable(w, fig); err != nil {

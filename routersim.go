@@ -188,6 +188,43 @@ func MatrixProgressPrinter(w io.Writer) func(done, total int, r MatrixResult) {
 	return harness.ProgressPrinter(w)
 }
 
+// SaturationSearch parameterizes the adaptive saturation search:
+// bracket, load resolution, latency cap, and probe budget.
+type SaturationSearch = harness.SearchOptions
+
+// SaturationResult is the outcome of one adaptive saturation search:
+// the knee load, its delivered throughput, and the probes that found it.
+type SaturationResult = harness.SaturationResult
+
+// FindSaturation locates a scenario's saturation point by adaptive
+// bisection on offered load — the replacement for sweeping a fixed load
+// grid past the knee. Each probe runs one simulation at the bracket
+// midpoint under the run's saturation predicate (censored sample,
+// throughput shortfall, or the latency cap); the search needs
+// ~log2(1/step) simulations where a grid needs 1/step.
+func FindSaturation(sc Scenario, opts MatrixOptions, so SaturationSearch) (SaturationResult, error) {
+	return harness.FindSaturation(sc, opts, so)
+}
+
+// FindSaturations runs the adaptive saturation search for every
+// scenario of the matrix (the Loads axis is ignored) on a bounded,
+// deterministic worker pool.
+func FindSaturations(m ScenarioMatrix, opts MatrixOptions, so SaturationSearch) ([]SaturationResult, error) {
+	return harness.FindSaturations(m, opts, so)
+}
+
+// WriteSaturationCSV serializes saturation-search results as CSV with a
+// byte-deterministic payload.
+func WriteSaturationCSV(w io.Writer, results []SaturationResult) error {
+	return harness.WriteSaturationCSV(w, results)
+}
+
+// WriteSaturationJSON serializes saturation-search results as one JSON
+// array with a byte-deterministic payload.
+func WriteSaturationJSON(w io.Writer, results []SaturationResult) error {
+	return harness.WriteSaturationJSON(w, results)
+}
+
 // SimConfig parameterizes one network simulation.
 type SimConfig struct {
 	// Router microarchitecture and resources.
@@ -214,6 +251,16 @@ type SimConfig struct {
 	WarmupCycles   int64 // paper: 10,000
 	MeasurePackets int   // paper: 100,000
 	Seed           uint64
+
+	// ExactLatency stores every latency sample for exact percentiles
+	// (the paper-figure reproduction mode); the default streams samples
+	// into a log-binned histogram with O(1) memory (exact mean/max,
+	// ≤ 1.6% percentile error).
+	ExactLatency bool
+	// CITarget, when > 0, ends the tagged sample early once the
+	// relative 95% batch-means CI half-width of mean latency reaches it
+	// (e.g. 0.02 for ±2%).
+	CITarget float64
 }
 
 // DefaultSimConfig returns the paper's configuration for a router kind
@@ -278,6 +325,8 @@ func (c SimConfig) lower() (sim.Config, error) {
 		Net:            ncfg,
 		WarmupCycles:   c.WarmupCycles,
 		MeasurePackets: c.MeasurePackets,
+		ExactLatency:   c.ExactLatency,
+		CITarget:       c.CITarget,
 	}, nil
 }
 
