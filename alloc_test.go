@@ -34,7 +34,10 @@ func warmNetwork(t *testing.T, cycles int64) (*network.Network, int64) {
 
 // TestNetworkStepZeroAlloc: a steady-state Network.Step performs zero
 // heap allocations — packets come from the pool, flit slices are
-// reused, wires and FIFOs never grow, allocators return scratch.
+// reused, wires and FIFOs never grow, allocators return scratch. The
+// default engine is the active-set scheduler, so this also pins its
+// worklists (active/carry lists, wake wheel, source heap) at their
+// steady-state sizes.
 func TestNetworkStepZeroAlloc(t *testing.T) {
 	net, now := warmNetwork(t, 6000)
 	allocs := testing.AllocsPerRun(400, func() {
@@ -43,6 +46,34 @@ func TestNetworkStepZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state Network.Step allocates %.2f times per cycle, want 0", allocs)
+	}
+}
+
+// TestNetworkStepZeroAllocLowLoad extends the invariant to the regime
+// the active-set scheduler exists for: a 1,024-router mesh at 5% load,
+// where sources park and wake constantly and the worklists churn every
+// cycle. Growth of any scheduler structure past warm-up would show here.
+func TestNetworkStepZeroAllocLowLoad(t *testing.T) {
+	// The exact config BenchmarkNetworkCycleLowLoad times, so the test
+	// pins the benchmark's allocation behaviour.
+	net, err := network.New(lowLoadCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := int64(0)
+	warm := int64(4000)
+	if testing.Short() {
+		warm = 2000
+	}
+	for ; now < warm; now++ {
+		net.Step(now)
+	}
+	allocs := testing.AllocsPerRun(400, func() {
+		net.Step(now)
+		now++
+	})
+	if allocs != 0 {
+		t.Fatalf("low-load active-set Network.Step allocates %.2f times per cycle, want 0", allocs)
 	}
 }
 

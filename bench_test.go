@@ -23,6 +23,7 @@ import (
 	"routersim/internal/network"
 	"routersim/internal/router"
 	"routersim/internal/sim"
+	"routersim/internal/topology"
 )
 
 // benchProtocol is small enough for benchmarking while preserving the
@@ -285,31 +286,112 @@ func BenchmarkVCAllocatorAllocate(b *testing.B) {
 	}
 }
 
-// BenchmarkNetworkCycle measures whole-network cycle cost (64 routers)
-// at a moderate load — the simulator's inner loop.
-func BenchmarkNetworkCycle(b *testing.B) {
-	rc := router.DefaultConfig(router.SpeculativeVC)
-	cfg := network.Config{K: 8, Router: rc, Seed: 1, InjectionRate: 0.4 * 0.5 / 5}
+// benchCycles times steady-state Network.Step over a prebuilt config.
+func benchCycles(b *testing.B, cfg network.Config, warm int64) {
+	b.Helper()
 	net, err := network.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
-	for now := int64(0); now < 2000; now++ {
+	for now := int64(0); now < warm; now++ {
 		net.Step(now) // warm the network before timing
 	}
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		net.Step(int64(2000 + i))
+		net.Step(warm + int64(i))
 	}
 }
 
-// BenchmarkPipelineDesign measures the EQ-1 packer.
+// BenchmarkNetworkCycle measures whole-network cycle cost (64 routers)
+// at a moderate load — the simulator's inner loop.
+func BenchmarkNetworkCycle(b *testing.B) {
+	rc := router.DefaultConfig(router.SpeculativeVC)
+	benchCycles(b, network.Config{K: 8, Router: rc, Seed: 1, InjectionRate: 0.4 * 0.5 / 5}, 2000)
+}
+
+// lowLoadCfg is a 1,024-router mesh at 5% load: the light-duty regime
+// (zero-load latency points, sub-saturation saturation-search probes)
+// where per-cycle cost should scale with in-flight work, not node
+// count. TestNetworkStepZeroAllocLowLoad pins this exact config's
+// steady-state allocation behaviour.
+func lowLoadCfg(tb testing.TB) network.Config {
+	tb.Helper()
+	topo, err := topology.New("mesh:k=32", 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return network.Config{
+		Topo:          topo,
+		Router:        router.DefaultConfig(router.SpeculativeVC),
+		Seed:          1,
+		InjectionRate: 0.05 * topo.UniformCapacity() / 5,
+	}
+}
+
+// BenchmarkNetworkCycleLowLoad measures the active-set scheduler where
+// it matters: 1,024 routers, 5% load — only the few dozen routers with
+// in-flight work are visited.
+func BenchmarkNetworkCycleLowLoad(b *testing.B) {
+	benchCycles(b, lowLoadCfg(b), 4000)
+}
+
+// BenchmarkNetworkCycleLowLoadFullScan is the same network on the
+// legacy full-scan engine — the baseline the scheduler is measured
+// against (every cycle pays 1,024 idle checks and 1,024 source steps).
+func BenchmarkNetworkCycleLowLoadFullScan(b *testing.B) {
+	cfg := lowLoadCfg(b)
+	cfg.FullScan = true
+	benchCycles(b, cfg, 4000)
+}
+
+// drainBench runs a complete ultra-low-load measurement through
+// sim.Run on a 256-router mesh: at ~1 packet per source per 50,000
+// cycles the run is dominated by quiescent gaps, zero-load warm-up
+// idle, and the post-sample drain tail — exactly the spans the
+// active-set engine's NextDue fast-forward collapses to a handful of
+// stepped cycles.
+func drainBench(b *testing.B, fullScan bool) {
+	b.Helper()
+	cfg := sim.Config{
+		Net: network.Config{
+			K:        16,
+			Router:   router.DefaultConfig(router.SpeculativeVC),
+			Seed:     1,
+			FullScan: fullScan,
+		},
+		WarmupCycles:   10000,
+		MeasurePackets: 100,
+	}
+	cfg.Net.InjectionRate = 0.00002
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "simulated_cycles")
+}
+
+// BenchmarkDrainTail measures the quiescence fast-forward on a
+// drain-dominated run.
+func BenchmarkDrainTail(b *testing.B) { drainBench(b, false) }
+
+// BenchmarkDrainTailFullScan is the same run stepping every cycle.
+func BenchmarkDrainTailFullScan(b *testing.B) { drainBench(b, true) }
+
+// BenchmarkPipelineDesign measures the EQ-1 packer in its hot-sweep
+// shape: one reused core.Packer across design points (the form the
+// Figure 11/12 grids and the harness's per-scenario delay model use).
+// A warm packer must not touch the heap.
 func BenchmarkPipelineDesign(b *testing.B) {
 	params := core.PaperParams()
+	var pk core.Packer
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DesignPipeline(core.SpeculativeVC, params, core.DefaultSpecOptions()); err != nil {
+		if _, err := pk.Design(core.SpeculativeVC, params, core.DefaultSpecOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -30,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -60,6 +62,10 @@ func main() {
 	saturation := flag.Bool("saturation", false, "find each scenario's saturation load by adaptive bisection instead of sweeping -loads; emits one row per scenario")
 	satTol := flag.Float64("sat-tol", 0.01, "load resolution of the -saturation bisection (fraction of capacity)")
 
+	// Profiling: hot-path investigation without ad-hoc harness hacking.
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
+
 	// Protocol and execution.
 	warmup := flag.Int64("warmup", 2000, "warm-up cycles per job")
 	packets := flag.Int("packets", 1500, "tagged sample size per job")
@@ -71,6 +77,9 @@ func main() {
 	csvPath := flag.String("csv", "", "write results as CSV to this file ('-' for stdout)")
 	quiet := flag.Bool("quiet", false, "suppress per-job progress lines on stderr")
 	flag.Parse()
+
+	startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
 
 	if *figure != "" || *all {
 		// Figure mode reproduces the paper's fixed curves; the matrix
@@ -190,6 +199,7 @@ func exitOnFailures(total int, errAt func(i int) (label, errMsg string)) {
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "%d of %d jobs failed; first: %s\n", failed, total, firstErr)
+		stopProfiles()
 		os.Exit(1)
 	}
 }
@@ -368,7 +378,54 @@ func writeTo(path string, fn func(*os.File) error) {
 	}
 }
 
+// profileStop finalizes any active profiles; every exit path (including
+// the os.Exit ones, which skip deferred calls) must run it so the
+// profile files are complete.
+var profileStop func()
+
+// startProfiles begins CPU profiling and arranges the heap snapshot.
+func startProfiles(cpuPath, memPath string) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		cpuFile = f
+	}
+	profileStop = func() {
+		profileStop = nil
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+		}
+	}
+}
+
+func stopProfiles() {
+	if profileStop != nil {
+		profileStop()
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
+	stopProfiles()
 	os.Exit(1)
 }

@@ -16,6 +16,7 @@ package allocator
 
 import (
 	"fmt"
+	"math/bits"
 
 	"routersim/internal/arbiter"
 )
@@ -84,35 +85,42 @@ func (s *SeparableSwitch) Allocate(reqs []SwitchRequest) []SwitchGrant {
 		// the scratch resets (they rerun on the next non-empty call).
 		return s.grants[:0]
 	}
-	// Stage 1: per input port, arbitrate among requesting VCs.
-	for i := range s.inReqs {
-		s.inReqs[i] = 0
-		s.inWinner[i] = -1
-		s.outReqs[i] = 0
-	}
-	for _, r := range reqs {
-		s.check(r)
+	// Stage 1: per input port, arbitrate among requesting VCs. The
+	// touched-port bitmasks make the whole call O(requests), not
+	// O(ports): scratch entries are reset lazily on first touch and
+	// both stages walk only set bits — in ascending port order, so the
+	// arbiter call sequence (and with it every arbiter's priority
+	// state) is exactly that of a full port scan.
+	var inMask, outMask uint64
+	for i := range reqs {
+		r := &reqs[i]
+		s.check(*r)
+		if inMask&(1<<r.In) == 0 {
+			inMask |= 1 << r.In
+			s.inReqs[r.In] = 0
+		}
 		if s.inReqs[r.In]&(1<<r.VC) != 0 {
 			panic(fmt.Sprintf("allocator: duplicate switch request from input %d vc %d", r.In, r.VC))
 		}
 		s.inReqs[r.In] |= 1 << r.VC
 		s.reqOut[r.In*s.v+r.VC] = r.Out
 	}
-	for in := 0; in < s.p; in++ {
-		if s.inReqs[in] == 0 {
-			continue
-		}
+	for m := inMask; m != 0; m &= m - 1 {
+		in := bits.TrailingZeros64(m)
 		if w, ok := s.inputArbs[in].Grant(s.inReqs[in]); ok {
 			s.inWinner[in] = w
-			s.outReqs[s.reqOut[in*s.v+w]] |= 1 << in
+			out := s.reqOut[in*s.v+w]
+			if outMask&(1<<out) == 0 {
+				outMask |= 1 << out
+				s.outReqs[out] = 0
+			}
+			s.outReqs[out] |= 1 << in
 		}
 	}
 	// Stage 2: per output port, arbitrate among winning inputs.
 	s.grants = s.grants[:0]
-	for out := 0; out < s.p; out++ {
-		if s.outReqs[out] == 0 {
-			continue
-		}
+	for m := outMask; m != 0; m &= m - 1 {
+		out := bits.TrailingZeros64(m)
 		if in, ok := s.outputArbs[out].Grant(s.outReqs[out]); ok {
 			s.grants = append(s.grants, SwitchGrant{In: in, VC: s.inWinner[in], Out: out})
 		}

@@ -35,6 +35,12 @@ type VCAllocator struct {
 	bidder    []VCRequest       // request by flattened input-VC index
 	hasBidder []bool
 	grants    []VCGrant // scratch, reused across Allocate calls
+
+	// touched lists the output-VC indices with bids and bidders the
+	// input-VC indices that bid, so a call resets only the scratch it
+	// dirtied — O(requests), not O(p·v).
+	touched []int32
+	bidders []int32
 }
 
 // NewVCAllocator returns a VC allocator for p ports and v VCs per port.
@@ -71,17 +77,18 @@ func (a *VCAllocator) ovc(out, w int) int { return out*a.v + w }
 // most one input VC per cycle.
 func (a *VCAllocator) Allocate(reqs []VCRequest) []VCGrant {
 	if len(reqs) == 0 {
-		// No requests grant nothing and touch no arbiter state; skip
-		// the scratch resets (they rerun on the next non-empty call).
+		// No requests grant nothing and touch no arbiter state.
 		return a.grants[:0]
 	}
-	for i := range a.bids {
-		a.bids[i] = 0
-		a.hasBidder[i] = false
-	}
-	// Stage 1: each input VC picks one candidate output VC.
-	for _, r := range reqs {
-		a.check(r)
+	// Stage 1: each input VC picks one candidate output VC. The bids
+	// and hasBidder scratch arrays are clean on entry (every call
+	// resets exactly the entries it dirtied before returning), so the
+	// whole call is O(requests), not O(p·v).
+	a.touched = a.touched[:0]
+	a.bidders = a.bidders[:0]
+	for i := range reqs {
+		r := &reqs[i]
+		a.check(*r)
 		cands := r.Candidates & mask64(a.v)
 		if cands == 0 {
 			continue // no free candidate VC this cycle
@@ -95,26 +102,38 @@ func (a *VCAllocator) Allocate(reqs []VCRequest) []VCGrant {
 			continue
 		}
 		a.hasBidder[iIdx] = true
-		a.bidder[iIdx] = r
-		a.bids[a.ovc(r.Out, w)] |= 1 << iIdx
-	}
-	// Stage 2: each output VC grants one bidding input VC. The returned
-	// slice is scratch owned by the allocator, valid until the next
-	// Allocate.
-	a.grants = a.grants[:0]
-	for out := 0; out < a.p; out++ {
-		for w := 0; w < a.v; w++ {
-			oIdx := a.ovc(out, w)
-			if a.bids[oIdx] == 0 {
-				continue
-			}
-			iIdx, ok := a.stage2[oIdx].Grant(a.bids[oIdx])
-			if !ok {
-				continue
-			}
-			r := a.bidder[iIdx]
-			a.grants = append(a.grants, VCGrant{In: r.In, VC: r.VC, Out: out, OutVC: w})
+		a.bidders = append(a.bidders, int32(iIdx))
+		a.bidder[iIdx] = *r
+		oIdx := a.ovc(r.Out, w)
+		if a.bids[oIdx] == 0 {
+			a.touched = append(a.touched, int32(oIdx))
 		}
+		a.bids[oIdx] |= 1 << iIdx
+	}
+	// Stage 2: each output VC with bids grants one bidding input VC, in
+	// ascending output-VC order — the order a full (out, w) scan visits
+	// them in, so every stage-2 arbiter sees the exact same call
+	// sequence. The touched list is a handful of entries, so an inline
+	// insertion sort beats a generic sort call. The returned slice is
+	// scratch owned by the allocator, valid until the next Allocate.
+	for i := 1; i < len(a.touched); i++ {
+		for j := i; j > 0 && a.touched[j] < a.touched[j-1]; j-- {
+			a.touched[j], a.touched[j-1] = a.touched[j-1], a.touched[j]
+		}
+	}
+	a.grants = a.grants[:0]
+	for _, oIdx := range a.touched {
+		bids := a.bids[oIdx]
+		a.bids[oIdx] = 0
+		iIdx, ok := a.stage2[oIdx].Grant(bids)
+		if !ok {
+			continue
+		}
+		r := a.bidder[iIdx]
+		a.grants = append(a.grants, VCGrant{In: r.In, VC: r.VC, Out: int(oIdx) / a.v, OutVC: int(oIdx) % a.v})
+	}
+	for _, iIdx := range a.bidders {
+		a.hasBidder[iIdx] = false
 	}
 	return a.grants
 }

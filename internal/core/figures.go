@@ -72,11 +72,18 @@ func Figure11b(clockTau4 float64, r RoutingRange, w int, spec SpecOptions) []Pip
 }
 
 func sweepPipelines(fc FlowControl, clockTau4 float64, r RoutingRange, w int, spec SpecOptions) []PipelinePoint {
+	var pk Packer
 	var out []PipelinePoint
 	for _, p := range Figure11Grid.P {
 		for _, v := range Figure11Grid.V {
 			params := Params{P: p, V: v, W: w, ClockTau4: clockTau4, Range: r}
-			out = append(out, PipelinePoint{P: p, V: v, Pipeline: MustDesignPipeline(fc, params, spec)})
+			pl, err := pk.Design(fc, params, spec)
+			if err != nil {
+				panic(err)
+			}
+			// The retained point needs its own storage; the packer's is
+			// reused on the next grid cell.
+			out = append(out, PipelinePoint{P: p, V: v, Pipeline: pl.Clone()})
 		}
 	}
 	return out

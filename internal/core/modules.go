@@ -91,23 +91,30 @@ func DefaultSpecOptions() SpecOptions {
 //	virtual-channel: routing → VC allocation → switch allocation → crossbar
 //	speculative VC:  routing → (VC ‖ spec switch allocation) → crossbar
 func CriticalPath(fc FlowControl, p Params, spec SpecOptions) []Module {
+	return AppendCriticalPath(nil, fc, p, spec)
+}
+
+// AppendCriticalPath appends the critical-path modules to dst and
+// returns the extended slice — the allocation-free form used by the
+// pipeline Packer in per-design-point sweeps.
+func AppendCriticalPath(dst []Module, fc FlowControl, p Params, spec SpecOptions) []Module {
 	routing := Module{Kind: ModRouting, T: TRouting(), H: 0, FullStage: true}
 	crossbar := Module{Kind: ModCrossbar, T: TCrossbar(p.P, p.W), H: HCrossbar(p.P, p.W), FullStage: true}
 
 	switch fc {
 	case Wormhole:
-		return []Module{
+		return append(dst,
 			routing,
-			{Kind: ModSwitchArbiterWH, T: TSwitchArbiterWH(p.P), H: HSwitchArbiterWH(p.P)},
+			Module{Kind: ModSwitchArbiterWH, T: TSwitchArbiterWH(p.P), H: HSwitchArbiterWH(p.P)},
 			crossbar,
-		}
+		)
 	case VirtualChannel:
-		return []Module{
+		return append(dst,
 			routing,
-			{Kind: ModVCAlloc, T: TVCAlloc(p.Range, p.P, p.V), H: HVCAlloc(p.Range, p.P, p.V)},
-			{Kind: ModSwitchAllocVC, T: TSwitchAllocVC(p.P, p.V), H: HSwitchAllocVC(p.P, p.V)},
+			Module{Kind: ModVCAlloc, T: TVCAlloc(p.Range, p.P, p.V), H: HVCAlloc(p.Range, p.P, p.V)},
+			Module{Kind: ModSwitchAllocVC, T: TSwitchAllocVC(p.P, p.V), H: HSwitchAllocVC(p.P, p.V)},
 			crossbar,
-		}
+		)
 	default: // SpeculativeVC
 		alloc := Module{Kind: ModSpecAlloc}
 		if spec.CombineInCrossbarStage {
@@ -129,6 +136,6 @@ func CriticalPath(fc FlowControl, p Params, spec SpecOptions) []Module {
 			alloc.T = SpecAllocStageTau(p.Range, p.P, p.V)
 			alloc.H = HCombine(p.P, p.V)
 		}
-		return []Module{routing, alloc, crossbar}
+		return append(dst, routing, alloc, crossbar)
 	}
 }

@@ -71,8 +71,44 @@ func (p Pipeline) String() string {
 	return b.String()
 }
 
-// DesignPipeline applies EQ 1: starting from the first atomic module on
-// the critical path, modules are packed greedily into a stage while
+// Packer packs critical-path modules into pipeline stages (EQ 1) with
+// scratch reused across calls — the allocation-free engine behind
+// sweeps that evaluate EQ 1 once per design point (the Figure 11/12
+// grids, the harness's per-scenario delay model). The Pipeline returned
+// by Design aliases the Packer's buffers: it is valid until the next
+// Design call on the same Packer. Retain one past that with
+// Pipeline.Clone. A Packer must not be shared between goroutines.
+type Packer struct {
+	modules []Module    // critical-path scratch
+	spans   []stageSpan // packed stages as arena spans
+	arena   []Module    // backing store for every stage's Modules
+	stages  []Stage
+}
+
+// stageSpan is one packed stage before materialization: a half-open
+// arena range plus the charged delay share.
+type stageSpan struct {
+	start, end int
+	usedTau    float64
+	split      int
+}
+
+// closeSpan ends the open multi-module stage [start, len(arena)), if
+// any, charging Σ t_i plus the last module's overhead.
+func (pk *Packer) closeSpan(start int, curT float64) {
+	if start == len(pk.arena) {
+		return
+	}
+	last := pk.arena[len(pk.arena)-1]
+	pk.spans = append(pk.spans, stageSpan{
+		start: start, end: len(pk.arena),
+		usedTau: curT + last.H,
+		split:   1,
+	})
+}
+
+// Design applies EQ 1: starting from the first atomic module on the
+// critical path, modules are packed greedily into a stage while
 //
 //	Σ_{i=a..b} t_i + h_b ≤ clk
 //
@@ -80,66 +116,93 @@ func (p Pipeline) String() string {
 // Full-stage modules (routing, crossbar) always occupy exactly one whole
 // stage. An atomic module with t+h > clk cannot be subdivided cleanly
 // (Section 3.1); the model charges it ⌈(t+h)/clk⌉ consecutive stages.
-func DesignPipeline(fc FlowControl, p Params, spec SpecOptions) (Pipeline, error) {
+func (pk *Packer) Design(fc FlowControl, p Params, spec SpecOptions) (Pipeline, error) {
 	if err := p.Validate(); err != nil {
 		return Pipeline{}, err
 	}
-	modules := CriticalPath(fc, p, spec)
+	pk.modules = AppendCriticalPath(pk.modules[:0], fc, p, spec)
 	clk := logicaleffort.Tau4ToTau(p.ClockTau4)
-	pl := Pipeline{FlowControl: fc, Params: p}
+	pk.spans = pk.spans[:0]
+	pk.arena = pk.arena[:0]
 
-	var cur []Module
-	var curT float64 // Σ t_i of modules in the open stage
-	flush := func() {
-		if len(cur) == 0 {
-			return
-		}
-		last := cur[len(cur)-1]
-		pl.Stages = append(pl.Stages, Stage{
-			Modules:  append([]Module(nil), cur...),
-			UsedTau:  curT + last.H,
-			ClockTau: clk,
-			Split:    1,
-		})
-		cur, curT = nil, 0
-	}
-
-	for _, m := range modules {
+	curStart := 0 // arena index where the open multi-module stage began
+	var curT float64
+	for _, m := range pk.modules {
 		if m.FullStage {
-			flush()
-			pl.Stages = append(pl.Stages, Stage{
-				Modules: []Module{m},
-				// Full-stage modules own the whole cycle by convention:
-				// routing is a one-cycle black box and the crossbar
-				// stage absorbs unmodelled wire delay (Section 3.2).
-				UsedTau:  clk,
-				ClockTau: clk,
-				Split:    1,
+			pk.closeSpan(curStart, curT)
+			pk.arena = append(pk.arena, m)
+			// Full-stage modules own the whole cycle by convention:
+			// routing is a one-cycle black box and the crossbar stage
+			// absorbs unmodelled wire delay (Section 3.2).
+			pk.spans = append(pk.spans, stageSpan{
+				start: len(pk.arena) - 1, end: len(pk.arena),
+				usedTau: clk, split: 1,
 			})
+			curStart, curT = len(pk.arena), 0
 			continue
 		}
 		if m.T+m.H > clk {
-			// Oversized atomic module: straddles multiple stages.
-			flush()
+			// Oversized atomic module: straddles multiple stages. The
+			// module sits in the arena once; each of its stages spans it.
+			pk.closeSpan(curStart, curT)
+			pk.arena = append(pk.arena, m)
 			n := int(math.Ceil((m.T + m.H) / clk))
 			for i := 0; i < n; i++ {
-				pl.Stages = append(pl.Stages, Stage{
-					Modules:  []Module{m},
-					UsedTau:  (m.T + m.H) / float64(n),
-					ClockTau: clk,
-					Split:    n,
+				pk.spans = append(pk.spans, stageSpan{
+					start: len(pk.arena) - 1, end: len(pk.arena),
+					usedTau: (m.T + m.H) / float64(n),
+					split:   n,
 				})
 			}
+			curStart, curT = len(pk.arena), 0
 			continue
 		}
-		if len(cur) > 0 && curT+m.T+m.H > clk {
-			flush()
+		if curStart < len(pk.arena) && curT+m.T+m.H > clk {
+			pk.closeSpan(curStart, curT)
+			curStart, curT = len(pk.arena), 0
 		}
-		cur = append(cur, m)
+		pk.arena = append(pk.arena, m)
 		curT += m.T
 	}
-	flush()
-	return pl, nil
+	pk.closeSpan(curStart, curT)
+
+	pk.stages = pk.stages[:0]
+	for _, s := range pk.spans {
+		pk.stages = append(pk.stages, Stage{
+			Modules:  pk.arena[s.start:s.end:s.end],
+			UsedTau:  s.usedTau,
+			ClockTau: clk,
+			Split:    s.split,
+		})
+	}
+	return Pipeline{FlowControl: fc, Params: p, Stages: pk.stages}, nil
+}
+
+// Clone returns a Pipeline with its own backing storage — required to
+// retain a Packer-built Pipeline past the Packer's next Design call.
+func (p Pipeline) Clone() Pipeline {
+	total := 0
+	for _, s := range p.Stages {
+		total += len(s.Modules)
+	}
+	arena := make([]Module, 0, total)
+	stages := make([]Stage, len(p.Stages))
+	for i, s := range p.Stages {
+		start := len(arena)
+		arena = append(arena, s.Modules...)
+		s.Modules = arena[start:len(arena):len(arena)]
+		stages[i] = s
+	}
+	p.Stages = stages
+	return p
+}
+
+// DesignPipeline applies EQ 1 with a fresh Packer per call; the result
+// owns its storage. Sweeps evaluating many design points should reuse
+// one Packer instead.
+func DesignPipeline(fc FlowControl, p Params, spec SpecOptions) (Pipeline, error) {
+	var pk Packer
+	return pk.Design(fc, p, spec)
 }
 
 // MustDesignPipeline is DesignPipeline for known-good parameters; it

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -263,5 +264,54 @@ func TestFigure12Shape(t *testing.T) {
 		if pt.DelayRpv <= 0 || pt.DelayRpv > 40 {
 			t.Errorf("p=%d v=%d: R->pv delay %.1f τ4 outside the figure's range", pt.P, pt.V, pt.DelayRpv)
 		}
+	}
+}
+
+// TestPackerMatchesDesignPipeline: the reused-scratch packer must
+// produce exactly DesignPipeline's stages for every flow control across
+// a clock range that exercises multi-module packing, full-stage
+// modules, and oversized straddling modules — including back-to-back
+// Design calls on one Packer (scratch reuse must not leak state).
+func TestPackerMatchesDesignPipeline(t *testing.T) {
+	var pk Packer
+	for _, fc := range []FlowControl{Wormhole, VirtualChannel, SpeculativeVC} {
+		for _, clk := range []float64{6, 10, 16, 20, 28, 40} {
+			for _, v := range []int{1, 2, 8, 32} {
+				params := Params{P: 5, V: v, W: 32, ClockTau4: clk, Range: RangePC}
+				want, err := DesignPipeline(fc, params, DefaultSpecOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := pk.Design(fc, params, DefaultSpecOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%v clk=%v v=%d: packer pipeline diverged:\ngot  %v\nwant %v", fc, clk, v, got, want)
+				}
+				clone := got.Clone()
+				if !reflect.DeepEqual(clone, want) {
+					t.Fatalf("%v clk=%v v=%d: clone diverged", fc, clk, v)
+				}
+			}
+		}
+	}
+}
+
+// TestPackerZeroAlloc: once warm, a Packer.Design call touches no heap
+// — it runs once per design point in the delay-table sweeps.
+func TestPackerZeroAlloc(t *testing.T) {
+	var pk Packer
+	params := PaperParams()
+	if _, err := pk.Design(SpeculativeVC, params, DefaultSpecOptions()); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := pk.Design(SpeculativeVC, params, DefaultSpecOptions()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Packer.Design allocates %.2f times per call, want 0", allocs)
 	}
 }

@@ -65,7 +65,10 @@ func (s Scenario) DelayModel() *DelayModel {
 		ClockTau4: core.DefaultClockTau4,
 		Range:     core.RangePC,
 	}
-	pl, err := core.DesignPipeline(fc, params, core.DefaultSpecOptions())
+	// Only the depth is retained, so a local Packer's aliased result is
+	// fine — no clone, no per-stage allocations.
+	var pk core.Packer
+	pl, err := pk.Design(fc, params, core.DefaultSpecOptions())
 	if err != nil {
 		return nil
 	}

@@ -41,12 +41,25 @@ type entry[T any] struct {
 // and the one-item-per-cycle link bandwidth, so a wire never grows in
 // steady state.
 func NewWire[T any](delay int) *Wire[T] {
+	return NewWireCap[T](delay, 0)
+}
+
+// NewWireCap is NewWire with a minimum item capacity for wires whose
+// consumer may lag the producer: the active-set scheduler drains a
+// sleeping router's (or parked source's) credit wires only at its next
+// wake, so those wires are presized to the credit-loop bound (the
+// upstream buffer slot count) instead of growing on first sleep.
+func NewWireCap[T any](delay, minCapacity int) *Wire[T] {
 	if delay < 1 {
 		panic(fmt.Sprintf("link: wire delay %d; need >= 1 cycle", delay))
 	}
 	// At one push per cycle, at most delay+1 items are in flight between
 	// a push at t and the drain at t+delay (inclusive).
-	capacity := ceilPow2(delay + 1)
+	capacity := delay + 1
+	if minCapacity > capacity {
+		capacity = minCapacity
+	}
+	capacity = ceilPow2(capacity)
 	w := &Wire[T]{delay: int64(delay), buf: make([]entry[T], capacity), mask: capacity - 1}
 	w.buf[0].due = neverDue
 	return w
@@ -63,6 +76,15 @@ func ceilPow2(n int) int {
 // Delay returns the propagation delay in cycles.
 func (w *Wire[T]) Delay() int { return int(w.delay) }
 
+// NextDue returns the arrival cycle of the oldest in-flight item, or
+// NeverDue for an empty wire — one load, no branch. The active-set
+// scheduler's quiescence check uses it to assert that a wire carrying
+// no scheduled wake really holds nothing deliverable.
+func (w *Wire[T]) NextDue() int64 { return w.buf[w.head].due }
+
+// NeverDue is the NextDue value of an empty wire.
+const NeverDue = int64(neverDue)
+
 // Len returns the number of items in flight.
 func (w *Wire[T]) Len() int { return w.n }
 
@@ -78,8 +100,10 @@ func (w *Wire[T]) Push(now int64, v T) {
 }
 
 // grow doubles the ring. Preallocation makes this unreachable for
-// bandwidth-1 links; it is kept for wires used as unbounded delay
-// pipelines (e.g. a router's internal credit-processing pipe).
+// bandwidth-1 links whose consumer keeps up (flit wires) or whose
+// backlog bound was given to NewWireCap (credit wires under the
+// active-set scheduler); it is kept as the safety net for anything
+// else.
 func (w *Wire[T]) grow() {
 	grown := make([]entry[T], 2*len(w.buf))
 	for i := 0; i < w.n; i++ {

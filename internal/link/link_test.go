@@ -103,3 +103,28 @@ func TestWireValidation(t *testing.T) {
 	}()
 	NewWire[int](0)
 }
+
+func TestWireNextDue(t *testing.T) {
+	w := NewWire[int](3)
+	if w.NextDue() != NeverDue {
+		t.Fatalf("empty wire NextDue = %d, want NeverDue", w.NextDue())
+	}
+	w.Push(10, 1)
+	w.Push(11, 2)
+	if w.NextDue() != 13 {
+		t.Fatalf("NextDue = %d, want 13 (oldest push + delay)", w.NextDue())
+	}
+	if _, ok := w.Pop(12); ok {
+		t.Fatal("popped before due")
+	}
+	if v, ok := w.Pop(13); !ok || v != 1 {
+		t.Fatalf("Pop(13) = %v %v, want 1 true", v, ok)
+	}
+	if w.NextDue() != 14 {
+		t.Fatalf("NextDue after pop = %d, want 14", w.NextDue())
+	}
+	w.Pop(14)
+	if w.NextDue() != NeverDue {
+		t.Fatalf("drained wire NextDue = %d, want NeverDue", w.NextDue())
+	}
+}

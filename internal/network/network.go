@@ -53,6 +53,13 @@ type Config struct {
 	// serial engine for any worker count; 0 or 1 is the serial engine.
 	// Networks using the parallel stepper must be Closed after use.
 	StepWorkers int
+	// FullScan selects the legacy stepper that scans every router and
+	// every source each cycle instead of the active-set scheduler.
+	// Results are byte-identical either way; the full scan exists as
+	// the reference engine for the scheduler's event-trace identity
+	// tests and as the benchmark baseline. It also disables NextDue's
+	// quiescence fast-forward (NextDue always answers now+1).
+	FullScan bool
 	// Seed makes the simulation exactly reproducible.
 	Seed uint64
 }
@@ -148,6 +155,11 @@ type Network struct {
 	deliverFn func(i int)
 	computeFn func(i int)
 	probed    bool
+
+	// sched is the active-set scheduler (nil when cfg.FullScan): the
+	// per-cycle worklists that make Step cost O(in-flight work) instead
+	// of O(nodes). See sched.go.
+	sched *scheduler
 }
 
 // New builds the network. The configuration is normalized in place.
@@ -186,7 +198,12 @@ func New(cfg Config) (*Network, error) {
 
 	// Inter-router links: for every directional output port with a
 	// neighbour, a flit wire (us → them) and a credit wire (them → us).
-	// The topology names the input port the link lands on.
+	// The topology names the input port the link lands on. Credit wires
+	// are presized to the credit-loop bound (every buffer slot of the
+	// fed input port can have a credit in flight at once): the
+	// active-set scheduler drains a sleeping receiver's credit wires
+	// only at its next wake, so the backlog is real, not a bug.
+	creditCap := cfg.Router.VCs*cfg.Router.BufPerVC + cfg.CreditDelay
 	for id := 0; id < nodes; id++ {
 		for port := 1; port < ports; port++ {
 			next, inPort, ok := n.topo.Neighbor(id, port)
@@ -194,7 +211,7 @@ func New(cfg Config) (*Network, error) {
 				continue
 			}
 			fw := link.NewWire[flit.Flit](cfg.FlitDelay)
-			cw := link.NewWire[router.Credit](cfg.CreditDelay)
+			cw := link.NewWireCap[router.Credit](cfg.CreditDelay, creditCap)
 			n.routers[id].ConnectOutput(port, fw, cw)
 			n.routers[next].ConnectInput(inPort, fw, cw)
 		}
@@ -205,7 +222,7 @@ func New(cfg Config) (*Network, error) {
 	n.sources = make([]*source, nodes)
 	for id := 0; id < nodes; id++ {
 		fw := link.NewWire[flit.Flit](cfg.FlitDelay)
-		cw := link.NewWire[router.Credit](cfg.CreditDelay)
+		cw := link.NewWireCap[router.Credit](cfg.CreditDelay, creditCap)
 		n.routers[id].ConnectInput(topology.PortLocal, fw, cw)
 		nodeRNG := master.Split(uint64(id))
 		var inj traffic.Injector
@@ -217,21 +234,34 @@ func New(cfg Config) (*Network, error) {
 		n.sources[id] = newSource(n, id, inj, nodeRNG, fw, cw)
 	}
 
+	if !cfg.FullScan {
+		n.sched = newScheduler(n)
+	}
+
 	if cfg.StepWorkers > 1 {
 		n.gang = pool.NewGang(cfg.StepWorkers)
-		// In the deliver phase every router touches only its own input
-		// wires, so the full Idle check is safe; in the compute phase
-		// other routers push onto this router's input wires, so only the
-		// router-local ComputeIdle check may be used.
-		n.deliverFn = func(i int) {
-			if r := n.routers[i]; !r.Idle() {
-				r.Deliver(n.parNow)
+		if cfg.FullScan {
+			// In the deliver phase every router touches only its own
+			// input wires, so the full Idle check is safe; in the
+			// compute phase other routers push onto this router's input
+			// wires, so only the router-local ComputeIdle check may be
+			// used.
+			n.deliverFn = func(i int) {
+				if r := n.routers[i]; !r.Idle() {
+					r.Deliver(n.parNow)
+				}
 			}
-		}
-		n.computeFn = func(i int) {
-			if r := n.routers[i]; !r.ComputeIdle() {
-				r.Compute(n.parNow)
+			n.computeFn = func(i int) {
+				if r := n.routers[i]; !r.ComputeIdle() {
+					r.Compute(n.parNow)
+				}
 			}
+		} else {
+			// The phases run over the active-list snapshot: every listed
+			// router has an arrival due or router-local work, so no idle
+			// filtering is needed.
+			n.deliverFn = func(i int) { n.routers[n.sched.active[i]].Deliver(n.parNow) }
+			n.computeFn = func(i int) { n.routers[n.sched.active[i]].Compute(n.parNow) }
 		}
 	}
 	return n, nil
@@ -282,6 +312,10 @@ func (n *Network) SetProbes(t *stats.Turnaround) {
 // order, so callback order (and thus all derived measurement) is
 // identical for any worker count.
 func (n *Network) Step(now int64) {
+	if n.sched != nil {
+		n.stepActive(now)
+		return
+	}
 	if n.gang != nil && !n.probed {
 		n.parNow = now
 		n.gang.Run(len(n.routers), n.deliverFn)
@@ -309,6 +343,9 @@ func (n *Network) Step(now int64) {
 	for _, s := range n.sources {
 		s.step(now)
 	}
+	// (Router flit-push masks are wake bookkeeping for the active-set
+	// engine; the full scan visits everyone anyway and never reads
+	// them, so the stale bits are simply ignored.)
 }
 
 func (n *Network) handleEject(at int, f flit.Flit, now int64) {

@@ -1,0 +1,356 @@
+package network
+
+import (
+	"math"
+	"math/bits"
+)
+
+// This file implements the active-set scheduler: the default stepper
+// whose per-cycle cost is O(in-flight work) instead of O(nodes).
+//
+// Routers are stepped only while they can possibly act. The invariant
+// is maintained by two wake rules:
+//
+//  1. arrival wakes — whoever pushes a flit onto a router's input wire
+//     at cycle t schedules that router for cycle t+FlitDelay, the exact
+//     cycle the flit becomes deliverable. All flit wires share one
+//     constant delay, so pending wakes live in a FlitDelay-slot wheel
+//     of node bitmaps indexed by due-cycle mod FlitDelay.
+//  2. self-sustain — a router that finishes a step with router-local
+//     work left (occupied input VCs or latched switch grants, i.e.
+//     !ComputeIdle) carries itself onto the next cycle's bitmap.
+//
+// Credits deliberately do NOT wake anyone: a credit only replenishes a
+// counter that is read when the receiving side has an occupied VC — and
+// a router (or source) with an occupied VC is already on the active
+// list by rule 2, so it drains its credit wires on time; an idle one
+// drains them at its next arrival wake, before its next Compute. That
+// is why skipping a sleeping router is invisible: its Deliver would pop
+// nothing that matters yet and its Compute is a no-op (the allocators
+// are pure on empty request sets).
+//
+// The worklists are bitmaps, one bit per node: a wake is a single
+// or-into-word, duplicates coalesce for free, and materializing the
+// cycle's list walks set bits in ascending node order — the exact order
+// the full scan visits routers in, which pins the ejection-callback
+// order and therefore every derived measurement.
+//
+// Sources have their own list: a source stays active while its queue or
+// an in-flight packet stream needs per-cycle attention, and otherwise
+// parks in a min-heap keyed by its exact next injection cycle
+// (traffic.ConstantRate exposes it; Bernoulli draws its RNG every cycle
+// and therefore never parks, keeping its random stream untouched). A
+// woken source applies the skipped injector ticks in one batch —
+// replaying the identical floating-point accumulator sequence — so the
+// injection schedule is bit-identical to the full-scan engine's.
+//
+// When the carry bitmap, the wake wheel, and the source worklist agree
+// that nothing can happen before cycle T, NextDue reports T and the sim
+// run loop fast-forwards straight to it (quiescence fast-forward).
+
+// scheduler holds the active-set worklists of one network.
+type scheduler struct {
+	words int // ceil(nodes / 64)
+
+	// active is this cycle's materialized router worklist, ascending by
+	// id; carryBits accumulates next cycle's self-sustained routers
+	// during the walk (carryCount tracks how many).
+	active     []int32
+	carryBits  []uint64
+	carryCount int
+
+	// wheelBits[due mod FlitDelay] holds the routers with an arrival
+	// due at cycle `due`; wheelCount counts per slot, wakeCount across
+	// slots. Every wake issued during cycle t is due at exactly
+	// t+FlitDelay, which lands in slot t mod FlitDelay — the slot
+	// buildActive just drained — so the slot is resolved once per cycle
+	// (curSlot) instead of per wake.
+	wheelBits  [][]uint64
+	wheelCount []int
+	wakeCount  int
+	curSlot    int
+
+	// outDst maps (router*ports + port) to the downstream router id on
+	// that output port, -1 for the ejection port and unconnected edges.
+	outDst    []int32
+	ports     int
+	flitDelay int64
+
+	// Source worklist: srcBits/srcCount carry the busy sources;
+	// srcActive is the materialized per-cycle list; srcHeap parks idle
+	// sources by (next injection cycle, id).
+	srcBits   []uint64
+	srcCount  int
+	srcActive []int32
+	srcHeap   []srcWake
+}
+
+// srcWake parks one idle source until its next injection cycle.
+type srcWake struct {
+	at int64
+	id int32
+}
+
+func wakeLess(a, b srcWake) bool {
+	return a.at < b.at || (a.at == b.at && a.id < b.id)
+}
+
+// newScheduler builds the scheduler for a freshly wired network: the
+// downstream table from the topology, and every source either parked at
+// its first injection cycle or, if its injector has no exact schedule,
+// active from cycle 0.
+func newScheduler(n *Network) *scheduler {
+	nodes := n.topo.Nodes()
+	ports := n.cfg.Router.Ports
+	d := n.cfg.FlitDelay
+	words := (nodes + 63) / 64
+	sc := &scheduler{
+		words:      words,
+		carryBits:  make([]uint64, words),
+		wheelBits:  make([][]uint64, d),
+		wheelCount: make([]int, d),
+		outDst:     make([]int32, nodes*ports),
+		ports:      ports,
+		flitDelay:  int64(d),
+		srcBits:    make([]uint64, words),
+	}
+	for i := range sc.wheelBits {
+		sc.wheelBits[i] = make([]uint64, words)
+	}
+	for i := range sc.outDst {
+		sc.outDst[i] = -1
+	}
+	for id := 0; id < nodes; id++ {
+		for port := 1; port < ports; port++ {
+			if next, _, ok := n.topo.Neighbor(id, port); ok {
+				sc.outDst[id*ports+port] = int32(next)
+			}
+		}
+	}
+	for id, s := range n.sources {
+		if s.adv == nil {
+			sc.srcBits[id>>6] |= 1 << (uint(id) & 63)
+			sc.srcCount++
+			continue
+		}
+		// The first Tick lands on cycle 0, so consuming k ticks puts
+		// the first injection at cycle k-1. A parked-forever answer
+		// means the injector never fires (zero rate): the source is
+		// never stepped — exactly the full-scan behaviour, where its
+		// per-cycle Tick is a no-op.
+		if at := s.park(); at >= 0 {
+			sc.heapPush(srcWake{at: at, id: int32(id)})
+		}
+	}
+	return sc
+}
+
+// wake schedules router id to be stepped at cycle now+FlitDelay — the
+// arrival cycle of a flit pushed this cycle, the only wake distance the
+// engine ever needs. Duplicate wakes for the same (router, cycle)
+// coalesce.
+func (sc *scheduler) wake(id int32) {
+	slot := sc.wheelBits[sc.curSlot]
+	w, b := int(id)>>6, uint64(1)<<(uint(id)&63)
+	if slot[w]&b == 0 {
+		slot[w] |= b
+		sc.wheelCount[sc.curSlot]++
+		sc.wakeCount++
+	}
+}
+
+// wakeRouter is the network-facing wake hook (used by sources when they
+// inject); it is a no-op on full-scan networks.
+func (n *Network) wakeRouter(id int32) {
+	if n.sched != nil {
+		n.sched.wake(id)
+	}
+}
+
+// buildActive assembles this cycle's router worklist: the carried-over
+// routers or-merged with the wheel slot due now, walked in ascending
+// node order.
+func (sc *scheduler) buildActive(now int64) {
+	slot := now % sc.flitDelay
+	sc.curSlot = int(slot)
+	wb := sc.wheelBits[slot]
+	sc.active = sc.active[:0]
+	for w := 0; w < sc.words; w++ {
+		m := sc.carryBits[w] | wb[w]
+		sc.carryBits[w] = 0
+		wb[w] = 0
+		base := int32(w << 6)
+		for ; m != 0; m &= m - 1 {
+			sc.active = append(sc.active, base+int32(bits.TrailingZeros64(m)))
+		}
+	}
+	sc.carryCount = 0
+	sc.wakeCount -= sc.wheelCount[slot]
+	sc.wheelCount[slot] = 0
+}
+
+// stepActive advances the network one cycle under the active-set
+// scheduler. Routers exchange all state through >= 1-cycle wires, so
+// only listed routers can act this cycle; everything else is untouched.
+func (n *Network) stepActive(now int64) {
+	sc := n.sched
+	sc.buildActive(now)
+	if n.gang != nil && !n.probed {
+		// Parallel: the two phases run over the active-list snapshot;
+		// ejection callbacks, wake collection, and carry decisions run
+		// serially afterwards, in node order, exactly like the serial
+		// walk below — so the event trace is identical for any worker
+		// count.
+		n.parNow = now
+		n.gang.Run(len(sc.active), n.deliverFn)
+		n.gang.Run(len(sc.active), n.computeFn)
+		for _, id := range sc.active {
+			n.finishRouter(int(id), now)
+		}
+	} else {
+		for _, id := range sc.active {
+			n.routers[id].Step(now)
+			n.finishRouter(int(id), now)
+		}
+	}
+	n.stepActiveSources(now)
+}
+
+// finishRouter completes one stepped router's cycle: drain its ejected
+// flits onto the network's callbacks, convert its flit pushes into
+// arrival wakes for the downstream routers, and carry it to the next
+// cycle if it still has router-local work.
+func (n *Network) finishRouter(id int, now int64) {
+	sc := n.sched
+	r := n.routers[id]
+	if ejected := r.Ejected(); len(ejected) > 0 {
+		for _, f := range ejected {
+			n.handleEject(id, f, now)
+		}
+		r.ClearEjected()
+	}
+	for m := r.TakeFlitPushes(); m != 0; m &= m - 1 {
+		port := bits.TrailingZeros64(m)
+		if dst := sc.outDst[id*sc.ports+port]; dst >= 0 {
+			sc.wake(dst)
+		}
+	}
+	if !r.ComputeIdle() {
+		// finishRouter runs once per listed router, so the bit is
+		// always freshly set.
+		sc.carryBits[id>>6] |= 1 << (uint(id) & 63)
+		sc.carryCount++
+	}
+}
+
+// stepActiveSources steps the sources that can act this cycle — the
+// carried-over busy sources plus the parked sources whose injection is
+// due now — in node order. A source that goes idle parks at its exact
+// next injection cycle.
+func (n *Network) stepActiveSources(now int64) {
+	sc := n.sched
+	for len(sc.srcHeap) > 0 && sc.srcHeap[0].at <= now {
+		w := sc.heapPop()
+		if w.at < now {
+			// The run loop never skips past the heap minimum, so a
+			// stale wake means the scheduler lost an injection cycle.
+			panic("network: parked source woke past its injection cycle")
+		}
+		sc.srcBits[w.id>>6] |= 1 << (uint(w.id) & 63)
+		sc.srcCount++
+	}
+	if sc.srcCount == 0 {
+		return
+	}
+
+	sc.srcActive = sc.srcActive[:0]
+	for w := 0; w < sc.words; w++ {
+		m := sc.srcBits[w]
+		sc.srcBits[w] = 0
+		base := int32(w << 6)
+		for ; m != 0; m &= m - 1 {
+			sc.srcActive = append(sc.srcActive, base+int32(bits.TrailingZeros64(m)))
+		}
+	}
+	sc.srcCount = 0
+
+	for _, id := range sc.srcActive {
+		s := n.sources[id]
+		s.step(now)
+		if s.adv == nil || s.qlen > 0 || s.inFlight > 0 {
+			sc.srcBits[id>>6] |= 1 << (uint(id) & 63)
+			sc.srcCount++
+			continue
+		}
+		if at := s.park(); at >= 0 {
+			sc.heapPush(srcWake{at: at, id: id})
+		}
+		// Parked forever (zero rate): the source never injects again;
+		// leave it off every list.
+	}
+}
+
+// NextDue returns the earliest future cycle at which stepping the
+// network can have any observable effect. While any router or source
+// worklist entry exists (or an arrival wake is pending) it answers
+// now+1; when the network is fully quiescent it answers the earliest
+// parked injection, or math.MaxInt64 if no source will ever inject
+// again. The sim run loop uses it to fast-forward over quiescent spans.
+// It must be called after Step(now) (the worklists describe now+1), and
+// always answers now+1 on full-scan networks.
+func (n *Network) NextDue(now int64) int64 {
+	sc := n.sched
+	if sc == nil || sc.carryCount > 0 || sc.wakeCount > 0 || sc.srcCount > 0 {
+		return now + 1
+	}
+	if len(sc.srcHeap) == 0 {
+		return math.MaxInt64
+	}
+	if t := sc.srcHeap[0].at; t > now {
+		return t
+	}
+	return now + 1
+}
+
+// heapPush / heapPop implement a plain slice min-heap over srcWake
+// ordered by (cycle, id) — the id tiebreak makes equal-cycle pops come
+// out in node order, which keeps source stepping deterministic.
+func (sc *scheduler) heapPush(w srcWake) {
+	h := append(sc.srcHeap, w)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !wakeLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	sc.srcHeap = h
+}
+
+func (sc *scheduler) heapPop() srcWake {
+	h := sc.srcHeap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && wakeLess(h[l], h[min]) {
+			min = l
+		}
+		if r < len(h) && wakeLess(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	sc.srcHeap = h
+	return top
+}

@@ -21,6 +21,21 @@ type source struct {
 	inj  traffic.Injector
 	rng  *rng.RNG
 
+	// adv, when non-nil, lets the injector consume its idle gap in one
+	// batch (ConstantRate). The active-set scheduler uses it to park an
+	// idle source until precisely its next generation cycle; an
+	// injector without it (Bernoulli draws its RNG every cycle) keeps
+	// the source on the active list permanently, so its random stream —
+	// and every figure metric derived from it — is untouched.
+	adv interface{ AdvanceToInjection() int64 }
+	// tickedTo is the last cycle whose injector Tick has been applied;
+	// while parked it runs ahead of the simulation clock (the gap's
+	// ticks were consumed at park time, replaying the full-scan
+	// engine's exact accumulator sequence), and pendingAt holds the
+	// cycle of the pre-consumed injection (-1 when none).
+	tickedTo  int64
+	pendingAt int64
+
 	flitOut  *link.Wire[flit.Flit]
 	creditIn *link.Wire[router.Credit]
 	credits  []int
@@ -49,12 +64,14 @@ func newSource(net *Network, node int, inj traffic.Injector, r *rng.RNG,
 	v := net.cfg.Router.VCs
 	s := &source{
 		net: net, node: node, inj: inj, rng: r,
+		tickedTo: -1, pendingAt: -1,
 		flitOut: flitOut, creditIn: creditIn,
 		credits: make([]int, v),
 		busy:    make([]bool, v),
 		streams: make([]stream, v),
 		queue:   make([]*flit.Packet, 8),
 	}
+	s.adv, _ = inj.(interface{ AdvanceToInjection() int64 })
 	for i := range s.credits {
 		s.credits[i] = net.cfg.Router.BufPerVC
 	}
@@ -90,15 +107,34 @@ func (s *source) popQueue() *flit.Packet {
 	return p
 }
 
-// step advances the source one cycle: receive returned credits, generate
-// new packets, bind queued packets to free VCs, and inject one flit.
+// step advances the source one cycle: receive returned credits, apply
+// injector ticks (catching up, in one batch, any cycles skipped while
+// the source was parked by the active-set scheduler), bind queued
+// packets to free VCs, and inject one flit.
 func (s *source) step(now int64) {
 	for c, ok := s.creditIn.Pop(now); ok; c, ok = s.creditIn.Pop(now) {
 		s.credits[c.VC]++
 	}
 
-	for i := s.inj.Tick(); i > 0; i-- {
+	if s.pendingAt >= 0 {
+		// Parked: the idle gap's ticks were consumed at park time and
+		// the scheduler wakes the source on exactly the injection
+		// cycle; any other cycle means the scheduler lost the wake.
+		if s.pendingAt != now {
+			panic("network: parked source stepped off its injection cycle")
+		}
+		s.pendingAt = -1
 		s.generate(now)
+	} else {
+		for t := s.tickedTo + 1; t <= now; t++ {
+			for i := s.inj.Tick(); i > 0; i-- {
+				if t != now {
+					panic("network: source tick applied to a past cycle")
+				}
+				s.generate(now)
+			}
+		}
+		s.tickedTo = now
 	}
 
 	// Bind head-of-queue packets to free virtual channels. A packet
@@ -133,6 +169,7 @@ func (s *source) step(now int64) {
 		f := st.flits[st.next]
 		f.VC = int8(vc)
 		s.flitOut.Push(now, f)
+		s.net.wakeRouter(int32(s.node))
 		s.credits[vc]--
 		st.next++
 		if st.next == len(st.flits) {
@@ -143,6 +180,22 @@ func (s *source) step(now int64) {
 		s.rrNext = (vc + 1) % v
 		return
 	}
+}
+
+// park consumes the injector's idle gap in one batch and returns the
+// wake cycle of the next injection, or -1 if the source never injects
+// again. It must only be called on an idle source (empty queue, nothing
+// in flight) whose ticks are applied through the current cycle; the
+// injector's tick sequence is identical to per-cycle stepping, only
+// executed early.
+func (s *source) park() int64 {
+	k := s.adv.AdvanceToInjection()
+	if k < 1 {
+		return -1
+	}
+	s.tickedTo += k
+	s.pendingAt = s.tickedTo
+	return s.pendingAt
 }
 
 // generate creates one packet (from the network's pool) and appends it

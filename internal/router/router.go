@@ -104,6 +104,14 @@ type Router struct {
 	// parallel compute phase and their order deterministic.
 	ejected []flit.Flit
 
+	// flitPushes has bit p set for every output port this router pushed
+	// a flit on since the last TakeFlitPushes. The network's active-set
+	// scheduler reads it to wake exactly the downstream routers that
+	// will have an arrival due, instead of scanning every router's
+	// wires. (Credit pushes are deliberately not tracked: credits alone
+	// never oblige a router to act — see the scheduler's wake rules.)
+	flitPushes uint64
+
 	// allocators (which are instantiated depends on Kind)
 	whArb     *allocator.WormholeSwitch
 	swAlloc   *allocator.SeparableSwitch
@@ -255,6 +263,15 @@ func (r *Router) Ejected() []flit.Flit { return r.ejected }
 // ClearEjected resets the ejection buffer (keeping its capacity).
 func (r *Router) ClearEjected() { r.ejected = r.ejected[:0] }
 
+// TakeFlitPushes returns and clears the bitmask of output ports this
+// router pushed flits on since the last call. It must be called from
+// the serial section of the network step (it mutates router state).
+func (r *Router) TakeFlitPushes() uint64 {
+	m := r.flitPushes
+	r.flitPushes = 0
+	return m
+}
+
 // markOcc flags input VC (port, c) as needing allocation attention.
 func (r *Router) markOcc(port, c int) {
 	r.in[port].occ |= 1 << c
@@ -303,6 +320,22 @@ func (r *Router) Idle() bool {
 		}
 	}
 	return true
+}
+
+// NextArrival returns the earliest due cycle over the router's input
+// flit wires, or link.NeverDue when none carries anything — the
+// scheduler's quiescence invariant checks use it (a network claiming
+// quiescence must have no deliverable flit anywhere).
+func (r *Router) NextArrival() int64 {
+	min := link.NeverDue
+	for port := range r.in {
+		if w := r.in[port].flitIn; w != nil {
+			if d := w.NextDue(); d < min {
+				min = d
+			}
+		}
+	}
+	return min
 }
 
 // Step advances the router one cycle: deliver arrivals, execute latched
@@ -409,6 +442,7 @@ func (r *Router) send(in, vcIdx int, now int64) {
 		r.ejected = append(r.ejected, f)
 	} else {
 		op.flitOut.Push(now, f)
+		r.flitPushes |= 1 << uint(out)
 	}
 	if co := r.in[in].creditOut; co != nil {
 		co.Push(now, Credit{VC: int8(vcIdx)})

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"routersim/internal/network"
+	"routersim/internal/router"
+)
+
+// TestFastForwardResultIdentity: a measurement run over the active-set
+// engine — including its quiescence fast-forward jumps — must report
+// exactly the result of the full-scan engine stepping every cycle: same
+// latencies, same throughput, same confidence intervals, same cycle
+// count. The ultra-low load case spends most of its span fully
+// quiescent, so the jump path really executes; the mid-load case pins
+// the busy path.
+func TestFastForwardResultIdentity(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		load float64 // fraction of capacity
+	}{
+		{"quiescent-heavy", 0.01},
+		{"mid-load", 0.4},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{
+				Net: network.Config{
+					K:      4,
+					Router: router.DefaultConfig(router.SpeculativeVC),
+					Seed:   5,
+				},
+				WarmupCycles:   3000,
+				MeasurePackets: 150,
+			}
+			cfg.Net.InjectionRate = RateForLoad(tc.load, cfg.Net)
+			active, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Net.FullScan = true
+			full, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(active, full) {
+				t.Fatalf("active-set result diverged from full scan:\nactive: %+v\nfull:   %+v", active, full)
+			}
+		})
+	}
+}
+
+// TestFastForwardCITarget: the jump path must coexist with early
+// CI-target termination — the shortened sample and its intervals are
+// identical across engines.
+func TestFastForwardCITarget(t *testing.T) {
+	cfg := Config{
+		Net: network.Config{
+			K:      4,
+			Router: router.DefaultConfig(router.VirtualChannel),
+			Seed:   23,
+		},
+		WarmupCycles:   2000,
+		MeasurePackets: 2000,
+		CITarget:       0.1,
+	}
+	cfg.Net.InjectionRate = RateForLoad(0.15, cfg.Net)
+	active, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Net.FullScan = true
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(active, full) {
+		t.Fatalf("CI-target run diverged:\nactive: %+v\nfull:   %+v", active, full)
+	}
+}
+
+// TestFastForwardMaxCyclesBelowWarmup: an explicit MaxCycles below the
+// warm-up bound must end the run on its exact cycle under both engines
+// — the pre-measurement jump is clamped to the cap, not just to the
+// warm-up boundary.
+func TestFastForwardMaxCyclesBelowWarmup(t *testing.T) {
+	cfg := Config{
+		Net: network.Config{
+			K:      4,
+			Router: router.DefaultConfig(router.SpeculativeVC),
+			Seed:   3,
+		},
+		WarmupCycles:   10000,
+		MeasurePackets: 10,
+		MaxCycles:      50,
+	}
+	cfg.Net.InjectionRate = 0.0001
+	active, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Net.FullScan = true
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(active, full) {
+		t.Fatalf("capped-below-warmup run diverged:\nactive: %+v\nfull:   %+v", active, full)
+	}
+	if active.Cycles != 50 {
+		t.Fatalf("Cycles = %d, want exactly MaxCycles = 50", active.Cycles)
+	}
+}

@@ -139,6 +139,69 @@ func (c *ConstantRate) Tick() int {
 	return 0
 }
 
+// NextInjection returns the number of future Tick calls until Tick next
+// returns nonzero (>= 1), or -1 if it never will (zero rate). It does
+// not advance the injector: it replays the exact floating-point
+// accumulator sequence Tick would execute on a copy.
+func (c *ConstantRate) NextInjection() int64 {
+	if c.rate <= 0 {
+		return -1
+	}
+	acc := c.acc
+	var k int64
+	for {
+		next := acc + c.rate
+		if next == acc {
+			// The accumulator stalled below 1 (rate < ulp(acc)/2): the
+			// addition is a floating-point no-op now and forever, so
+			// Tick can never fire again.
+			return -1
+		}
+		acc = next
+		k++
+		if acc >= 1 {
+			return k
+		}
+	}
+}
+
+// AdvanceToInjection runs Tick until it returns nonzero and reports the
+// number of ticks consumed (>= 1; the last one is the injection), or -1
+// — consuming nothing — if the injector can never fire (zero rate). The
+// consumed ticks execute the exact floating-point accumulator sequence
+// per-cycle ticking would, so a caller that parks the source and wakes
+// it after exactly that many cycles observes a bit-identical injection
+// schedule. This is what lets the network's active-set scheduler skip
+// idle constant-rate sources entirely.
+func (c *ConstantRate) AdvanceToInjection() int64 {
+	if c.rate <= 0 {
+		return -1
+	}
+	// The loop body performs exactly Tick's float operations (add,
+	// compare, subtract) on register-resident copies, so the schedule
+	// is bit-identical to per-cycle ticking at a fraction of the cost —
+	// at very low rates this loop is most of what a parked source does.
+	acc, rate := c.acc, c.rate
+	var k int64
+	for {
+		next := acc + rate
+		if next == acc {
+			// Stalled below 1 (see NextInjection): every further Tick
+			// is a no-op, so the injector can never fire again. The
+			// ticks consumed so far stay consumed — a permanently
+			// parked source's state is never observed again.
+			c.acc = acc
+			return -1
+		}
+		acc = next
+		k++
+		if acc >= 1 {
+			c.acc = acc - 1
+			return k
+		}
+	}
+}
+
 // Bernoulli injects a packet each cycle with independent probability p.
 type Bernoulli struct {
 	p float64

@@ -296,3 +296,74 @@ func TestPatternNames(t *testing.T) {
 		seen[name] = true
 	}
 }
+
+func TestConstantRateNextInjection(t *testing.T) {
+	// NextInjection must be a pure peek that names exactly the Tick that
+	// fires next: k-1 zero ticks, then a one — for any rate and phase.
+	for _, rate := range []float64{0.001, 0.01, 0.125, 0.33, 0.5, 1.0} {
+		for _, phase := range []float64{0, 0.25, 0.9} {
+			inj := NewConstantRate(rate, phase)
+			for round := 0; round < 20; round++ {
+				k := inj.NextInjection()
+				if k < 1 {
+					t.Fatalf("rate %v phase %v: NextInjection = %d, want >= 1", rate, phase, k)
+				}
+				for i := int64(1); i < k; i++ {
+					if got := inj.Tick(); got != 0 {
+						t.Fatalf("rate %v phase %v: tick %d/%d returned %d, want 0", rate, phase, i, k, got)
+					}
+				}
+				if got := inj.Tick(); got != 1 {
+					t.Fatalf("rate %v phase %v: tick %d returned %d, want 1", rate, phase, k, got)
+				}
+			}
+		}
+	}
+	if got := NewConstantRate(0, 0).NextInjection(); got != -1 {
+		t.Fatalf("zero-rate NextInjection = %d, want -1", got)
+	}
+}
+
+func TestConstantRateAdvanceToInjection(t *testing.T) {
+	// The mutating advance must agree with the pure peek and leave the
+	// injector exactly where per-cycle ticking would.
+	for _, rate := range []float64{0.001, 0.01, 0.125, 0.33, 1.0} {
+		a := NewConstantRate(rate, 0.4)
+		b := NewConstantRate(rate, 0.4)
+		for round := 0; round < 20; round++ {
+			want := a.NextInjection()
+			got := a.AdvanceToInjection()
+			if got != want {
+				t.Fatalf("rate %v round %d: AdvanceToInjection = %d, peek said %d", rate, round, got, want)
+			}
+			for i := int64(1); i < got; i++ {
+				if b.Tick() != 0 {
+					t.Fatalf("rate %v round %d: reference injected early", rate, round)
+				}
+			}
+			if b.Tick() != 1 {
+				t.Fatalf("rate %v round %d: reference did not inject at tick %d", rate, round, got)
+			}
+		}
+	}
+	if got := NewConstantRate(0, 0).AdvanceToInjection(); got != -1 {
+		t.Fatalf("zero-rate AdvanceToInjection = %d, want -1", got)
+	}
+}
+
+func TestConstantRateStalledAccumulator(t *testing.T) {
+	// A rate below the accumulator's float resolution makes every
+	// further Tick a no-op; the peek and the advance must both report
+	// "never" instead of spinning forever.
+	inj := NewConstantRate(1e-18, 0.5)
+	if got := inj.NextInjection(); got != -1 {
+		t.Fatalf("stalled NextInjection = %d, want -1", got)
+	}
+	if got := inj.AdvanceToInjection(); got != -1 {
+		t.Fatalf("stalled AdvanceToInjection = %d, want -1", got)
+	}
+	// (A rate that stalls only after progress is not testable here: the
+	// accumulator takes ~rate/ulp steps to reach its stall point, which
+	// for any stallable rate is astronomically many. The guard above
+	// catches the stall whenever the walk arrives at it.)
+}

@@ -247,6 +247,12 @@ type SimConfig struct {
 	// byte-identical for every value; see PERF.md.
 	StepWorkers int
 
+	// FullScan selects the legacy cycle engine that visits every router
+	// and source each cycle instead of the active-set scheduler.
+	// Results are byte-identical; it exists as the reference engine for
+	// identity tests and as the benchmark baseline (see PERF.md).
+	FullScan bool
+
 	// Measurement protocol.
 	WarmupCycles   int64 // paper: 10,000
 	MeasurePackets int   // paper: 100,000
@@ -318,6 +324,7 @@ func (c SimConfig) lower() (sim.Config, error) {
 		Pattern:     c.Pattern,
 		CreditDelay: c.CreditDelay,
 		StepWorkers: c.StepWorkers,
+		FullScan:    c.FullScan,
 		Seed:        c.Seed,
 	}
 	ncfg.InjectionRate = sim.RateForLoad(c.LoadFraction, ncfg)

@@ -18,10 +18,21 @@ out="BENCH_${n}.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-# Hot-path micro benchmarks and the whole-network cycle benchmark.
-go test -run '^$' -benchmem -benchtime=2s "$@" \
-    -bench 'BenchmarkNetworkCycle$|BenchmarkMatrixArbiterGrant$|BenchmarkSeparableSwitchAllocate$|BenchmarkVCAllocatorAllocate$|BenchmarkPipelineDesign$' \
+# Hot-path micro benchmarks and the whole-network cycle benchmarks —
+# the 8×8 40%-load inner loop, and the 1,024-router 5%-load pair that
+# measures the active-set scheduler against its full-scan baseline.
+# Three repetitions; the JSON records each benchmark's best run (the
+# minimum is the standard noise-robust statistic for microbenchmarks —
+# scheduler preemption and frequency drift only ever slow a run down).
+go test -run '^$' -benchmem -benchtime=2s -count=3 "$@" \
+    -bench 'BenchmarkNetworkCycle$|BenchmarkNetworkCycleLowLoad$|BenchmarkNetworkCycleLowLoadFullScan$|BenchmarkMatrixArbiterGrant$|BenchmarkSeparableSwitchAllocate$|BenchmarkVCAllocatorAllocate$|BenchmarkPipelineDesign$' \
     . | tee "$raw"
+
+# Quiescence fast-forward: a drain-dominated ultra-low-load run on the
+# active-set engine vs stepping every cycle (best of three, as above).
+go test -run '^$' -benchmem -benchtime=3x -count=3 "$@" \
+    -bench 'BenchmarkDrainTail$|BenchmarkDrainTailFullScan$' \
+    . | tee -a "$raw"
 
 # One full figure reproduction (latency-throughput curves + paper
 # metrics); a single iteration is already a complete load sweep.
@@ -44,7 +55,12 @@ $1 ~ /^Benchmark/ && NF >= 4 {
         s = s sprintf(", \"%s\": %s", $(i+1), $i)
     }
     s = s "}"
-    bench[nb++] = s
+    # Repetitions (-count) keep only the fastest run per benchmark.
+    if (!(name in best) || $3 + 0 < best[name]) {
+        if (!(name in best)) order_b[nb++] = name
+        best[name] = $3 + 0
+        bench[name] = s
+    }
 }
 END {
     printf "{\n  \"pr\": %s,\n  \"env\": {", pr
@@ -59,9 +75,19 @@ END {
     }
     printf "},\n  \"benchmarks\": [\n"
     for (i = 0; i < nb; i++) {
-        printf "%s%s", bench[i], (i < nb - 1 ? ",\n" : "\n")
+        printf "%s%s", bench[order_b[i]], (i < nb - 1 ? ",\n" : "\n")
     }
     print "  ]\n}"
 }' "$raw" > "$out"
 
 echo "wrote $out" >&2
+
+# Guard the perf trajectory: the inner-loop benchmark must not regress
+# more than 10% against the previous PR's recording (same machine
+# class). CI re-checks the same pair of checked-in files.
+prev="BENCH_$((n - 1)).json"
+if [ -f "$prev" ]; then
+    "$(dirname "$0")/bench_compare.sh" "$prev" "$out"
+else
+    echo "no $prev to compare against; skipping regression check" >&2
+fi

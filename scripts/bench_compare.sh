@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# scripts/bench_compare.sh <old.json> <new.json> [max-regression-pct]
+#
+# Compares the BenchmarkNetworkCycle ns/op of two BENCH_<n>.json files
+# (the simulator's inner-loop cost) and fails when the newer file shows
+# a regression beyond the threshold (default 10%). Both files must come
+# from the same machine class to be meaningful — which holds for the
+# checked-in per-PR trajectory, recorded on the CI-class box. Run by
+# scripts/bench.sh after recording a new file, and by the CI bench-smoke
+# job over the two most recent checked-in files.
+set -euo pipefail
+
+old="${1:?usage: scripts/bench_compare.sh <old.json> <new.json> [max-regression-pct]}"
+new="${2:?usage: scripts/bench_compare.sh <old.json> <new.json> [max-regression-pct]}"
+limit="${3:-10}"
+
+python3 - "$old" "$new" "$limit" <<'EOF'
+import json
+import sys
+
+old_path, new_path, limit = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def ns_per_op(path, name):
+    with open(path) as f:
+        doc = json.load(f)
+    for b in doc["benchmarks"]:
+        if b["name"] == name:
+            return b["ns/op"]
+    return None
+
+name = "BenchmarkNetworkCycle"
+old_ns = ns_per_op(old_path, name)
+new_ns = ns_per_op(new_path, name)
+if old_ns is None or new_ns is None:
+    sys.exit(f"{name} missing from {old_path if old_ns is None else new_path}")
+
+delta = 100.0 * (new_ns - old_ns) / old_ns
+print(f"{name}: {old_ns:g} ns/op ({old_path}) -> {new_ns:g} ns/op ({new_path}): "
+      f"{delta:+.1f}% (limit +{limit:g}%)")
+if delta > limit:
+    sys.exit(f"regression: {name} slowed {delta:.1f}% > {limit:g}% allowed")
+EOF
