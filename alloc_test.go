@@ -13,6 +13,7 @@ import (
 	"routersim/internal/router"
 	"routersim/internal/stats"
 	"routersim/internal/topology"
+	"routersim/internal/traffic"
 )
 
 // warmNetwork builds the benchmark network and steps it past warmup so
@@ -114,6 +115,68 @@ func TestNetworkStepZeroAllocCrossTopology(t *testing.T) {
 			})
 			if allocs != 0 {
 				t.Fatalf("%s: steady-state Network.Step allocates %.2f times per cycle, want 0", spec, allocs)
+			}
+		})
+	}
+}
+
+// TestNetworkStepZeroAllocWorkloads extends the zero-allocation
+// invariant to the bursty arrival processes, size distributions, and
+// per-router heterogeneity: MMPP on/off bursts (dwell lengths are
+// pre-sampled at each state entry), batch releases (a pending counter,
+// not a queue), per-packet size draws into pooled packets, and
+// heterogeneous VC/buffer/link-delay overrides (the wake wheel is sized
+// at build time) must all run their steady state off the heap.
+func TestNetworkStepZeroAllocWorkloads(t *testing.T) {
+	cases := []struct {
+		name, source, sizes, overrides string
+	}{
+		{"mmpp", "mmpp:on=20,off=60", "", ""},
+		{"batch", "batch:size=4", "", ""},
+		{"mmpp-bimodal", "mmpp:on=30,off=50", "bimodal:small=1,large=9,p=0.1", ""},
+		{"hetero", "", "uniform:min=1,max=9", "0:vcs=4,buf=8;10:delay=3"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			src, err := traffic.ParseSource(tc.source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sizer traffic.Sizer
+			if tc.sizes != "" {
+				if sizer, err = traffic.ParseSizes(tc.sizes); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var ovs []network.RouterOverride
+			if tc.overrides != "" {
+				if ovs, err = network.ParseOverrides(tc.overrides, 64); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rc := router.DefaultConfig(router.SpeculativeVC)
+			cfg := network.Config{
+				K: 8, Router: rc, Seed: 1,
+				InjectionRate: 0.2 * 0.5 / 5,
+				Source:        src,
+				Sizes:         sizer,
+				Overrides:     ovs,
+			}
+			net, err := network.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			now := int64(0)
+			for ; now < 6000; now++ {
+				net.Step(now)
+			}
+			allocs := testing.AllocsPerRun(400, func() {
+				net.Step(now)
+				now++
+			})
+			if allocs != 0 {
+				t.Fatalf("%s: steady-state Network.Step allocates %.2f times per cycle, want 0", tc.name, allocs)
 			}
 		})
 	}

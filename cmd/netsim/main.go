@@ -29,6 +29,11 @@ func main() {
 	pattern := flag.String("pattern", "uniform", "traffic pattern: uniform, transpose, bit-reversal, bit-complement, hotspot[:NODE:FRAC]")
 	pkt := flag.Int("packetsize", 5, "flits per packet")
 	creditDelay := flag.Int("credit-delay", 1, "credit propagation delay (cycles)")
+	source := flag.String("source", "", "injection process: const, bernoulli, mmpp:on=X,off=Y, batch:size=N, trace:file=PATH (replay; ignores -load)")
+	sizes := flag.String("sizes", "", "packet-size distribution: fixed:N, uniform:min=A,max=B, bimodal:small=S,large=L,p=P (empty = every packet is -packetsize flits)")
+	overrides := flag.String("overrides", "", "per-router overrides, ';'-separated SEL:k=v groups (SEL = id, LO-HI, or '*'): e.g. '0:vcs=4,buf=8;3-5:delay=2'")
+	record := flag.String("record", "", "record the run's packet workload to this trace file (.jsonl/.json = JSONL, else binary)")
+	stepWorkers := flag.Int("step-workers", 0, "deterministic parallel stepper workers (0 or 1 = serial engine; results are identical for every value)")
 	warmup := flag.Int64("warmup", 10000, "warm-up cycles")
 	packets := flag.Int("packets", 20000, "tagged sample size")
 	exact := flag.Bool("exact", false, "store every latency sample for exact percentiles (default streams with O(1) memory)")
@@ -59,10 +64,12 @@ func main() {
 
 	if *probe {
 		// The turnaround probe goes through the facade's probe path,
-		// which supports neither alternate topologies/patterns nor JSON
-		// output; reject rather than silently ignore those flags.
-		if *topo != "mesh" || *pattern != "uniform" || *jsonOut {
-			fmt.Fprintln(os.Stderr, "-probe-turnaround supports only -topo mesh, -pattern uniform, and text output")
+		// which supports neither alternate topologies/patterns, workload
+		// specs, recording, nor JSON output; reject rather than silently
+		// ignore those flags.
+		if *topo != "mesh" || *pattern != "uniform" || *jsonOut ||
+			*source != "" || *sizes != "" || *overrides != "" || *record != "" || *stepWorkers != 0 {
+			fmt.Fprintln(os.Stderr, "-probe-turnaround supports only -topo mesh, -pattern uniform, the default workload, and text output")
 			os.Exit(2)
 		}
 		runProbe(*kindStr, *vcs, *buf, *k, *pkt, *creditDelay, *load, *warmup, *packets, *seed, *exact, *ciTarget)
@@ -78,15 +85,26 @@ func main() {
 		BufPerVC:    *buf,
 		PacketSize:  *pkt,
 		CreditDelay: *creditDelay,
+		StepWorkers: *stepWorkers,
+		Source:      *source,
+		Sizes:       *sizes,
+		Overrides:   *overrides,
 		Load:        *load,
 	}
-	r, err := routersim.RunScenario(sc, routersim.MatrixOptions{
+	opts := routersim.MatrixOptions{
 		Seed: *seed,
 		Protocol: routersim.MatrixProtocol{
 			Warmup: *warmup, Packets: *packets,
 			Exact: *exact, CITarget: *ciTarget,
 		},
-	})
+	}
+	var r routersim.MatrixResult
+	var err error
+	if *record != "" {
+		r, err = routersim.RecordScenario(sc, opts, *record)
+	} else {
+		r, err = routersim.RunScenario(sc, opts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -109,6 +127,12 @@ func main() {
 	sc = r.Scenario
 	fmt.Printf("router=%s topo=%s k=%d pattern=%s vcs=%d buf=%d load=%.2f seed=%d (job seed %d)\n",
 		sc.Router, sc.Topology, sc.K, sc.Pattern, sc.VCs, sc.BufPerVC, sc.Load, *seed, r.Seed)
+	if sc.Source != "" || sc.Sizes != "" || sc.Overrides != "" {
+		fmt.Printf("  workload  source=%q sizes=%q overrides=%q\n", sc.Source, sc.Sizes, sc.Overrides)
+	}
+	if *record != "" {
+		fmt.Printf("  recorded  packet trace -> %s\n", *record)
+	}
 	fmt.Printf("  offered   %.3f of capacity\n", res.OfferedLoad)
 	fmt.Printf("  accepted  %.3f ±%.3f of capacity\n", res.AcceptedLoad, res.AcceptedCI)
 	fmt.Printf("  latency   mean=%.1f ±%.1f p50=%d p95=%d max=%d cycles (%d packets)\n",

@@ -10,6 +10,8 @@
 //	sweep -patterns uniform,transpose,bit-complement -k 8 -csv out.csv
 //	sweep -topos torus -routers spec-vc -vcs 2,4 -loads 0.2,0.4 -json -
 //	sweep -topos mesh,torus:k=4:n=3,hypercube:64,ring:16 -routers spec-vc -json -
+//	sweep -sources const,mmpp:on=20,off=60 -sizes bimodal:small=1,large=9,p=0.1 -csv -
+//	sweep -overrides '|0:vcs=4,buf=8;3-5:delay=2' -routers vc -loads 0.2,0.4 -csv -
 //
 // Saturation mode replaces the loads axis with an adaptive bisection,
 // emitting each scenario's knee (saturation load, delivered throughput,
@@ -55,6 +57,9 @@ func main() {
 	pktSizes := flag.String("packetsize", "5", "comma-separated packet sizes (flits)")
 	creditDelays := flag.String("credit-delays", "1", "comma-separated credit propagation delays (cycles)")
 	stepWorkers := flag.String("step-workers", "0", "comma-separated parallel-stepper worker counts (0/1 = serial engine; results are identical for every value)")
+	sources := flag.String("sources", "", "comma-separated injection processes: const, bernoulli, mmpp:on=X,off=Y, batch:size=N, trace:file=PATH (empty = const; a bare KEY=VALUE fragment continues the previous spec)")
+	sizes := flag.String("sizes", "", "comma-separated packet-size distributions: fixed:N, uniform:min=A,max=B, bimodal:small=S,large=L,p=P (empty = every packet is -packetsize flits)")
+	overrides := flag.String("overrides", "", "'|'-separated per-router override specs, each ';'-separated SEL:k=v groups, e.g. '0:vcs=4,buf=8;3-5:delay=2|*:buf=2' (empty list entry = uniform network)")
 	loads := flag.String("loads", "0.2", "loads as fractions of capacity: comma list or lo:hi:step range")
 
 	// Saturation-search mode: replace the loads axis with an adaptive
@@ -88,7 +93,8 @@ func main() {
 		matrixOnly := map[string]bool{
 			"routers": true, "topos": true, "k": true, "patterns": true,
 			"vcs": true, "bufs": true, "packetsize": true, "credit-delays": true,
-			"step-workers": true, "loads": true, "warmup": true, "packets": true,
+			"step-workers": true, "sources": true, "sizes": true, "overrides": true,
+			"loads": true, "warmup": true, "packets": true,
 			"workers": true, "json": true, "quiet": true,
 			"saturation": true, "sat-tol": true, "exact": true, "ci-target": true,
 		}
@@ -111,6 +117,9 @@ func main() {
 		PacketSizes:  parseInts("packetsize", *pktSizes),
 		CreditDelays: parseInts("credit-delays", *creditDelays),
 		StepWorkers:  parseInts("step-workers", *stepWorkers),
+		Sources:      splitWorkloadList(*sources),
+		Sizes:        splitWorkloadList(*sizes),
+		Overrides:    splitPipeList(*overrides),
 		Loads:        parseLoads(*loads),
 	}
 	opts := routersim.MatrixOptions{
@@ -123,12 +132,18 @@ func main() {
 	}
 
 	if *saturation {
-		// The search owns the load axis; an explicit grid is a mode mix.
+		// The search owns the load axis; an explicit grid is a mode mix,
+		// and a trace dictates its own rate, leaving nothing to bisect.
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "loads" {
 				fatal(fmt.Errorf("-loads does not apply to -saturation (the bisection owns the load axis)"))
 			}
 		})
+		for _, src := range matrix.Sources {
+			if strings.HasPrefix(strings.TrimSpace(src), "trace") {
+				fatal(fmt.Errorf("-saturation does not apply to trace sources (the trace dictates the injection rate; there is no load axis to bisect)"))
+			}
+		}
 		runSaturation(matrix, opts, *satTol, *jsonPath, *csvPath, *quiet)
 		return
 	}
@@ -140,6 +155,7 @@ func main() {
 	requested := len(matrix.Routers) * len(matrix.Topologies) * len(matrix.Ks) *
 		len(matrix.Patterns) * len(matrix.VCs) * len(matrix.BufsPerVC) *
 		len(matrix.PacketSizes) * len(matrix.CreditDelays) * len(matrix.StepWorkers) *
+		axisLen(matrix.Sources) * axisLen(matrix.Sizes) * axisLen(matrix.Overrides) *
 		len(matrix.Loads)
 	jobs := matrix.Size()
 	if jobs < requested {
@@ -276,6 +292,47 @@ func splitList(s string) []string {
 		if f = strings.TrimSpace(f); f != "" {
 			out = append(out, f)
 		}
+	}
+	return out
+}
+
+// axisLen is an axis's contribution to the requested-job count: an
+// empty axis normalizes to one default value.
+func axisLen(vals []string) int {
+	if len(vals) == 0 {
+		return 1
+	}
+	return len(vals)
+}
+
+// splitWorkloadList splits a comma-separated list of workload specs
+// (injection processes, size distributions) whose parameters themselves
+// contain commas ("mmpp:on=20,off=60,batch:size=4"): a bare KEY=VALUE
+// fragment continues the previous spec rather than starting a new one.
+func splitWorkloadList(s string) []string {
+	var out []string
+	for _, f := range splitList(s) {
+		if len(out) > 0 && strings.Contains(f, "=") && !strings.Contains(f, ":") {
+			out[len(out)-1] += "," + f
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// splitPipeList splits a '|'-separated list (per-router override specs
+// use ',' and ';' internally), preserving empty entries so a sweep can
+// cross a uniform network with override sets ("|0:vcs=4"). An all-empty
+// flag value means the axis was not stated.
+func splitPipeList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	fields := strings.Split(s, "|")
+	out := make([]string, len(fields))
+	for i, f := range fields {
+		out[i] = strings.TrimSpace(f)
 	}
 	return out
 }

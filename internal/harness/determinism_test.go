@@ -104,6 +104,68 @@ func TestStepperDeterminism(t *testing.T) {
 	}
 }
 
+// TestReplayDeterminismAcrossWorkersAndSeeds closes the record/replay
+// loop at the harness level: a workload recorded once and replayed
+// through the matrix engine must serialize byte-identically across
+// pool worker counts, stepper widths (the scenario matrix crosses
+// serial and parallel steppers, so both appear in one payload), and —
+// because a replayed workload consumes no randomness — across base
+// seeds as well, once the per-job seed column is normalized out. Run
+// under -race in CI, this certifies the whole replay path end to end.
+func TestReplayDeterminismAcrossWorkersAndSeeds(t *testing.T) {
+	path := t.TempDir() + "/recorded.trace"
+	rec := Scenario{
+		Router: "spec-vc", K: 4,
+		Source: "mmpp:on=20,off=60",
+		Sizes:  "bimodal:small=1,large=9,p=0.1",
+		Load:   0.2,
+	}
+	if _, err := RunScenarioRecorded(rec, Options{Seed: 11, Protocol: Protocol{Warmup: 300, Packets: 150}}, path); err != nil {
+		t.Fatal(err)
+	}
+	m := Matrix{
+		Routers:     []string{"spec-vc"},
+		Ks:          []int{4},
+		Sources:     []string{"trace:file=" + path},
+		StepWorkers: []int{0, 2},
+	}
+	baseJSON, baseCSV := serialize(t, m, 42, 1)
+	if !strings.Contains(baseCSV, "trace:file=") {
+		t.Fatalf("CSV payload does not carry the source column:\n%s", baseCSV)
+	}
+	for _, workers := range []int{2, 8} {
+		js, csv := serialize(t, m, 42, workers)
+		if js != baseJSON {
+			t.Errorf("replay JSON payload diverged between 1 and %d workers", workers)
+		}
+		if csv != baseCSV {
+			t.Errorf("replay CSV payload diverged between 1 and %d workers", workers)
+		}
+	}
+	// A different base seed changes each job's derived seed but must not
+	// change any measurement: strip the seed fields and compare.
+	otherJSON, _ := serialize(t, m, 1234, 1)
+	if stripSeeds(otherJSON) != stripSeeds(baseJSON) {
+		t.Error("replay measurements changed with the base seed; the replayer is consuming randomness")
+	}
+}
+
+// stripSeeds removes `"seed":N` fields from a JSON payload so replay
+// runs under different base seeds can be compared on measurements.
+func stripSeeds(js string) string {
+	for {
+		i := strings.Index(js, `"seed":`)
+		if i < 0 {
+			return js
+		}
+		j := i + len(`"seed":`)
+		for j < len(js) && js[j] >= '0' && js[j] <= '9' {
+			j++
+		}
+		js = js[:i] + js[j:]
+	}
+}
+
 // TestSeedChangesPayload: a different seed must actually change the
 // measurements (otherwise the seed is not wired through).
 func TestSeedChangesPayload(t *testing.T) {

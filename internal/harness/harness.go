@@ -9,6 +9,7 @@ import (
 	"routersim/internal/pool"
 	"routersim/internal/rng"
 	"routersim/internal/sim"
+	"routersim/internal/trace"
 )
 
 // Protocol is the measurement protocol applied to every job of a run.
@@ -127,6 +128,43 @@ func RunScenario(sc Scenario, opts Options) (JobResult, error) {
 		return JobResult{}, err
 	}
 	return results[0], nil
+}
+
+// RunScenarioRecorded runs a single scenario with a workload recorder
+// attached and writes the captured trace to path (trace.WriteFile:
+// ".jsonl"/".json" extensions select the JSONL encoding, anything else
+// the binary one) — the record half of the trace record/replay
+// workflow. The capture includes every injection of the run, warm-up
+// and drain included, so replaying the file via a "trace:file=PATH"
+// source reproduces the run's packet workload event for event. The job
+// uses the same derived seed as RunScenario, so the recorded run IS the
+// plain run, plus the capture. Recording a scenario that itself replays
+// a trace is an error.
+func RunScenarioRecorded(sc Scenario, opts Options, path string) (JobResult, error) {
+	seed := rng.Derive(opts.Seed, 0)
+	cfg, err := sc.SimConfig(seed, opts.Protocol)
+	if err != nil {
+		return JobResult{}, fmt.Errorf("harness: %s: %w", sc.Label(), err)
+	}
+	if cfg.Net.Replay != nil {
+		return JobResult{}, fmt.Errorf("harness: %s: recording a trace-replay scenario would copy the input trace; record a live workload instead", sc.Label())
+	}
+	sc = sc.canonical()
+	jr := JobResult{Index: 0, Scenario: sc, Seed: seed}
+	rec := trace.NewRecorder(cfg.Net.Topo.Nodes())
+	cfg.Record = rec
+	start := time.Now()
+	res, err := sim.NewRunner(cfg).Run()
+	jr.Wall = time.Since(start)
+	if err != nil {
+		return JobResult{}, fmt.Errorf("harness: %s: %w", sc.Label(), err)
+	}
+	jr.Result = &res
+	jr.Model = sc.DelayModel()
+	if err := trace.WriteFile(path, rec.Trace()); err != nil {
+		return JobResult{}, fmt.Errorf("harness: %s: %w", sc.Label(), err)
+	}
+	return jr, nil
 }
 
 // runJob executes one scenario with its derived seed.

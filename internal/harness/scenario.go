@@ -15,6 +15,7 @@ import (
 	"routersim/internal/router"
 	"routersim/internal/sim"
 	"routersim/internal/topology"
+	"routersim/internal/trace"
 	"routersim/internal/traffic"
 )
 
@@ -48,6 +49,19 @@ type Scenario struct {
 	// (0 or 1 = serial engine; > 1 = that many stepper workers). It is
 	// an execution axis: results are byte-identical for every value.
 	StepWorkers int `json:"step_workers"`
+	// Source is the injection-process spec (traffic.ParseSource): empty
+	// or "const" is the paper's constant-rate source; "bernoulli",
+	// "mmpp:on=X,off=Y", and "batch:size=N" are live arrival processes;
+	// "trace:file=PATH" replays a recorded workload (the trace dictates
+	// the injection rate, so Load is pinned to 0).
+	Source string `json:"source,omitempty"`
+	// Sizes is the per-packet size-distribution spec (traffic.ParseSizes);
+	// empty means every packet is exactly PacketSize flits.
+	Sizes string `json:"sizes,omitempty"`
+	// Overrides is the per-router heterogeneity spec
+	// (network.ParseOverrides): ';'-separated SEL:k=v,... groups, e.g.
+	// "0:vcs=4,buf=8;3-5:delay=2". Empty means a uniform network.
+	Overrides string `json:"overrides,omitempty"`
 	// Load is the offered load as a fraction of capacity.
 	Load float64 `json:"load"`
 }
@@ -66,6 +80,9 @@ type Matrix struct {
 	PacketSizes  []int     `json:"packet_sizes"`
 	CreditDelays []int     `json:"credit_delays"`
 	StepWorkers  []int     `json:"step_workers"`
+	Sources      []string  `json:"sources,omitempty"`
+	Sizes        []string  `json:"sizes,omitempty"`
+	Overrides    []string  `json:"overrides,omitempty"`
 	Loads        []float64 `json:"loads"`
 }
 
@@ -100,6 +117,15 @@ func (m Matrix) Normalize() Matrix {
 	if len(m.StepWorkers) == 0 {
 		m.StepWorkers = []int{0}
 	}
+	if len(m.Sources) == 0 {
+		m.Sources = []string{""}
+	}
+	if len(m.Sizes) == 0 {
+		m.Sizes = []string{""}
+	}
+	if len(m.Overrides) == 0 {
+		m.Overrides = []string{""}
+	}
 	if len(m.Loads) == 0 {
 		m.Loads = []float64{0.2}
 	}
@@ -129,30 +155,39 @@ func (m Matrix) Expand() []Scenario {
 							for _, size := range m.PacketSizes {
 								for _, cd := range m.CreditDelays {
 									for _, sw := range m.StepWorkers {
-										for _, load := range m.Loads {
-											sc := Scenario{
-												Router:      rk,
-												Topology:    topo,
-												K:           k,
-												Pattern:     pat,
-												VCs:         vcs,
-												BufPerVC:    buf,
-												PacketSize:  size,
-												CreditDelay: cd,
-												StepWorkers: sw,
-												Load:        load,
-											}
-											sc = sc.canonical()
-											// The VCs axis does not apply to non-VC
-											// kinds: pin to 1 so the label is truthful
-											// (a hand-built Scenario skips this and is
-											// rejected by SimConfig instead).
-											if kind, ok := router.ParseKind(sc.Router); ok && !kind.UsesVCs() {
-												sc.VCs = 1
-											}
-											if !seen[sc] {
-												seen[sc] = true
-												out = append(out, sc)
+										for _, src := range m.Sources {
+											for _, sz := range m.Sizes {
+												for _, ov := range m.Overrides {
+													for _, load := range m.Loads {
+														sc := Scenario{
+															Router:      rk,
+															Topology:    topo,
+															K:           k,
+															Pattern:     pat,
+															VCs:         vcs,
+															BufPerVC:    buf,
+															PacketSize:  size,
+															CreditDelay: cd,
+															StepWorkers: sw,
+															Source:      src,
+															Sizes:       sz,
+															Overrides:   ov,
+															Load:        load,
+														}
+														sc = sc.canonical()
+														// The VCs axis does not apply to non-VC
+														// kinds: pin to 1 so the label is truthful
+														// (a hand-built Scenario skips this and is
+														// rejected by SimConfig instead).
+														if kind, ok := router.ParseKind(sc.Router); ok && !kind.UsesVCs() {
+															sc.VCs = 1
+														}
+														if !seen[sc] {
+															seen[sc] = true
+															out = append(out, sc)
+														}
+													}
+												}
 											}
 										}
 									}
@@ -223,6 +258,26 @@ func (s Scenario) canonical() Scenario {
 			s.BufPerVC = rc.BufPerVC
 		}
 	}
+	// Workload specs canonicalize to their one spelling ("mmpp:off=60,
+	// on=20" → "mmpp:on=20,off=60"), the paper's constant-rate source to
+	// the empty string, and a trace pins the load axis to 0 — the trace
+	// dictates its own injection rate, so a load sweep collapses to one
+	// job per trace. Parse errors are left for SimConfig to report.
+	if spec, err := traffic.ParseSource(s.Source); err == nil {
+		if spec.Kind == "const" {
+			s.Source = ""
+		} else {
+			s.Source = spec.String()
+		}
+		if spec.Kind == "trace" {
+			s.Load = 0
+		}
+	}
+	if s.Sizes != "" {
+		if sizer, err := traffic.ParseSizes(s.Sizes); err == nil {
+			s.Sizes = sizer.Name()
+		}
+	}
 	return s
 }
 
@@ -240,6 +295,9 @@ func (s Scenario) Matrix() Matrix {
 		PacketSizes:  []int{s.PacketSize},
 		CreditDelays: []int{s.CreditDelay},
 		StepWorkers:  []int{s.StepWorkers},
+		Sources:      []string{s.Source},
+		Sizes:        []string{s.Sizes},
+		Overrides:    []string{s.Overrides},
 		Loads:        []float64{s.Load},
 	}
 }
@@ -263,8 +321,18 @@ func (s Scenario) Label() string {
 			topo = fmt.Sprintf("%s%d", topo, s.K)
 		}
 	}
-	return fmt.Sprintf("%s/%s/%s/%dvcs×%dbuf%s/load=%.2f",
-		s.Router, topo, s.Pattern, s.VCs, s.BufPerVC, stepper, s.Load)
+	extra := ""
+	if s.Source != "" {
+		extra += "/" + s.Source
+	}
+	if s.Sizes != "" {
+		extra += "/" + s.Sizes
+	}
+	if s.Overrides != "" {
+		extra += "/hetero[" + s.Overrides + "]"
+	}
+	return fmt.Sprintf("%s/%s/%s/%dvcs×%dbuf%s%s/load=%.2f",
+		s.Router, topo, s.Pattern, s.VCs, s.BufPerVC, stepper, extra, s.Load)
 }
 
 // SimConfig lowers the scenario to a runnable simulation configuration
@@ -308,6 +376,20 @@ func (s Scenario) SimConfig(seed uint64, pr Protocol) (sim.Config, error) {
 	if s.Load < 0 {
 		return sim.Config{}, fmt.Errorf("negative load %v", s.Load)
 	}
+	srcSpec, err := traffic.ParseSource(s.Source)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	var sizer traffic.Sizer
+	if s.Sizes != "" {
+		if sizer, err = traffic.ParseSizes(s.Sizes); err != nil {
+			return sim.Config{}, err
+		}
+	}
+	overrides, err := network.ParseOverrides(s.Overrides, topo.Nodes())
+	if err != nil {
+		return sim.Config{}, err
+	}
 	ncfg := network.Config{
 		K:           s.K,
 		Router:      rc,
@@ -315,10 +397,22 @@ func (s Scenario) SimConfig(seed uint64, pr Protocol) (sim.Config, error) {
 		Pattern:     pat,
 		CreditDelay: s.CreditDelay,
 		StepWorkers: s.StepWorkers,
+		Source:      srcSpec,
+		Sizes:       sizer,
+		Overrides:   overrides,
 		Topo:        topo,
 		Seed:        seed,
 	}
-	ncfg.InjectionRate = sim.RateForLoad(s.Load, ncfg)
+	if srcSpec.Kind == "trace" {
+		// A trace dictates destinations, sizes, and the injection rate;
+		// the load axis does not apply (canonical pinned Load to 0, and
+		// network.Config.Normalize derives the rate from the trace).
+		if ncfg.Replay, err = trace.ReadFile(srcSpec.File); err != nil {
+			return sim.Config{}, err
+		}
+	} else {
+		ncfg.InjectionRate = sim.RateForLoad(s.Load, ncfg)
+	}
 	cfg := sim.Config{
 		Net:            ncfg,
 		WarmupCycles:   pr.Warmup,

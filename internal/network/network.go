@@ -17,6 +17,7 @@ import (
 	"routersim/internal/router"
 	"routersim/internal/stats"
 	"routersim/internal/topology"
+	"routersim/internal/trace"
 	"routersim/internal/traffic"
 )
 
@@ -34,8 +35,25 @@ type Config struct {
 	// Pattern chooses destinations (nil = uniform random).
 	Pattern traffic.Pattern
 	// Bernoulli switches the injection process from the paper's
-	// constant-rate source to a Bernoulli process.
+	// constant-rate source to a Bernoulli process. It is the legacy
+	// spelling of Source{Kind: "bernoulli"}; Normalize folds it in.
 	Bernoulli bool
+	// Source selects the arrival process each source runs (see
+	// traffic.ParseSource). The zero value is the paper's constant-rate
+	// source.
+	Source traffic.SourceSpec
+	// Sizes, when non-nil, draws each packet's size in flits instead of
+	// the fixed PacketSize (see traffic.ParseSizes). Sampled from the
+	// source's RNG stream, immediately after the destination draw.
+	Sizes traffic.Sizer
+	// Replay is the captured workload a "trace" Source re-injects. It
+	// must be validated and match the topology's node count; Normalize
+	// derives InjectionRate from it.
+	Replay *trace.Trace
+	// Overrides deviate individual routers from the global VCs,
+	// BufPerVC, and link delay (see ParseOverrides). Later entries win
+	// on conflict.
+	Overrides []RouterOverride
 	// FlitDelay is the link propagation delay in cycles (paper: 1).
 	FlitDelay int
 	// CreditDelay is the credit propagation delay in cycles (paper: 1;
@@ -108,6 +126,40 @@ func (c *Config) Normalize() error {
 	// stays a real parameter for direct router construction; here any
 	// stated value, including DefaultConfig's 2-D mesh 5, is replaced.)
 	c.Router.Ports = c.Topo.Ports()
+	if c.Bernoulli && (c.Source.Kind == "" || c.Source.Kind == "const") {
+		c.Source = traffic.SourceSpec{Kind: "bernoulli"}
+	}
+	switch c.Source.Kind {
+	case "", "const", "bernoulli", "mmpp", "batch":
+		if c.Replay != nil {
+			return fmt.Errorf("network: Replay is set but the source is %q, not a trace", c.Source.String())
+		}
+	case "trace":
+		if c.Replay == nil {
+			return fmt.Errorf("network: trace source needs a loaded trace in Config.Replay")
+		}
+		if err := c.Replay.Validate(); err != nil {
+			return fmt.Errorf("network: %w", err)
+		}
+		if c.Replay.Nodes != c.Topo.Nodes() {
+			return fmt.Errorf("network: trace recorded on %d nodes; topology %s has %d",
+				c.Replay.Nodes, c.Topo.Name(), c.Topo.Nodes())
+		}
+		if len(c.Replay.Events) == 0 {
+			return fmt.Errorf("network: trace is empty; nothing to replay")
+		}
+		if c.Sizes != nil {
+			return fmt.Errorf("network: trace replay carries recorded packet sizes; a sizes distribution conflicts")
+		}
+		// Replay re-injects the recorded workload verbatim; the offered
+		// load the measurement layer reports is the trace's own rate.
+		c.InjectionRate = c.Replay.Rate()
+	default:
+		return fmt.Errorf("network: unknown source kind %q", c.Source.Kind)
+	}
+	if err := c.validateOverrides(); err != nil {
+		return err
+	}
 	// Deadlock avoidance is the topology's call: a class count > 1
 	// (dateline classes on wraparound rings) needs VC flow control with
 	// the VCs split evenly across classes.
@@ -121,6 +173,20 @@ func (c *Config) Normalize() error {
 		}
 	}
 	return c.Router.Validate()
+}
+
+// MeanFlitsPerPacket is the expected packet size in flits under the
+// configured workload: the size distribution's mean, the trace's mean,
+// or the fixed PacketSize. The measurement layer uses it to convert
+// packet rates to flit loads.
+func (c *Config) MeanFlitsPerPacket() float64 {
+	if c.Sizes != nil {
+		return c.Sizes.Mean()
+	}
+	if c.Source.Kind == "trace" && c.Replay != nil {
+		return c.Replay.MeanSize()
+	}
+	return float64(c.PacketSize)
 }
 
 // Network is a running mesh or torus of routers, sources, and sinks.
@@ -141,6 +207,11 @@ type Network struct {
 	OnPacketDone func(p *flit.Packet, now int64)
 
 	nextPacketID int64
+
+	// delayAt is the per-router driven-link delay when overrides are in
+	// effect (nil: every link uses cfg.FlitDelay). The scheduler's wake
+	// wheel is sized from it.
+	delayAt []int64
 
 	// pktFree is the packet pool: packets are recycled when their last
 	// flit is ejected, so a steady-state Step allocates nothing.
@@ -171,6 +242,30 @@ func New(cfg Config) (*Network, error) {
 	nodes := n.topo.Nodes()
 	master := rng.New(cfg.Seed)
 
+	// Per-router parameters: nil slices mean the fully uniform network
+	// (the common case — every wiring decision below then reads the
+	// global config exactly as before overrides existed).
+	vcsAt, bufAt, delayAt := cfg.nodeParams(nodes)
+	n.delayAt = delayAt
+	vcs := func(id int) int {
+		if vcsAt != nil {
+			return vcsAt[id]
+		}
+		return cfg.Router.VCs
+	}
+	buf := func(id int) int {
+		if bufAt != nil {
+			return bufAt[id]
+		}
+		return cfg.Router.BufPerVC
+	}
+	delay := func(id int) int {
+		if delayAt != nil {
+			return int(delayAt[id])
+		}
+		return cfg.FlitDelay
+	}
+
 	// Precompute per-router routing tables (dst → output port) and, on
 	// topologies with deadlock-avoidance VC classes (tori, rings), the
 	// candidate masks (dst, port) — the routing and VC-allocation stages
@@ -183,13 +278,17 @@ func New(cfg Config) (*Network, error) {
 		for dst := 0; dst < nodes; dst++ {
 			routes[dst] = uint8(n.topo.Route(id, dst))
 		}
-		n.routers[id] = router.New(id, cfg.Router, routes)
+		rcfg := cfg.Router
+		rcfg.VCs = vcs(id)
+		rcfg.BufPerVC = buf(id)
+		n.routers[id] = router.New(id, rcfg, routes)
 		if hasClasses {
-			vcs := cfg.Router.VCs
+			// VC overrides are rejected on class topologies (Normalize),
+			// so the class masks see one uniform VC count.
 			classTab := make([]uint64, nodes*ports)
 			for dst := 0; dst < nodes; dst++ {
 				for port := 0; port < ports; port++ {
-					classTab[dst*ports+port] = n.topo.VCMask(id, dst, port, vcs)
+					classTab[dst*ports+port] = n.topo.VCMask(id, dst, port, cfg.Router.VCs)
 				}
 			}
 			n.routers[id].SetVCClassTable(classTab)
@@ -198,22 +297,26 @@ func New(cfg Config) (*Network, error) {
 
 	// Inter-router links: for every directional output port with a
 	// neighbour, a flit wire (us → them) and a credit wire (them → us).
-	// The topology names the input port the link lands on. Credit wires
-	// are presized to the credit-loop bound (every buffer slot of the
-	// fed input port can have a credit in flight at once): the
+	// The topology names the input port the link lands on. The flit wire
+	// takes the driving router's link delay; credit state at the driving
+	// side is sized for the downstream router's input buffers. Credit
+	// wires are presized to the credit-loop bound (every buffer slot of
+	// the fed input port can have a credit in flight at once): the
 	// active-set scheduler drains a sleeping receiver's credit wires
 	// only at its next wake, so the backlog is real, not a bug.
-	creditCap := cfg.Router.VCs*cfg.Router.BufPerVC + cfg.CreditDelay
 	for id := 0; id < nodes; id++ {
 		for port := 1; port < ports; port++ {
 			next, inPort, ok := n.topo.Neighbor(id, port)
 			if !ok {
 				continue
 			}
-			fw := link.NewWire[flit.Flit](cfg.FlitDelay)
-			cw := link.NewWireCap[router.Credit](cfg.CreditDelay, creditCap)
+			fw := link.NewWire[flit.Flit](delay(id))
+			cw := link.NewWireCap[router.Credit](cfg.CreditDelay, vcs(next)*buf(next)+cfg.CreditDelay)
 			n.routers[id].ConnectOutput(port, fw, cw)
 			n.routers[next].ConnectInput(inPort, fw, cw)
+			if vcsAt != nil || bufAt != nil {
+				n.routers[id].SetOutputPolicy(port, vcs(next), buf(next))
+			}
 		}
 	}
 
@@ -221,17 +324,27 @@ func New(cfg Config) (*Network, error) {
 	// through an injection channel with the same propagation delays.
 	n.sources = make([]*source, nodes)
 	for id := 0; id < nodes; id++ {
-		fw := link.NewWire[flit.Flit](cfg.FlitDelay)
-		cw := link.NewWireCap[router.Credit](cfg.CreditDelay, creditCap)
+		fw := link.NewWire[flit.Flit](delay(id))
+		cw := link.NewWireCap[router.Credit](cfg.CreditDelay, vcs(id)*buf(id)+cfg.CreditDelay)
 		n.routers[id].ConnectInput(topology.PortLocal, fw, cw)
+		// Every source owns one RNG stream split off the master; which
+		// draws it makes (and in what order) is part of the schedule
+		// contract, so the const path keeps its historical phase draw.
 		nodeRNG := master.Split(uint64(id))
 		var inj traffic.Injector
-		if cfg.Bernoulli {
-			inj = traffic.NewBernoulli(cfg.InjectionRate, nodeRNG.Split(1))
-		} else {
+		switch cfg.Source.Kind {
+		case "", "const":
 			inj = traffic.NewConstantRate(cfg.InjectionRate, nodeRNG.Float64())
+		case "trace":
+			inj = trace.NewReplayer(cfg.Replay, id)
+		default:
+			var err error
+			inj, err = cfg.Source.NewInjector(cfg.InjectionRate, nodeRNG.Split(1))
+			if err != nil {
+				return nil, fmt.Errorf("network: %w", err)
+			}
 		}
-		n.sources[id] = newSource(n, id, inj, nodeRNG, fw, cw)
+		n.sources[id] = newSource(n, id, inj, nodeRNG, fw, cw, vcs(id), buf(id))
 	}
 
 	if !cfg.FullScan {

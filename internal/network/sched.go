@@ -59,22 +59,32 @@ type scheduler struct {
 	carryBits  []uint64
 	carryCount int
 
-	// wheelBits[due mod FlitDelay] holds the routers with an arrival
+	// wheelBits[due mod wheelSize] holds the routers with an arrival
 	// due at cycle `due`; wheelCount counts per slot, wakeCount across
-	// slots. Every wake issued during cycle t is due at exactly
-	// t+FlitDelay, which lands in slot t mod FlitDelay — the slot
-	// buildActive just drained — so the slot is resolved once per cycle
-	// (curSlot) instead of per wake.
+	// slots. A wake issued during cycle t for a link of delay d is due
+	// at exactly t+d; with one uniform link delay every wake lands in
+	// the slot buildActive just drained, and per-router delay overrides
+	// merely spread wakes over a wheel sized to the largest delay —
+	// every delay is >= 1 and <= wheelSize, so a due slot is never
+	// drained before its cycle.
 	wheelBits  [][]uint64
 	wheelCount []int
 	wakeCount  int
-	curSlot    int
+	now        int64 // cycle being stepped (set by buildActive)
 
 	// outDst maps (router*ports + port) to the downstream router id on
 	// that output port, -1 for the ejection port and unconnected edges.
-	outDst    []int32
-	ports     int
-	flitDelay int64
+	outDst []int32
+	ports  int
+	// delay[id] is the propagation delay of every link driven by router
+	// id (nil: uniform, and wheelSize is the global flit delay).
+	// wheelMask is wheelSize-1 when the size is a power of two (the
+	// uniform-delay common case, usually 1), -1 otherwise: the slot
+	// computation runs on every flit push, and an AND is far cheaper
+	// than an int64 division.
+	delay     []int64
+	wheelSize int64
+	wheelMask int64
 
 	// Source worklist: srcBits/srcCount carry the busy sources;
 	// srcActive is the materialized per-cycle list; srcHeap parks idle
@@ -102,7 +112,12 @@ func wakeLess(a, b srcWake) bool {
 func newScheduler(n *Network) *scheduler {
 	nodes := n.topo.Nodes()
 	ports := n.cfg.Router.Ports
-	d := n.cfg.FlitDelay
+	d := int64(n.cfg.FlitDelay)
+	for _, pd := range n.delayAt {
+		if pd > d {
+			d = pd
+		}
+	}
 	words := (nodes + 63) / 64
 	sc := &scheduler{
 		words:      words,
@@ -111,8 +126,19 @@ func newScheduler(n *Network) *scheduler {
 		wheelCount: make([]int, d),
 		outDst:     make([]int32, nodes*ports),
 		ports:      ports,
-		flitDelay:  int64(d),
+		delay:      n.delayAt,
+		wheelSize:  d,
+		wheelMask:  -1,
 		srcBits:    make([]uint64, words),
+	}
+	if d&(d-1) == 0 {
+		sc.wheelMask = d - 1
+	}
+	if sc.delay == nil {
+		sc.delay = make([]int64, nodes)
+		for i := range sc.delay {
+			sc.delay[i] = int64(n.cfg.FlitDelay)
+		}
 	}
 	for i := range sc.wheelBits {
 		sc.wheelBits[i] = make([]uint64, words)
@@ -145,25 +171,31 @@ func newScheduler(n *Network) *scheduler {
 	return sc
 }
 
-// wake schedules router id to be stepped at cycle now+FlitDelay — the
-// arrival cycle of a flit pushed this cycle, the only wake distance the
-// engine ever needs. Duplicate wakes for the same (router, cycle)
-// coalesce.
-func (sc *scheduler) wake(id int32) {
-	slot := sc.wheelBits[sc.curSlot]
+// wake schedules router id to be stepped at cycle now+d — the arrival
+// cycle of a flit pushed this cycle on a link of delay d. Duplicate
+// wakes for the same (router, cycle) coalesce.
+func (sc *scheduler) wake(id int32, d int64) {
+	si := sc.now + d
+	if sc.wheelMask >= 0 {
+		si &= sc.wheelMask
+	} else {
+		si %= sc.wheelSize
+	}
+	slot := sc.wheelBits[si]
 	w, b := int(id)>>6, uint64(1)<<(uint(id)&63)
 	if slot[w]&b == 0 {
 		slot[w] |= b
-		sc.wheelCount[sc.curSlot]++
+		sc.wheelCount[si]++
 		sc.wakeCount++
 	}
 }
 
 // wakeRouter is the network-facing wake hook (used by sources when they
-// inject); it is a no-op on full-scan networks.
+// inject — the injection channel has the driving node's link delay); it
+// is a no-op on full-scan networks.
 func (n *Network) wakeRouter(id int32) {
 	if n.sched != nil {
-		n.sched.wake(id)
+		n.sched.wake(id, n.sched.delay[id])
 	}
 }
 
@@ -171,8 +203,13 @@ func (n *Network) wakeRouter(id int32) {
 // routers or-merged with the wheel slot due now, walked in ascending
 // node order.
 func (sc *scheduler) buildActive(now int64) {
-	slot := now % sc.flitDelay
-	sc.curSlot = int(slot)
+	sc.now = now
+	slot := now
+	if sc.wheelMask >= 0 {
+		slot &= sc.wheelMask
+	} else {
+		slot %= sc.wheelSize
+	}
 	wb := sc.wheelBits[slot]
 	sc.active = sc.active[:0]
 	for w := 0; w < sc.words; w++ {
@@ -232,7 +269,7 @@ func (n *Network) finishRouter(id int, now int64) {
 	for m := r.TakeFlitPushes(); m != 0; m &= m - 1 {
 		port := bits.TrailingZeros64(m)
 		if dst := sc.outDst[id*sc.ports+port]; dst >= 0 {
-			sc.wake(dst)
+			sc.wake(dst, sc.delay[id])
 		}
 	}
 	if !r.ComputeIdle() {

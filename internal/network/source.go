@@ -22,19 +22,29 @@ type source struct {
 	rng  *rng.RNG
 
 	// adv, when non-nil, lets the injector consume its idle gap in one
-	// batch (ConstantRate). The active-set scheduler uses it to park an
-	// idle source until precisely its next generation cycle; an
-	// injector without it (Bernoulli draws its RNG every cycle) keeps
-	// the source on the active list permanently, so its random stream —
-	// and every figure metric derived from it — is untouched.
+	// batch (ConstantRate, MMPP, Batch, trace replay). The active-set
+	// scheduler uses it to park an idle source until precisely its next
+	// generation cycle; an injector without it (Bernoulli draws its RNG
+	// every cycle) keeps the source on the active list permanently, so
+	// its random stream — and every figure metric derived from it — is
+	// untouched.
 	adv interface{ AdvanceToInjection() int64 }
+	// cnt, when non-nil, reports how many packets the injection reached
+	// by AdvanceToInjection carries (batch releases, trace cycles with
+	// several packets). Absent, a pre-consumed injection is one packet.
+	cnt interface{ PendingCount() int }
+	// draw, when non-nil, dictates each generated packet's destination
+	// and size (trace replay) instead of the pattern + size draws.
+	draw interface{ NextPacket() (dst, size int) }
 	// tickedTo is the last cycle whose injector Tick has been applied;
 	// while parked it runs ahead of the simulation clock (the gap's
 	// ticks were consumed at park time, replaying the full-scan
 	// engine's exact accumulator sequence), and pendingAt holds the
-	// cycle of the pre-consumed injection (-1 when none).
+	// cycle of the pre-consumed injection (-1 when none) with pendingN
+	// packets due there.
 	tickedTo  int64
 	pendingAt int64
+	pendingN  int
 
 	flitOut  *link.Wire[flit.Flit]
 	creditIn *link.Wire[router.Credit]
@@ -59,21 +69,22 @@ type stream struct {
 }
 
 func newSource(net *Network, node int, inj traffic.Injector, r *rng.RNG,
-	flitOut *link.Wire[flit.Flit], creditIn *link.Wire[router.Credit]) *source {
+	flitOut *link.Wire[flit.Flit], creditIn *link.Wire[router.Credit], vcs, bufPerVC int) *source {
 
-	v := net.cfg.Router.VCs
 	s := &source{
 		net: net, node: node, inj: inj, rng: r,
 		tickedTo: -1, pendingAt: -1,
 		flitOut: flitOut, creditIn: creditIn,
-		credits: make([]int, v),
-		busy:    make([]bool, v),
-		streams: make([]stream, v),
+		credits: make([]int, vcs),
+		busy:    make([]bool, vcs),
+		streams: make([]stream, vcs),
 		queue:   make([]*flit.Packet, 8),
 	}
 	s.adv, _ = inj.(interface{ AdvanceToInjection() int64 })
+	s.cnt, _ = inj.(interface{ PendingCount() int })
+	s.draw, _ = inj.(interface{ NextPacket() (dst, size int) })
 	for i := range s.credits {
-		s.credits[i] = net.cfg.Router.BufPerVC
+		s.credits[i] = bufPerVC
 	}
 	return s
 }
@@ -124,7 +135,10 @@ func (s *source) step(now int64) {
 			panic("network: parked source stepped off its injection cycle")
 		}
 		s.pendingAt = -1
-		s.generate(now)
+		for i := s.pendingN; i > 0; i-- {
+			s.generate(now)
+		}
+		s.pendingN = 0
 	} else {
 		for t := s.tickedTo + 1; t <= now; t++ {
 			for i := s.inj.Tick(); i > 0; i-- {
@@ -195,18 +209,34 @@ func (s *source) park() int64 {
 	}
 	s.tickedTo += k
 	s.pendingAt = s.tickedTo
+	s.pendingN = 1
+	if s.cnt != nil {
+		s.pendingN = s.cnt.PendingCount()
+	}
 	return s.pendingAt
 }
 
 // generate creates one packet (from the network's pool) and appends it
-// to the source queue.
+// to the source queue. Trace replay dictates the destination and size;
+// live workloads draw the destination from the pattern and, when a size
+// distribution is configured, the size from the source's RNG stream.
 func (s *source) generate(now int64) {
-	dst := s.net.cfg.Pattern.Dest(s.node, s.net.Nodes(), s.rng)
+	var dst, size int
+	if s.draw != nil {
+		dst, size = s.draw.NextPacket()
+	} else {
+		dst = s.net.cfg.Pattern.Dest(s.node, s.net.Nodes(), s.rng)
+		if s.net.cfg.Sizes != nil {
+			size = s.net.cfg.Sizes.Sample(s.rng)
+		} else {
+			size = s.net.cfg.PacketSize
+		}
+	}
 	p := s.net.allocPacket()
 	p.ID = s.net.nextPacketID
 	p.Src = s.node
 	p.Dst = dst
-	p.Size = s.net.cfg.PacketSize
+	p.Size = size
 	p.CreatedAt = now
 	s.net.nextPacketID++
 	if cb := s.net.OnPacketCreated; cb != nil {

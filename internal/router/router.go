@@ -64,6 +64,7 @@ type outputPort struct {
 	creditIn *link.Wire[Credit]    // downstream pushes returned credits here
 	credits  []int                 // per downstream VC
 	vcBusy   uint64                // outvc_state bitmask: VC allocated to a packet
+	vcMask   uint64                // allocatable VCs on this port (downstream may have fewer)
 	ejection bool                  // local port: infinite buffering, immediate ejection
 }
 
@@ -158,6 +159,7 @@ func New(id int, cfg Config, routes []uint8) *Router {
 		for c := 0; c < v; c++ {
 			r.out[i].credits[c] = cfg.BufPerVC
 		}
+		r.out[i].vcMask = r.vcMaskAll
 	}
 	// The credit-processing pipeline of depth d (a credit received at t
 	// is visible at t+d) is implemented by draining the credit wires d
@@ -222,10 +224,11 @@ func (r *Router) SetVCClassTable(tab []uint64) {
 }
 
 // vaCandidates builds the VC-allocation candidate mask for an input VC:
-// the free VCs of the routed output port, intersected with the class
-// policy.
+// the free VCs of the routed output port (limited to the VCs the
+// downstream router actually has), intersected with the class policy.
 func (r *Router) vaCandidates(vc *inputVC) uint64 {
-	cands := ^r.out[vc.route].vcBusy & r.vcMaskAll
+	op := &r.out[vc.route]
+	cands := ^op.vcBusy & op.vcMask
 	if r.classTab != nil {
 		hoq := vc.fifo.Peek()
 		if hoq != nil {
@@ -233,6 +236,31 @@ func (r *Router) vaCandidates(vc *inputVC) uint64 {
 		}
 	}
 	return cands
+}
+
+// SetOutputPolicy sizes output port port's credit state for a
+// heterogeneous downstream router: the allocatable VCs become
+// min(local VCs, downVCs) and each carries downBufPerVC credits — the
+// downstream input buffer it actually drains into. With matching
+// parameters this reproduces New's defaults exactly, so uniform
+// networks are unaffected. It must be called before the first Step.
+func (r *Router) SetOutputPolicy(port, downVCs, downBufPerVC int) {
+	if downVCs < 1 || downBufPerVC < 1 {
+		panic(fmt.Sprintf("router %d: output %d policy %d VCs × %d buffers; need >= 1", r.id, port, downVCs, downBufPerVC))
+	}
+	op := &r.out[port]
+	eff := downVCs
+	if r.cfg.VCs < eff {
+		eff = r.cfg.VCs
+	}
+	op.vcMask = (uint64(1) << eff) - 1
+	for c := range op.credits {
+		if c < eff {
+			op.credits[c] = downBufPerVC
+		} else {
+			op.credits[c] = 0
+		}
+	}
 }
 
 // SetProbe installs a buffer-turnaround probe on the directional input

@@ -23,6 +23,7 @@ import (
 	"routersim/internal/pool"
 	"routersim/internal/stats"
 	"routersim/internal/topology"
+	"routersim/internal/trace"
 )
 
 // ciBatches is the number of batch-means batches a full tagged sample
@@ -58,6 +59,11 @@ type Config struct {
 	CITarget float64
 	// Probe enables the buffer-turnaround probe on all routers.
 	Probe bool
+	// Record, when non-nil, captures every packet injection of the run
+	// (warm-up included) into the recorder — the record half of the
+	// trace record/replay workflow. The capture sees the exact workload,
+	// so replaying it reproduces the run event for event.
+	Record *trace.Recorder
 }
 
 // Result reports one simulation run. The json tags keep the harness's
@@ -120,7 +126,13 @@ func drainAllowance(ncfg network.Config) int64 {
 	if ncfg.Topo == nil {
 		return floor // Normalize always sets Topo; defensive only
 	}
-	scaled := 64 * int64(ncfg.Topo.Diameter()) * int64(ncfg.PacketSize+ncfg.CreditDelay+8)
+	// The packet-length term uses the workload's mean flit count when a
+	// size distribution or trace replay makes it differ from PacketSize.
+	pkt := int64(ncfg.PacketSize)
+	if m := int64(ncfg.MeanFlitsPerPacket() + 0.999999); m > pkt {
+		pkt = m
+	}
+	scaled := 64 * int64(ncfg.Topo.Diameter()) * (pkt + int64(ncfg.CreditDelay) + 8)
 	if scaled < floor {
 		return floor
 	}
@@ -144,7 +156,7 @@ func (r *Runner) Run() (Result, error) {
 	ncfg := net.Config()
 
 	capacity := net.Capacity()
-	offeredFlits := ncfg.InjectionRate * float64(ncfg.PacketSize)
+	offeredFlits := ncfg.InjectionRate * ncfg.MeanFlitsPerPacket()
 	offeredFrac := offeredFlits / capacity
 
 	pktPerCycle := ncfg.InjectionRate * float64(net.Nodes())
@@ -196,7 +208,11 @@ func (r *Runner) Run() (Result, error) {
 		net.SetProbes(&turn)
 	}
 
+	rec := cfg.Record
 	net.OnPacketCreated = func(p *flit.Packet, now int64) {
+		if rec != nil {
+			rec.Record(now, p.Src, p.Dst, p.Size, p.ID)
+		}
 		if measuring && tagged < sampleTarget {
 			p.Tagged = true
 			tagged++
@@ -366,7 +382,7 @@ func SweepLoads(base Config, loads []float64) ([]LoadPoint, error) {
 // single source of truth (Cube.UniformCapacity, including its
 // injection-bandwidth cap) that cannot drift from the network layer's.
 func RateForLoad(frac float64, ncfg network.Config) float64 {
-	size := ncfg.PacketSize
+	size := ncfg.MeanFlitsPerPacket()
 	if size == 0 {
 		size = 5
 	}
@@ -385,7 +401,7 @@ func RateForLoad(frac float64, ncfg network.Config) float64 {
 		}
 		topo = mesh
 	}
-	return frac * topo.UniformCapacity() / float64(size)
+	return frac * topo.UniformCapacity() / size
 }
 
 // IsSaturated reports whether a result should be treated as past

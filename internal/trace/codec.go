@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Binary layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       5     magic "RSTRC"
+//	5       1     format version (currently 1)
+//	6       4     node count (uint32)
+//	10      8     event count (uint64)
+//	18      28×n  events: cycle int64, src int32, dst int32, size int32, flow int64
+//
+// The JSONL encoding is one header object followed by one event object
+// per line:
+//
+//	{"format":"routersim-trace","version":1,"nodes":64}
+//	{"cycle":12,"src":3,"dst":40,"size":5,"flow":0}
+
+const (
+	binaryMagic = "RSTRC"
+	headerSize  = len(binaryMagic) + 1 + 4 + 8
+	eventSize   = 28
+	jsonlFormat = "routersim-trace"
+)
+
+type jsonlHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Nodes   int    `json:"nodes"`
+}
+
+// EncodeBinary writes the trace in the canonical binary encoding.
+func (t *Trace) EncodeBinary(w io.Writer) error {
+	buf := make([]byte, headerSize, headerSize+eventSize*len(t.Events))
+	copy(buf, binaryMagic)
+	buf[len(binaryMagic)] = FormatVersion
+	binary.LittleEndian.PutUint32(buf[6:], uint32(t.Nodes))
+	binary.LittleEndian.PutUint64(buf[10:], uint64(len(t.Events)))
+	var ev [eventSize]byte
+	for _, e := range t.Events {
+		binary.LittleEndian.PutUint64(ev[0:], uint64(e.Cycle))
+		binary.LittleEndian.PutUint32(ev[8:], uint32(e.Src))
+		binary.LittleEndian.PutUint32(ev[12:], uint32(e.Dst))
+		binary.LittleEndian.PutUint32(ev[16:], uint32(e.Size))
+		binary.LittleEndian.PutUint64(ev[20:], uint64(e.Flow))
+		buf = append(buf, ev[:]...)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// DecodeBinary reads a binary-encoded trace. Malformed input — bad
+// magic, unknown version, truncated events, out-of-range fields — is an
+// error, never a panic, and the declared event count is not trusted for
+// allocation, so a hostile header cannot force a huge allocation.
+func DecodeBinary(r io.Reader) (*Trace, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: short binary header: %v", err)
+	}
+	if string(hdr[:len(binaryMagic)]) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q; not a trace file", hdr[:len(binaryMagic)])
+	}
+	if v := hdr[len(binaryMagic)]; v != FormatVersion {
+		return nil, fmt.Errorf("trace: format version %d; this build reads exactly version %d", v, FormatVersion)
+	}
+	nodes := binary.LittleEndian.Uint32(hdr[6:])
+	count := binary.LittleEndian.Uint64(hdr[10:])
+	t := &Trace{Nodes: int(nodes)}
+	if count > 0 {
+		// Grow by appending as bytes actually arrive rather than
+		// trusting count, which an adversarial header can inflate.
+		prealloc := count
+		if prealloc > 4096 {
+			prealloc = 4096
+		}
+		t.Events = make([]Event, 0, prealloc)
+	}
+	var ev [eventSize]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(r, ev[:]); err != nil {
+			return nil, fmt.Errorf("trace: truncated after %d of %d events: %v", i, count, err)
+		}
+		t.Events = append(t.Events, Event{
+			Cycle: int64(binary.LittleEndian.Uint64(ev[0:])),
+			Src:   int32(binary.LittleEndian.Uint32(ev[8:])),
+			Dst:   int32(binary.LittleEndian.Uint32(ev[12:])),
+			Size:  int32(binary.LittleEndian.Uint32(ev[16:])),
+			Flow:  int64(binary.LittleEndian.Uint64(ev[20:])),
+		})
+	}
+	if extra, err := io.CopyN(io.Discard, r, 1); extra > 0 || err != io.EOF {
+		return nil, fmt.Errorf("trace: trailing bytes after %d declared events", count)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// EncodeJSONL writes the trace as JSON lines: a header object then one
+// event object per line.
+func (t *Trace) EncodeJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlHeader{Format: jsonlFormat, Version: FormatVersion, Nodes: t.Nodes}); err != nil {
+		return err
+	}
+	for i := range t.Events {
+		if err := enc.Encode(&t.Events[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeJSONL reads a JSONL-encoded trace, with the same exact-version
+// and never-panic guarantees as DecodeBinary.
+func DecodeJSONL(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("trace: reading JSONL header: %v", err)
+		}
+		return nil, fmt.Errorf("trace: empty JSONL input")
+	}
+	var hdr jsonlHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("trace: malformed JSONL header: %v", err)
+	}
+	if hdr.Format != jsonlFormat {
+		return nil, fmt.Errorf("trace: JSONL format %q; want %q", hdr.Format, jsonlFormat)
+	}
+	if hdr.Version != FormatVersion {
+		return nil, fmt.Errorf("trace: format version %d; this build reads exactly version %d", hdr.Version, FormatVersion)
+	}
+	t := &Trace{Nodes: hdr.Nodes}
+	line := 1
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(strings.TrimSpace(string(b))) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		t.Events = append(t.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading JSONL events: %v", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Decode reads a trace in either encoding, detected by the first byte
+// ('{' is JSONL, the binary magic otherwise).
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, fmt.Errorf("trace: empty input: %v", err)
+	}
+	if first[0] == '{' {
+		return DecodeJSONL(br)
+	}
+	return DecodeBinary(br)
+}
+
+// WriteFile writes the trace to path, choosing the encoding by
+// extension: ".jsonl" (or ".json") writes JSON lines, anything else the
+// binary encoding.
+func WriteFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") || strings.HasSuffix(path, ".json") {
+		err = t.EncodeJSONL(f)
+	} else {
+		err = t.EncodeBinary(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ReadFile loads and validates a trace from path in either encoding.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return t, nil
+}

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the format-detecting decoder.
+// The invariants: decoding never panics, and anything that decodes
+// successfully survives an encode→decode round trip in both encodings
+// (decode(encode(t)) == t). Seed corpus under testdata/fuzz/FuzzDecode
+// covers both encodings and the rejection paths.
+func FuzzDecode(f *testing.F) {
+	tr := sampleTrace()
+	var bin, jl bytes.Buffer
+	if err := tr.EncodeBinary(&bin); err != nil {
+		f.Fatal(err)
+	}
+	if err := tr.EncodeJSONL(&jl); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bin.Bytes())
+	f.Add(jl.Bytes())
+	f.Add([]byte(binaryMagic))
+	f.Add([]byte(`{"format":"routersim-trace","version":1,"nodes":3}` + "\n"))
+	f.Add(bin.Bytes()[:headerSize])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input must error, not panic — reaching here is the pass
+		}
+		for _, enc := range []func(*Trace, *bytes.Buffer) error{
+			func(tr *Trace, b *bytes.Buffer) error { return tr.EncodeBinary(b) },
+			func(tr *Trace, b *bytes.Buffer) error { return tr.EncodeJSONL(b) },
+		} {
+			var buf bytes.Buffer
+			if err := enc(decoded, &buf); err != nil {
+				t.Fatalf("re-encoding a valid trace failed: %v", err)
+			}
+			again, err := Decode(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("re-decoding our own encoding failed: %v", err)
+			}
+			if again.Nodes != decoded.Nodes || !reflect.DeepEqual(again.Events, decoded.Events) {
+				t.Fatalf("round trip not identity:\nfirst  %+v\nsecond %+v", decoded, again)
+			}
+		}
+	})
+}

@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Nodes: 9,
+		Events: []Event{
+			{Cycle: 0, Src: 2, Dst: 7, Size: 5, Flow: 0},
+			{Cycle: 0, Src: 5, Dst: 1, Size: 1, Flow: 1},
+			{Cycle: 3, Src: 2, Dst: 0, Size: 9, Flow: 2},
+			{Cycle: 3, Src: 2, Dst: 4, Size: 5, Flow: 3},
+			{Cycle: 12, Src: 8, Dst: 8, Size: 2, Flow: 4},
+		},
+	}
+}
+
+// TestBinaryRoundTrip: decode(encode(t)) == t, byte-deterministic.
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf, buf2 bytes.Buffer
+	if err := tr.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EncodeBinary(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("binary encoding is not deterministic")
+	}
+	got, err := DecodeBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, tr)
+	}
+}
+
+// TestJSONLRoundTrip: same for the JSONL encoding, plus empty traces.
+func TestJSONLRoundTrip(t *testing.T) {
+	for _, tr := range []*Trace{sampleTrace(), {Nodes: 4}} {
+		var buf bytes.Buffer
+		if err := tr.EncodeJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeJSONL(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Nodes != tr.Nodes || !reflect.DeepEqual(got.Events, tr.Events) {
+			t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, tr)
+		}
+	}
+}
+
+// TestDecodeDetectsFormat: Decode picks the right codec from the first
+// byte.
+func TestDecodeDetectsFormat(t *testing.T) {
+	tr := sampleTrace()
+	var bin, jl bytes.Buffer
+	if err := tr.EncodeBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EncodeJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	for _, enc := range [][]byte{bin.Bytes(), jl.Bytes()} {
+		got, err := Decode(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Events, tr.Events) {
+			t.Fatal("decoded events differ")
+		}
+	}
+}
+
+// TestFileRoundTrip: WriteFile/ReadFile choose encodings by extension
+// and agree with each other.
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tr := sampleTrace()
+	for _, name := range []string{"w.trace", "w.jsonl"} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, tr); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Events, tr.Events) || got.Nodes != tr.Nodes {
+			t.Fatalf("%s: round trip mismatch", name)
+		}
+	}
+}
+
+// TestDecodeRejections: every malformed-input class errors with a
+// useful message and never panics.
+func TestDecodeRejections(t *testing.T) {
+	tr := sampleTrace()
+	var bin bytes.Buffer
+	if err := tr.EncodeBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	good := bin.Bytes()
+
+	futureVersion := append([]byte(nil), good...)
+	futureVersion[5] = 2
+
+	truncated := good[:len(good)-5]
+
+	trailing := append(append([]byte(nil), good...), 0)
+
+	badSrc := append([]byte(nil), good...)
+	badSrc[headerSize+8] = 0xFF // first event's src -> out of range
+
+	// Huge declared count with no payload must error fast, not allocate.
+	hugeCount := append([]byte(nil), good[:headerSize]...)
+	for i := 10; i < 18; i++ {
+		hugeCount[i] = 0xFF
+	}
+
+	cases := []struct {
+		name, errLike string
+		data          []byte
+	}{
+		{"empty", "empty input", nil},
+		{"bad magic", "bad magic", []byte("NOTATRACEFILE padding padding")},
+		{"future version", "reads exactly version 1", futureVersion},
+		{"truncated", "truncated", truncated},
+		{"trailing", "trailing bytes", trailing},
+		{"src out of range", "outside [0,9)", badSrc},
+		{"huge count", "truncated", hugeCount},
+		{"jsonl wrong format", `format "elsewhere"`, []byte(`{"format":"elsewhere","version":1,"nodes":2}` + "\n")},
+		{"jsonl future version", "reads exactly version 1", []byte(`{"format":"routersim-trace","version":9,"nodes":2}` + "\n")},
+		{"jsonl bad header", "malformed JSONL header", []byte("{nope\n")},
+		{"jsonl bad event", "line 2", []byte(`{"format":"routersim-trace","version":1,"nodes":2}` + "\n{bad\n")},
+		{"jsonl bad nodes", "node count 0", []byte(`{"format":"routersim-trace","version":1,"nodes":0}` + "\n")},
+		{"jsonl unsorted", "canonical (cycle, src) order", []byte(`{"format":"routersim-trace","version":1,"nodes":4}` + "\n" +
+			`{"cycle":5,"src":1,"dst":0,"size":1,"flow":0}` + "\n" +
+			`{"cycle":2,"src":1,"dst":0,"size":1,"flow":1}` + "\n")},
+	}
+	for _, tc := range cases {
+		_, err := Decode(bytes.NewReader(tc.data))
+		if err == nil {
+			t.Fatalf("%s: want error containing %q, got nil", tc.name, tc.errLike)
+		}
+		if !strings.Contains(err.Error(), tc.errLike) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.errLike)
+		}
+	}
+}
+
+// TestTraceStats pins Span/Rate/MeanSize.
+func TestTraceStats(t *testing.T) {
+	tr := sampleTrace()
+	if tr.Span() != 13 {
+		t.Fatalf("Span = %d, want 13", tr.Span())
+	}
+	if want := 5.0 / (13 * 9); tr.Rate() != want {
+		t.Fatalf("Rate = %v, want %v", tr.Rate(), want)
+	}
+	if want := (5 + 1 + 9 + 5 + 2) / 5.0; tr.MeanSize() != want {
+		t.Fatalf("MeanSize = %v, want %v", tr.MeanSize(), want)
+	}
+	empty := &Trace{Nodes: 3}
+	if empty.Span() != 0 || empty.Rate() != 0 || empty.MeanSize() != 0 {
+		t.Fatal("empty trace stats not zero")
+	}
+}
+
+// TestRecorderCanonicalizes: a recorder fed out of canonical order
+// still yields a valid trace.
+func TestRecorderCanonicalizes(t *testing.T) {
+	r := NewRecorder(4)
+	r.Record(7, 3, 0, 5, 1)
+	r.Record(7, 1, 2, 5, 0)
+	r.Record(2, 2, 2, 1, 2)
+	tr := r.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Cycle: 2, Src: 2, Dst: 2, Size: 1, Flow: 2},
+		{Cycle: 7, Src: 1, Dst: 2, Size: 5, Flow: 0},
+		{Cycle: 7, Src: 3, Dst: 0, Size: 5, Flow: 1},
+	}
+	if !reflect.DeepEqual(tr.Events, want) {
+		t.Fatalf("events = %+v, want %+v", tr.Events, want)
+	}
+}
+
+// TestReplayerTickMatchesAdvance: the replayer's per-cycle and parked
+// paths enumerate the same injections, with recorded (dst, size) pairs
+// delivered in order.
+func TestReplayerTickMatchesAdvance(t *testing.T) {
+	tr := sampleTrace()
+	for node := 0; node < tr.Nodes; node++ {
+		ticked := NewReplayer(tr, node)
+		var at []int64
+		var counts []int
+		for c := int64(0); c < tr.Span(); c++ {
+			if n := ticked.Tick(); n > 0 {
+				at = append(at, c)
+				counts = append(counts, n)
+			}
+		}
+		adv := NewReplayer(tr, node)
+		cursor := int64(-1)
+		for i, want := range at {
+			k := adv.AdvanceToInjection()
+			if k < 1 {
+				t.Fatalf("node %d: advance ended after %d of %d injections", node, i, len(at))
+			}
+			cursor += k
+			if cursor != want {
+				t.Fatalf("node %d: injection %d at %d via advance, %d via tick", node, i, cursor, want)
+			}
+			if adv.PendingCount() != counts[i] {
+				t.Fatalf("node %d: PendingCount %d, want %d", node, adv.PendingCount(), counts[i])
+			}
+		}
+		if adv.AdvanceToInjection() != -1 {
+			t.Fatalf("node %d: exhausted replayer did not park forever", node)
+		}
+	}
+	// Node 2 has three events; NextPacket yields them in order.
+	p := NewReplayer(tr, 2)
+	if p.Remaining() != 3 {
+		t.Fatalf("Remaining = %d, want 3", p.Remaining())
+	}
+	wantDst := []int{7, 0, 4}
+	wantSize := []int{5, 9, 5}
+	for i := range wantDst {
+		d, s := p.NextPacket()
+		if d != wantDst[i] || s != wantSize[i] {
+			t.Fatalf("NextPacket %d = (%d,%d), want (%d,%d)", i, d, s, wantDst[i], wantSize[i])
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package traffic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"routersim/internal/rng"
+)
+
+// SourceSpec is a parsed injection-process spec: which arrival process
+// a source runs, plus its process parameters. The zero value is the
+// paper's constant-rate source. The rate itself is not part of the
+// spec — it comes from the offered load — so one spec serves a whole
+// load sweep; NewInjector binds the two.
+type SourceSpec struct {
+	// Kind is the process name: "" or "const", "bernoulli", "mmpp",
+	// "batch", or "trace".
+	Kind string
+	// On and Off are the MMPP mean dwell times in cycles (Kind "mmpp").
+	On, Off float64
+	// BatchSize is the packets per release event (Kind "batch").
+	BatchSize int
+	// File is the trace path (Kind "trace"); the caller loads it — the
+	// traffic layer performs no IO.
+	File string
+}
+
+// validSourceSpecs renders the accepted source-spec forms for error
+// messages.
+func validSourceSpecs() string {
+	return "const, bernoulli, mmpp:on=CYCLES,off=CYCLES, batch:size=N, trace:file=PATH"
+}
+
+// ParseSource resolves an injection-process spec:
+//
+//	const (or "")            the paper's constant-rate source
+//	bernoulli                independent per-cycle coin flips
+//	mmpp:on=X,off=Y          on/off bursts: mean burst X cycles, mean gap Y cycles
+//	batch:size=N             whole batches of N packets at geometric intervals
+//	trace:file=PATH          replay a recorded workload (see internal/trace)
+//
+// Structural and range errors (unknown names, malformed or missing
+// parameters, dwell times < 1 cycle, batch size < 1) are reported here;
+// rate-dependent feasibility (a burst duty cycle or batch size that
+// cannot deliver the offered load) is NewInjector's to report, since
+// the spec is parsed before the load is known.
+func ParseSource(spec string) (SourceSpec, error) {
+	name, args, hasArgs := cutSpec(spec)
+	switch name {
+	case "", "const", "constant":
+		if hasArgs {
+			return SourceSpec{}, fmt.Errorf("traffic: source %q takes no parameters (valid specs: %s)", spec, validSourceSpecs())
+		}
+		return SourceSpec{Kind: "const"}, nil
+	case "bernoulli":
+		if hasArgs {
+			return SourceSpec{}, fmt.Errorf("traffic: source %q takes no parameters (valid specs: %s)", spec, validSourceSpecs())
+		}
+		return SourceSpec{Kind: "bernoulli"}, nil
+	case "mmpp":
+		kv, err := parseKVArgs("source: mmpp", args, []string{"on", "off"}, []string{"on", "off"})
+		if err != nil {
+			return SourceSpec{}, err
+		}
+		on, err := kvFloat("source: mmpp", kv, "on")
+		if err != nil {
+			return SourceSpec{}, err
+		}
+		off, err := kvFloat("source: mmpp", kv, "off")
+		if err != nil {
+			return SourceSpec{}, err
+		}
+		if on < 1 || off < 1 {
+			return SourceSpec{}, fmt.Errorf("traffic: source: mmpp mean dwell times must be >= 1 cycle, got on=%v off=%v", on, off)
+		}
+		return SourceSpec{Kind: "mmpp", On: on, Off: off}, nil
+	case "batch":
+		kv, err := parseKVArgs("source: batch", args, []string{"size"}, []string{"size"})
+		if err != nil {
+			return SourceSpec{}, err
+		}
+		size, err := kvInt("source: batch", kv, "size")
+		if err != nil {
+			return SourceSpec{}, err
+		}
+		if size < 1 {
+			return SourceSpec{}, fmt.Errorf("traffic: source: batch size %d; need >= 1", size)
+		}
+		return SourceSpec{Kind: "batch", BatchSize: size}, nil
+	case "trace":
+		kv, err := parseKVArgs("source: trace", args, []string{"file"}, []string{"file"})
+		if err != nil {
+			return SourceSpec{}, err
+		}
+		if kv["file"] == "" {
+			return SourceSpec{}, fmt.Errorf("traffic: source: trace wants a non-empty file path")
+		}
+		return SourceSpec{Kind: "trace", File: kv["file"]}, nil
+	default:
+		return SourceSpec{}, fmt.Errorf("traffic: unknown source %q (valid specs: %s)", spec, validSourceSpecs())
+	}
+}
+
+// String renders the spec back in its canonical spelling.
+func (s SourceSpec) String() string {
+	switch s.Kind {
+	case "", "const":
+		return "const"
+	case "mmpp":
+		return fmt.Sprintf("mmpp:on=%v,off=%v", s.On, s.Off)
+	case "batch":
+		return fmt.Sprintf("batch:size=%d", s.BatchSize)
+	case "trace":
+		return "trace:file=" + s.File
+	default:
+		return s.Kind
+	}
+}
+
+// NewInjector instantiates the spec's arrival process at the given mean
+// rate (packets/cycle) on the given RNG stream. Trace specs have no
+// standalone injector — replay is wired by the network layer — and are
+// an error here.
+func (s SourceSpec) NewInjector(rate float64, r *rng.RNG) (Injector, error) {
+	switch s.Kind {
+	case "", "const":
+		return NewConstantRate(rate, r.Float64()), nil
+	case "bernoulli":
+		return NewBernoulli(rate, r), nil
+	case "mmpp":
+		return NewMMPP(rate, s.On, s.Off, r)
+	case "batch":
+		return NewBatch(rate, s.BatchSize, r)
+	case "trace":
+		return nil, fmt.Errorf("traffic: trace sources replay a recorded workload; the network layer wires them")
+	default:
+		return nil, fmt.Errorf("traffic: unknown source kind %q (valid specs: %s)", s.Kind, validSourceSpecs())
+	}
+}
+
+// cutSpec splits "name:args" at the first ':'.
+func cutSpec(spec string) (name, args string, hasArgs bool) {
+	return strings.Cut(spec, ":")
+}
+
+// parseKVArgs parses "k=v,k=v" parameter lists shared by the source and
+// size grammars: every key must be known and stated exactly once, and
+// every required key must be present. ctx names the spec in errors
+// ("source: mmpp").
+func parseKVArgs(ctx, args string, valid, required []string) (map[string]string, error) {
+	kv := make(map[string]string, len(valid))
+	if strings.TrimSpace(args) != "" {
+		for _, field := range strings.Split(args, ",") {
+			k, v, ok := strings.Cut(field, "=")
+			k = strings.TrimSpace(k)
+			if !ok || k == "" {
+				return nil, fmt.Errorf("traffic: %s wants KEY=VALUE parameters, got %q", ctx, field)
+			}
+			known := false
+			for _, name := range valid {
+				if k == name {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return nil, fmt.Errorf("traffic: %s: unknown parameter %q (valid: %s)", ctx, k, strings.Join(valid, ", "))
+			}
+			if _, dup := kv[k]; dup {
+				return nil, fmt.Errorf("traffic: %s: duplicate parameter %q", ctx, k)
+			}
+			kv[k] = strings.TrimSpace(v)
+		}
+	}
+	for _, name := range required {
+		if _, ok := kv[name]; !ok {
+			return nil, fmt.Errorf("traffic: %s: missing required parameter %q", ctx, name)
+		}
+	}
+	return kv, nil
+}
+
+// kvInt resolves an integer parameter from a parsed KV set.
+func kvInt(ctx string, kv map[string]string, key string) (int, error) {
+	v, err := strconv.Atoi(kv[key])
+	if err != nil {
+		return 0, fmt.Errorf("traffic: %s: parameter %s: %v", ctx, key, err)
+	}
+	return v, nil
+}
+
+// kvFloat resolves a float parameter from a parsed KV set.
+func kvFloat(ctx string, kv map[string]string, key string) (float64, error) {
+	v, err := strconv.ParseFloat(kv[key], 64)
+	if err != nil {
+		return 0, fmt.Errorf("traffic: %s: parameter %s: %v", ctx, key, err)
+	}
+	return v, nil
+}
+
+// parseIntArg parses a single bare-integer argument ("fixed:7").
+func parseIntArg(ctx, args string) (int, error) {
+	v, err := strconv.Atoi(strings.TrimSpace(args))
+	if err != nil {
+		return 0, fmt.Errorf("traffic: %s: %v", ctx, err)
+	}
+	return v, nil
+}

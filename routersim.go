@@ -170,6 +170,16 @@ func RunScenario(sc Scenario, opts MatrixOptions) (MatrixResult, error) {
 	return harness.RunScenario(sc, opts)
 }
 
+// RecordScenario runs a single scenario with a workload recorder
+// attached and writes the captured packet trace to path (".jsonl" or
+// ".json" extensions select the JSONL encoding, anything else the
+// binary one). Replaying the file — a scenario whose Source is
+// "trace:file=PATH" — reproduces the recorded packet workload event
+// for event, independent of engine variant or worker count.
+func RecordScenario(sc Scenario, opts MatrixOptions, path string) (MatrixResult, error) {
+	return harness.RunScenarioRecorded(sc, opts, path)
+}
+
 // WriteMatrixJSON serializes matrix results as one JSON array with a
 // byte-deterministic payload.
 func WriteMatrixJSON(w io.Writer, results []MatrixResult) error {
