@@ -293,6 +293,7 @@ func benchCycles(b *testing.B, cfg network.Config, warm int64) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.Cleanup(net.Close)
 	for now := int64(0); now < warm; now++ {
 		net.Step(now) // warm the network before timing
 	}
@@ -343,6 +344,41 @@ func BenchmarkNetworkCycleLowLoadFullScan(b *testing.B) {
 	cfg := lowLoadCfg(b)
 	cfg.FullScan = true
 	benchCycles(b, cfg, 4000)
+}
+
+// shardBenchCfg is a 4,096-router mesh at 30% load: large enough that
+// the per-shard work dominates the per-window barrier, the regime the
+// lookahead-sharded engine targets. The CI scaling smoke runs this same
+// shape through netsim at shards=1 vs 4 and records wall-clock.
+func shardBenchCfg(tb testing.TB) network.Config {
+	tb.Helper()
+	topo, err := topology.New("mesh:k=64", 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return network.Config{
+		Topo:          topo,
+		Router:        router.DefaultConfig(router.SpeculativeVC),
+		Seed:          1,
+		InjectionRate: 0.3 * topo.UniformCapacity() / 5,
+	}
+}
+
+// BenchmarkNetworkCycleSharded measures whole-network cycle cost with
+// the network split into 4 lookahead shards stepping concurrently.
+// On a multi-core machine this should approach a 4× speedup over
+// BenchmarkNetworkCycleShardedBaseline; on one core it instead bounds
+// the sharding overhead (window buffering + barrier exchange).
+func BenchmarkNetworkCycleSharded(b *testing.B) {
+	cfg := shardBenchCfg(b)
+	cfg.Shards = 4
+	benchCycles(b, cfg, 2000)
+}
+
+// BenchmarkNetworkCycleShardedBaseline is the identical network on the
+// single-range engine — the denominator of the scaling claim.
+func BenchmarkNetworkCycleShardedBaseline(b *testing.B) {
+	benchCycles(b, shardBenchCfg(b), 2000)
 }
 
 // drainBench runs a complete ultra-low-load measurement through

@@ -34,6 +34,7 @@ func main() {
 	overrides := flag.String("overrides", "", "per-router overrides, ';'-separated SEL:k=v groups (SEL = id, LO-HI, or '*'): e.g. '0:vcs=4,buf=8;3-5:delay=2'")
 	record := flag.String("record", "", "record the run's packet workload to this trace file (.jsonl/.json = JSONL, else binary)")
 	stepWorkers := flag.Int("step-workers", 0, "deterministic parallel stepper workers (0 or 1 = serial engine; results are identical for every value)")
+	shards := flag.Int("shards", 0, "lookahead-sharded engine shard count (0 or 1 = single-range engine; results are identical for every value)")
 	warmup := flag.Int64("warmup", 10000, "warm-up cycles")
 	packets := flag.Int("packets", 20000, "tagged sample size")
 	exact := flag.Bool("exact", false, "store every latency sample for exact percentiles (default streams with O(1) memory)")
@@ -68,7 +69,7 @@ func main() {
 		// specs, recording, nor JSON output; reject rather than silently
 		// ignore those flags.
 		if *topo != "mesh" || *pattern != "uniform" || *jsonOut ||
-			*source != "" || *sizes != "" || *overrides != "" || *record != "" || *stepWorkers != 0 {
+			*source != "" || *sizes != "" || *overrides != "" || *record != "" || *stepWorkers != 0 || *shards != 0 {
 			fmt.Fprintln(os.Stderr, "-probe-turnaround supports only -topo mesh, -pattern uniform, the default workload, and text output")
 			os.Exit(2)
 		}
@@ -86,6 +87,7 @@ func main() {
 		PacketSize:  *pkt,
 		CreditDelay: *creditDelay,
 		StepWorkers: *stepWorkers,
+		Shards:      *shards,
 		Source:      *source,
 		Sizes:       *sizes,
 		Overrides:   *overrides,

@@ -57,6 +57,7 @@ func main() {
 	pktSizes := flag.String("packetsize", "5", "comma-separated packet sizes (flits)")
 	creditDelays := flag.String("credit-delays", "1", "comma-separated credit propagation delays (cycles)")
 	stepWorkers := flag.String("step-workers", "0", "comma-separated parallel-stepper worker counts (0/1 = serial engine; results are identical for every value)")
+	shards := flag.String("shards", "0", "comma-separated lookahead-shard counts (0/1 = single-range engine; results are identical for every value)")
 	sources := flag.String("sources", "", "comma-separated injection processes: const, bernoulli, mmpp:on=X,off=Y, batch:size=N, trace:file=PATH (empty = const; a bare KEY=VALUE fragment continues the previous spec)")
 	sizes := flag.String("sizes", "", "comma-separated packet-size distributions: fixed:N, uniform:min=A,max=B, bimodal:small=S,large=L,p=P (empty = every packet is -packetsize flits)")
 	overrides := flag.String("overrides", "", "'|'-separated per-router override specs, each ';'-separated SEL:k=v groups, e.g. '0:vcs=4,buf=8;3-5:delay=2|*:buf=2' (empty list entry = uniform network)")
@@ -93,7 +94,7 @@ func main() {
 		matrixOnly := map[string]bool{
 			"routers": true, "topos": true, "k": true, "patterns": true,
 			"vcs": true, "bufs": true, "packetsize": true, "credit-delays": true,
-			"step-workers": true, "sources": true, "sizes": true, "overrides": true,
+			"step-workers": true, "shards": true, "sources": true, "sizes": true, "overrides": true,
 			"loads": true, "warmup": true, "packets": true,
 			"workers": true, "json": true, "quiet": true,
 			"saturation": true, "sat-tol": true, "exact": true, "ci-target": true,
@@ -117,6 +118,7 @@ func main() {
 		PacketSizes:  parseInts("packetsize", *pktSizes),
 		CreditDelays: parseInts("credit-delays", *creditDelays),
 		StepWorkers:  parseInts("step-workers", *stepWorkers),
+		Shards:       parseInts("shards", *shards),
 		Sources:      splitWorkloadList(*sources),
 		Sizes:        splitWorkloadList(*sizes),
 		Overrides:    splitPipeList(*overrides),
@@ -155,6 +157,7 @@ func main() {
 	requested := len(matrix.Routers) * len(matrix.Topologies) * len(matrix.Ks) *
 		len(matrix.Patterns) * len(matrix.VCs) * len(matrix.BufsPerVC) *
 		len(matrix.PacketSizes) * len(matrix.CreditDelays) * len(matrix.StepWorkers) *
+		len(matrix.Shards) *
 		axisLen(matrix.Sources) * axisLen(matrix.Sizes) * axisLen(matrix.Overrides) *
 		len(matrix.Loads)
 	jobs := matrix.Size()

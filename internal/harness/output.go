@@ -72,7 +72,7 @@ func (s *JSONStream) Close() error {
 // counts tagged packets the cycle cap cut off (nonzero ⇒ the latency
 // columns are lower bounds, not measurements); mean_ci and accepted_ci
 // are 95% batch-means confidence half-widths.
-const CSVHeader = "index,router,topology,k,pattern,vcs,buf_per_vc,packet_size,credit_delay,step_workers,source,sizes,overrides,load,seed," +
+const CSVHeader = "index,router,topology,k,pattern,vcs,buf_per_vc,packet_size,credit_delay,step_workers,shards,source,sizes,overrides,load,seed," +
 	"ports,model_stages,offered,accepted,accepted_ci,mean_latency,mean_ci,p50,p95,max_latency,packets,censored,cycles,saturated,error"
 
 // WriteCSV serializes results as CSV in job-index order, with the same
@@ -113,9 +113,9 @@ func writeCSVRow(w io.Writer, r JobResult) error {
 	if r.Model != nil {
 		ports, modelStages = r.Model.Ports, r.Model.Stages
 	}
-	_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%s,%d,%d,%d,%d,%d,%s,%s,%s,%s,%d,%d,%d,%s,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%t,%s\n",
+	_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%s,%s,%s,%s,%d,%d,%d,%s,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%t,%s\n",
 		r.Index, csvEscape(sc.Router), csvEscape(sc.Topology), sc.K, csvEscape(sc.Pattern), sc.VCs, sc.BufPerVC,
-		sc.PacketSize, sc.CreditDelay, sc.StepWorkers,
+		sc.PacketSize, sc.CreditDelay, sc.StepWorkers, sc.Shards,
 		csvEscape(sc.Source), csvEscape(sc.Sizes), csvEscape(sc.Overrides), fmtFloat(sc.Load), r.Seed,
 		ports, modelStages,
 		fmtFloat(offered), fmtFloat(accepted), fmtFloat(acceptedCI), fmtFloat(mean), fmtFloat(meanCI),

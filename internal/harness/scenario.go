@@ -49,6 +49,11 @@ type Scenario struct {
 	// (0 or 1 = serial engine; > 1 = that many stepper workers). It is
 	// an execution axis: results are byte-identical for every value.
 	StepWorkers int `json:"step_workers"`
+	// Shards selects the network's lookahead-sharded engine (0 or 1 =
+	// single-range engines; > 1 = that many shards stepping windows
+	// concurrently). Like StepWorkers it is an execution axis: results
+	// are byte-identical for every value, and the two compose.
+	Shards int `json:"shards"`
 	// Source is the injection-process spec (traffic.ParseSource): empty
 	// or "const" is the paper's constant-rate source; "bernoulli",
 	// "mmpp:on=X,off=Y", and "batch:size=N" are live arrival processes;
@@ -80,6 +85,7 @@ type Matrix struct {
 	PacketSizes  []int     `json:"packet_sizes"`
 	CreditDelays []int     `json:"credit_delays"`
 	StepWorkers  []int     `json:"step_workers"`
+	Shards       []int     `json:"shards,omitempty"`
 	Sources      []string  `json:"sources,omitempty"`
 	Sizes        []string  `json:"sizes,omitempty"`
 	Overrides    []string  `json:"overrides,omitempty"`
@@ -116,6 +122,9 @@ func (m Matrix) Normalize() Matrix {
 	}
 	if len(m.StepWorkers) == 0 {
 		m.StepWorkers = []int{0}
+	}
+	if len(m.Shards) == 0 {
+		m.Shards = []int{0}
 	}
 	if len(m.Sources) == 0 {
 		m.Sources = []string{""}
@@ -155,36 +164,39 @@ func (m Matrix) Expand() []Scenario {
 							for _, size := range m.PacketSizes {
 								for _, cd := range m.CreditDelays {
 									for _, sw := range m.StepWorkers {
-										for _, src := range m.Sources {
-											for _, sz := range m.Sizes {
-												for _, ov := range m.Overrides {
-													for _, load := range m.Loads {
-														sc := Scenario{
-															Router:      rk,
-															Topology:    topo,
-															K:           k,
-															Pattern:     pat,
-															VCs:         vcs,
-															BufPerVC:    buf,
-															PacketSize:  size,
-															CreditDelay: cd,
-															StepWorkers: sw,
-															Source:      src,
-															Sizes:       sz,
-															Overrides:   ov,
-															Load:        load,
-														}
-														sc = sc.canonical()
-														// The VCs axis does not apply to non-VC
-														// kinds: pin to 1 so the label is truthful
-														// (a hand-built Scenario skips this and is
-														// rejected by SimConfig instead).
-														if kind, ok := router.ParseKind(sc.Router); ok && !kind.UsesVCs() {
-															sc.VCs = 1
-														}
-														if !seen[sc] {
-															seen[sc] = true
-															out = append(out, sc)
+										for _, sh := range m.Shards {
+											for _, src := range m.Sources {
+												for _, sz := range m.Sizes {
+													for _, ov := range m.Overrides {
+														for _, load := range m.Loads {
+															sc := Scenario{
+																Router:      rk,
+																Topology:    topo,
+																K:           k,
+																Pattern:     pat,
+																VCs:         vcs,
+																BufPerVC:    buf,
+																PacketSize:  size,
+																CreditDelay: cd,
+																StepWorkers: sw,
+																Shards:      sh,
+																Source:      src,
+																Sizes:       sz,
+																Overrides:   ov,
+																Load:        load,
+															}
+															sc = sc.canonical()
+															// The VCs axis does not apply to non-VC
+															// kinds: pin to 1 so the label is truthful
+															// (a hand-built Scenario skips this and is
+															// rejected by SimConfig instead).
+															if kind, ok := router.ParseKind(sc.Router); ok && !kind.UsesVCs() {
+																sc.VCs = 1
+															}
+															if !seen[sc] {
+																seen[sc] = true
+																out = append(out, sc)
+															}
 														}
 													}
 												}
@@ -295,6 +307,7 @@ func (s Scenario) Matrix() Matrix {
 		PacketSizes:  []int{s.PacketSize},
 		CreditDelays: []int{s.CreditDelay},
 		StepWorkers:  []int{s.StepWorkers},
+		Shards:       []int{s.Shards},
 		Sources:      []string{s.Source},
 		Sizes:        []string{s.Sizes},
 		Overrides:    []string{s.Overrides},
@@ -308,6 +321,9 @@ func (s Scenario) Label() string {
 	stepper := ""
 	if s.StepWorkers > 1 {
 		stepper = fmt.Sprintf("/par%d", s.StepWorkers)
+	}
+	if s.Shards > 1 {
+		stepper += fmt.Sprintf("/sh%d", s.Shards)
 	}
 	// Canonical specs never pin their own size (canonical() factors it
 	// into K), but a hand-built scenario might; only size-unpinned specs
@@ -359,6 +375,9 @@ func (s Scenario) SimConfig(seed uint64, pr Protocol) (sim.Config, error) {
 	if s.StepWorkers < 0 {
 		return sim.Config{}, fmt.Errorf("negative step worker count %d", s.StepWorkers)
 	}
+	if s.Shards < 0 {
+		return sim.Config{}, fmt.Errorf("negative shard count %d", s.Shards)
+	}
 	if s.K < 2 {
 		return sim.Config{}, fmt.Errorf("network radix %d; need >= 2", s.K)
 	}
@@ -397,6 +416,7 @@ func (s Scenario) SimConfig(seed uint64, pr Protocol) (sim.Config, error) {
 		Pattern:     pat,
 		CreditDelay: s.CreditDelay,
 		StepWorkers: s.StepWorkers,
+		Shards:      s.Shards,
 		Source:      srcSpec,
 		Sizes:       sizer,
 		Overrides:   overrides,

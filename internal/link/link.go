@@ -114,6 +114,35 @@ func (w *Wire[T]) grow() {
 	w.head = 0
 }
 
+// MoveTo appends every in-flight item of w to dst, preserving due
+// times, and leaves w empty. It is the boundary-exchange primitive of
+// the sharded engine: a shard pushes onto a private outbox wire during
+// its window, and the barrier moves the batch onto the receiving
+// router's real input wire. The caller guarantees dues are appended in
+// nondecreasing order relative to dst's existing tail (the lookahead
+// bound: everything already in dst was pushed at least one window
+// earlier on the same single-producer link), so FIFO pop order is
+// preserved. onItem, when non-nil, observes each moved item's due cycle
+// — the barrier uses it to schedule arrival wakes.
+func (w *Wire[T]) MoveTo(dst *Wire[T], onItem func(due int64)) {
+	for w.n > 0 {
+		h := w.head
+		e := w.buf[h]
+		w.buf[h] = entry[T]{}
+		w.head = (h + 1) & w.mask
+		w.n--
+		if dst.n == len(dst.buf) {
+			dst.grow()
+		}
+		dst.buf[(dst.head+dst.n)&dst.mask] = e
+		dst.n++
+		if onItem != nil {
+			onItem(e.due)
+		}
+	}
+	w.buf[w.head].due = neverDue
+}
+
 // Pop removes and returns the oldest item due at or before cycle now.
 // It returns ok=false when nothing (more) is due. Draining a wire is a
 // loop over Pop, which keeps the hot path free of closure calls:

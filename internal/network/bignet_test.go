@@ -1,0 +1,76 @@
+package network
+
+import (
+	"testing"
+
+	"routersim/internal/router"
+	"routersim/internal/topology"
+)
+
+// TestFunctionalRoutingAtScale exercises the above-MaxNodes regime,
+// where the network skips the O(nodes²) routing tables and routes
+// through per-router closures instead: a 129×129 mesh (16,641 nodes —
+// just past the table cap) must build under a cap= opt-in, carry
+// traffic, and stay event-trace-identical between the serial engine and
+// the lookahead-sharded engine.
+func TestFunctionalRoutingAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16k-node network build is not short-mode material")
+	}
+	topo, err := topology.New("mesh:k=129,cap=16641", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Topo:          topo,
+		Router:        router.DefaultConfig(router.Wormhole),
+		Seed:          13,
+		InjectionRate: 0.05 * topo.UniformCapacity() / 5,
+	}
+	cycles := int64(300)
+	ref := eventTrace(t, cfg, cycles)
+	if len(ref) == 0 {
+		t.Fatal("no traffic in functional-routing reference run")
+	}
+	ejected := false
+	for _, ev := range ref {
+		if ev[0] == 'e' {
+			ejected = true
+			break
+		}
+	}
+	if !ejected {
+		t.Fatal("no ejections: functional routing never delivered a flit")
+	}
+	cfg.Shards = 4
+	got := eventTrace(t, cfg, cycles)
+	compareTraces(t, "functional mesh:k=129 shards=4", ref, got)
+}
+
+// TestFunctionalRoutingClasses covers the functional VC-class path: a
+// torus needs the dateline class function, which above MaxNodes is a
+// closure rather than a table. The sharded engine must again match the
+// serial trace exactly.
+func TestFunctionalRoutingClasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16k-node network build is not short-mode material")
+	}
+	topo, err := topology.New("torus:k=129,cap=16641", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Topo:          topo,
+		Router:        router.DefaultConfig(router.VirtualChannel),
+		Seed:          17,
+		InjectionRate: 0.05 * topo.UniformCapacity() / 5,
+	}
+	cycles := int64(150)
+	ref := eventTrace(t, cfg, cycles)
+	if len(ref) == 0 {
+		t.Fatal("no traffic in functional-class reference run")
+	}
+	cfg.Shards = 2
+	got := eventTrace(t, cfg, cycles)
+	compareTraces(t, "functional torus:k=129 shards=2", ref, got)
+}

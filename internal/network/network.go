@@ -78,6 +78,16 @@ type Config struct {
 	// tests and as the benchmark baseline. It also disables NextDue's
 	// quiescence fast-forward (NextDue always answers now+1).
 	FullScan bool
+	// Shards splits the network into that many contiguous node ranges
+	// that step lookahead-many cycles independently, one goroutine
+	// each, between bulk boundary exchanges (see shard.go) — the
+	// engine for scaling wall-clock across cores on large networks.
+	// Results are byte-identical to the serial engine for any shard
+	// count. 0 or 1 keeps the single-range engines; values > 1 require
+	// the active-set scheduler (FullScan off) and at most one shard
+	// per node, and the network must be Closed after use. Composes
+	// with StepWorkers: each shard then runs its own worker gang.
+	Shards int
 	// Seed makes the simulation exactly reproducible.
 	Seed uint64
 }
@@ -108,6 +118,9 @@ func (c *Config) Normalize() error {
 	if c.StepWorkers < 0 {
 		return fmt.Errorf("network: negative step worker count %d", c.StepWorkers)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("network: negative shard count %d", c.Shards)
+	}
 	if c.Pattern == nil {
 		c.Pattern = traffic.Uniform{}
 	}
@@ -120,6 +133,14 @@ func (c *Config) Normalize() error {
 			return fmt.Errorf("network: %w", err)
 		}
 		c.Topo = mesh
+	}
+	if c.Shards > 1 {
+		if c.FullScan {
+			return fmt.Errorf("network: sharding requires the active-set scheduler; FullScan is the single-range reference engine")
+		}
+		if nodes := c.Topo.Nodes(); c.Shards > nodes {
+			return fmt.Errorf("network: %d shards over %d nodes; need at most one shard per node", c.Shards, nodes)
+		}
 	}
 	// The router port count is purely structural — the topology fully
 	// determines it — so Normalize always derives it. (Router.Ports
@@ -227,10 +248,29 @@ type Network struct {
 	computeFn func(i int)
 	probed    bool
 
-	// sched is the active-set scheduler (nil when cfg.FullScan): the
-	// per-cycle worklists that make Step cost O(in-flight work) instead
-	// of O(nodes). See sched.go.
+	// sched is the whole-network active-set scheduler (nil when
+	// cfg.FullScan or when the network is sharded): the per-cycle
+	// worklists that make Step cost O(in-flight work) instead of
+	// O(nodes). See sched.go.
 	sched *scheduler
+
+	// Sharded-engine state (cfg.Shards > 1; see shard.go): the shards
+	// and the node→shard map, the boundary wire pairs exchanged at
+	// each barrier, the window length and bounds, and the gang that
+	// runs the shards. boundaryDelay is the minimum driving-link delay
+	// over boundary flit links (0: none), recorded during wiring —
+	// with per-router link-delay overrides the lookahead must honour
+	// the slowest-constraining boundary link, not cfg.FlitDelay.
+	shards        []*shard
+	shardAt       []int32
+	flitXfers     []flitXfer
+	creditXfers   []creditXfer
+	boundaryDelay int64
+	lookahead     int64
+	winStart      int64
+	winEnd        int64
+	shardGang     *pool.Gang
+	shardRunFn    func(i int)
 }
 
 // New builds the network. The configuration is normalized in place.
@@ -269,18 +309,34 @@ func New(cfg Config) (*Network, error) {
 	// Precompute per-router routing tables (dst → output port) and, on
 	// topologies with deadlock-avoidance VC classes (tori, rings), the
 	// candidate masks (dst, port) — the routing and VC-allocation stages
-	// are table lookups, not calls.
+	// are table lookups, not calls. Beyond topology.MaxNodes the tables
+	// would be quadratic in the node count (a 320×320 mesh's route
+	// tables alone are ~10 GiB), so cap-raised networks switch to
+	// functional routing: the topology's Route/VCMask called per
+	// head-of-packet, keeping per-router state linear.
 	hasClasses := n.topo.VCClasses() > 1
+	useTables := nodes <= topology.MaxNodes
 	ports := cfg.Router.Ports
 	n.routers = make([]*router.Router, nodes)
 	for id := 0; id < nodes; id++ {
+		rcfg := cfg.Router
+		rcfg.VCs = vcs(id)
+		rcfg.BufPerVC = buf(id)
+		if !useTables {
+			id := id
+			n.routers[id] = router.New(id, rcfg, nil)
+			n.routers[id].SetRouteFunc(func(dst int) int { return n.topo.Route(id, dst) })
+			if hasClasses {
+				n.routers[id].SetVCClassFunc(func(dst, port int) uint64 {
+					return n.topo.VCMask(id, dst, port, cfg.Router.VCs)
+				})
+			}
+			continue
+		}
 		routes := make([]uint8, nodes)
 		for dst := 0; dst < nodes; dst++ {
 			routes[dst] = uint8(n.topo.Route(id, dst))
 		}
-		rcfg := cfg.Router
-		rcfg.VCs = vcs(id)
-		rcfg.BufPerVC = buf(id)
 		n.routers[id] = router.New(id, rcfg, routes)
 		if hasClasses {
 			// VC overrides are rejected on class topologies (Normalize),
@@ -292,6 +348,19 @@ func New(cfg Config) (*Network, error) {
 				}
 			}
 			n.routers[id].SetVCClassTable(classTab)
+		}
+	}
+
+	// The node→shard map is needed before wiring: links whose endpoints
+	// land in different shards are split into outbox/inbox pairs below.
+	var shardCuts []int
+	if cfg.Shards > 1 {
+		shardCuts = partitionNodes(n.topo, cfg.Shards)
+		n.shardAt = make([]int32, nodes)
+		for i := 0; i < cfg.Shards; i++ {
+			for id := shardCuts[i]; id < shardCuts[i+1]; id++ {
+				n.shardAt[id] = int32(i)
+			}
 		}
 	}
 
@@ -308,6 +377,30 @@ func New(cfg Config) (*Network, error) {
 		for port := 1; port < ports; port++ {
 			next, inPort, ok := n.topo.Neighbor(id, port)
 			if !ok {
+				continue
+			}
+			if n.shardAt != nil && n.shardAt[id] != n.shardAt[next] {
+				// Boundary link: both directions get an outbox written
+				// only by the pushing shard and an inbox read only by
+				// the receiving shard; the barrier moves entries over
+				// (shard.go). The credit inbox keeps the credit-loop
+				// presizing; the flit outbox-side dues are what the
+				// receiver's wake wheel gets at the barrier.
+				creditCap := vcs(next)*buf(next) + cfg.CreditDelay
+				fOut := link.NewWire[flit.Flit](delay(id))
+				fIn := link.NewWire[flit.Flit](delay(id))
+				cOut := link.NewWireCap[router.Credit](cfg.CreditDelay, creditCap)
+				cIn := link.NewWireCap[router.Credit](cfg.CreditDelay, creditCap)
+				n.routers[id].ConnectOutput(port, fOut, cIn)
+				n.routers[next].ConnectInput(inPort, fIn, cOut)
+				n.flitXfers = append(n.flitXfers, flitXfer{out: fOut, in: fIn, dst: int32(next)})
+				n.creditXfers = append(n.creditXfers, creditXfer{out: cOut, in: cIn})
+				if d := int64(delay(id)); n.boundaryDelay == 0 || d < n.boundaryDelay {
+					n.boundaryDelay = d
+				}
+				if vcsAt != nil || bufAt != nil {
+					n.routers[id].SetOutputPolicy(port, vcs(next), buf(next))
+				}
 				continue
 			}
 			fw := link.NewWire[flit.Flit](delay(id))
@@ -347,8 +440,12 @@ func New(cfg Config) (*Network, error) {
 		n.sources[id] = newSource(n, id, inj, nodeRNG, fw, cw, vcs(id), buf(id))
 	}
 
+	if cfg.Shards > 1 {
+		n.buildShards(shardCuts)
+		return n, nil
+	}
 	if !cfg.FullScan {
-		n.sched = newScheduler(n)
+		n.sched = newScheduler(n, n.buildSchedTables(), 0, nodes)
 	}
 
 	if cfg.StepWorkers > 1 {
@@ -380,12 +477,22 @@ func New(cfg Config) (*Network, error) {
 	return n, nil
 }
 
-// Close releases the parallel stepper's workers. It is a no-op for
+// Close releases the parallel steppers' workers. It is a no-op for
 // serial networks and must not be called twice.
 func (n *Network) Close() {
 	if n.gang != nil {
 		n.gang.Close()
 		n.gang = nil
+	}
+	if n.shardGang != nil {
+		n.shardGang.Close()
+		n.shardGang = nil
+	}
+	for _, sh := range n.shards {
+		if sh.gang != nil {
+			sh.gang.Close()
+			sh.gang = nil
+		}
 	}
 }
 
@@ -425,6 +532,10 @@ func (n *Network) SetProbes(t *stats.Turnaround) {
 // order, so callback order (and thus all derived measurement) is
 // identical for any worker count.
 func (n *Network) Step(now int64) {
+	if n.shards != nil {
+		n.stepSharded(now)
+		return
+	}
 	if n.sched != nil {
 		n.stepActive(now)
 		return

@@ -47,14 +47,90 @@ import (
 // When the carry bitmap, the wake wheel, and the source worklist agree
 // that nothing can happen before cycle T, NextDue reports T and the sim
 // run loop fast-forwards straight to it (quiescence fast-forward).
+//
+// The sharded engine (shard.go) instantiates one scheduler per shard
+// over a contiguous node range [base, base+count): the bitmaps are
+// range-local (bit = id - base) while the read-only link tables are
+// shared through schedTables. The whole-network scheduler is the
+// base=0, count=nodes special case.
 
-// scheduler holds the active-set worklists of one network.
+// schedTables holds the read-only link structure every scheduler range
+// of a network shares: built once at network.New, safe for concurrent
+// reads from any shard.
+type schedTables struct {
+	// outDst maps (router*ports + port) to the downstream router id on
+	// that output port, -1 for the ejection port and unconnected edges.
+	outDst []int32
+	ports  int
+	// delay[id] is the propagation delay of every link driven by router
+	// id. wheelSize is the largest delay (every wake wheel is sized to
+	// it); wheelMask is wheelSize-1 when the size is a power of two (the
+	// uniform-delay common case, usually 1), -1 otherwise: the slot
+	// computation runs on every flit push, and an AND is far cheaper
+	// than an int64 division.
+	delay     []int64
+	wheelSize int64
+	wheelMask int64
+}
+
+// buildSchedTables precomputes the shared downstream and delay tables.
+func (n *Network) buildSchedTables() *schedTables {
+	nodes := n.topo.Nodes()
+	ports := n.cfg.Router.Ports
+	d := int64(n.cfg.FlitDelay)
+	for _, pd := range n.delayAt {
+		if pd > d {
+			d = pd
+		}
+	}
+	tab := &schedTables{
+		outDst:    make([]int32, nodes*ports),
+		ports:     ports,
+		delay:     n.delayAt,
+		wheelSize: d,
+		wheelMask: -1,
+	}
+	if d&(d-1) == 0 {
+		tab.wheelMask = d - 1
+	}
+	if tab.delay == nil {
+		tab.delay = make([]int64, nodes)
+		for i := range tab.delay {
+			tab.delay[i] = int64(n.cfg.FlitDelay)
+		}
+	}
+	for i := range tab.outDst {
+		tab.outDst[i] = -1
+	}
+	for id := 0; id < nodes; id++ {
+		for port := 1; port < ports; port++ {
+			if next, _, ok := n.topo.Neighbor(id, port); ok {
+				tab.outDst[id*ports+port] = int32(next)
+			}
+		}
+	}
+	return tab
+}
+
+// scheduler holds the active-set worklists of one contiguous node range.
 type scheduler struct {
-	words int // ceil(nodes / 64)
+	tab   *schedTables
+	base  int32 // first node of the range
+	count int   // nodes covered
+	words int   // ceil(count / 64)
+
+	// Hot fields of tab, copied at construction so the per-push wake
+	// path (finishRouter) reads them without chasing the tab pointer.
+	// The slice headers alias tab's read-only backing arrays.
+	outDst    []int32
+	delay     []int64
+	ports     int
+	wheelSize int64
+	wheelMask int64
 
 	// active is this cycle's materialized router worklist, ascending by
-	// id; carryBits accumulates next cycle's self-sustained routers
-	// during the walk (carryCount tracks how many).
+	// (global) id; carryBits accumulates next cycle's self-sustained
+	// routers during the walk (carryCount tracks how many).
 	active     []int32
 	carryBits  []uint64
 	carryCount int
@@ -62,33 +138,19 @@ type scheduler struct {
 	// wheelBits[due mod wheelSize] holds the routers with an arrival
 	// due at cycle `due`; wheelCount counts per slot, wakeCount across
 	// slots. A wake issued during cycle t for a link of delay d is due
-	// at exactly t+d; with one uniform link delay every wake lands in
-	// the slot buildActive just drained, and per-router delay overrides
-	// merely spread wakes over a wheel sized to the largest delay —
-	// every delay is >= 1 and <= wheelSize, so a due slot is never
-	// drained before its cycle.
+	// at exactly t+d; every delay is >= 1 and <= wheelSize, so a due
+	// slot is never drained before its cycle. Boundary arrivals injected
+	// at a shard barrier land at most wheelSize-1 cycles ahead for the
+	// same reason, so the absolute-due wakeAt is equally safe.
 	wheelBits  [][]uint64
 	wheelCount []int
 	wakeCount  int
 	now        int64 // cycle being stepped (set by buildActive)
 
-	// outDst maps (router*ports + port) to the downstream router id on
-	// that output port, -1 for the ejection port and unconnected edges.
-	outDst []int32
-	ports  int
-	// delay[id] is the propagation delay of every link driven by router
-	// id (nil: uniform, and wheelSize is the global flit delay).
-	// wheelMask is wheelSize-1 when the size is a power of two (the
-	// uniform-delay common case, usually 1), -1 otherwise: the slot
-	// computation runs on every flit push, and an AND is far cheaper
-	// than an int64 division.
-	delay     []int64
-	wheelSize int64
-	wheelMask int64
-
 	// Source worklist: srcBits/srcCount carry the busy sources;
 	// srcActive is the materialized per-cycle list; srcHeap parks idle
-	// sources by (next injection cycle, id).
+	// sources by (next injection cycle, id). Heap entries use global
+	// ids.
 	srcBits   []uint64
 	srcCount  int
 	srcActive []int32
@@ -105,57 +167,35 @@ func wakeLess(a, b srcWake) bool {
 	return a.at < b.at || (a.at == b.at && a.id < b.id)
 }
 
-// newScheduler builds the scheduler for a freshly wired network: the
-// downstream table from the topology, and every source either parked at
-// its first injection cycle or, if its injector has no exact schedule,
-// active from cycle 0.
-func newScheduler(n *Network) *scheduler {
-	nodes := n.topo.Nodes()
-	ports := n.cfg.Router.Ports
-	d := int64(n.cfg.FlitDelay)
-	for _, pd := range n.delayAt {
-		if pd > d {
-			d = pd
-		}
-	}
-	words := (nodes + 63) / 64
+// newScheduler builds the scheduler for the node range [base,
+// base+count) of a freshly wired network: every source in range either
+// parked at its first injection cycle or, if its injector has no exact
+// schedule, active from cycle 0.
+func newScheduler(n *Network, tab *schedTables, base, count int) *scheduler {
+	words := (count + 63) / 64
 	sc := &scheduler{
+		tab:        tab,
+		base:       int32(base),
+		count:      count,
 		words:      words,
+		outDst:     tab.outDst,
+		delay:      tab.delay,
+		ports:      tab.ports,
+		wheelSize:  tab.wheelSize,
+		wheelMask:  tab.wheelMask,
 		carryBits:  make([]uint64, words),
-		wheelBits:  make([][]uint64, d),
-		wheelCount: make([]int, d),
-		outDst:     make([]int32, nodes*ports),
-		ports:      ports,
-		delay:      n.delayAt,
-		wheelSize:  d,
-		wheelMask:  -1,
+		wheelBits:  make([][]uint64, tab.wheelSize),
+		wheelCount: make([]int, tab.wheelSize),
 		srcBits:    make([]uint64, words),
-	}
-	if d&(d-1) == 0 {
-		sc.wheelMask = d - 1
-	}
-	if sc.delay == nil {
-		sc.delay = make([]int64, nodes)
-		for i := range sc.delay {
-			sc.delay[i] = int64(n.cfg.FlitDelay)
-		}
 	}
 	for i := range sc.wheelBits {
 		sc.wheelBits[i] = make([]uint64, words)
 	}
-	for i := range sc.outDst {
-		sc.outDst[i] = -1
-	}
-	for id := 0; id < nodes; id++ {
-		for port := 1; port < ports; port++ {
-			if next, _, ok := n.topo.Neighbor(id, port); ok {
-				sc.outDst[id*ports+port] = int32(next)
-			}
-		}
-	}
-	for id, s := range n.sources {
+	for id := base; id < base+count; id++ {
+		s := n.sources[id]
+		li := id - base
 		if s.adv == nil {
-			sc.srcBits[id>>6] |= 1 << (uint(id) & 63)
+			sc.srcBits[li>>6] |= 1 << (uint(li) & 63)
 			sc.srcCount++
 			continue
 		}
@@ -171,18 +211,34 @@ func newScheduler(n *Network) *scheduler {
 	return sc
 }
 
-// wake schedules router id to be stepped at cycle now+d — the arrival
-// cycle of a flit pushed this cycle on a link of delay d. Duplicate
-// wakes for the same (router, cycle) coalesce.
-func (sc *scheduler) wake(id int32, d int64) {
-	si := sc.now + d
+// owns reports whether a (global) node id falls in this scheduler's
+// range.
+func (sc *scheduler) owns(id int32) bool {
+	return id >= sc.base && id < sc.base+int32(sc.count)
+}
+
+// busy reports whether any worklist entry or pending wake exists — the
+// per-range quiescence check.
+func (sc *scheduler) busy() bool {
+	return sc.carryCount > 0 || sc.wakeCount > 0 || sc.srcCount > 0
+}
+
+// wakeAt schedules router id (which must be in range) to be stepped at
+// the absolute cycle due. Duplicate wakes for the same (router, cycle)
+// coalesce. due must be in (sc.now, sc.now+wheelSize] — guaranteed for
+// arrival wakes (delay ∈ [1, wheelSize]) and for barrier-transferred
+// boundary arrivals (pushed at most wheelSize-1 cycles before their
+// due, at or after the receiving shard's current cycle).
+func (sc *scheduler) wakeAt(id int32, due int64) {
+	si := due
 	if sc.wheelMask >= 0 {
 		si &= sc.wheelMask
 	} else {
 		si %= sc.wheelSize
 	}
 	slot := sc.wheelBits[si]
-	w, b := int(id)>>6, uint64(1)<<(uint(id)&63)
+	li := id - sc.base
+	w, b := int(li)>>6, uint64(1)<<(uint(li)&63)
 	if slot[w]&b == 0 {
 		slot[w] |= b
 		sc.wheelCount[si]++
@@ -190,12 +246,29 @@ func (sc *scheduler) wake(id int32, d int64) {
 	}
 }
 
+// wake schedules router id to be stepped at cycle now+d — the arrival
+// cycle of a flit pushed this cycle on a link of delay d.
+func (sc *scheduler) wake(id int32, d int64) { sc.wakeAt(id, sc.now+d) }
+
+// carry marks router id (in range) self-sustained onto the next cycle.
+// Callers run once per listed router, so the bit is always freshly set.
+func (sc *scheduler) carry(id int32) {
+	li := id - sc.base
+	sc.carryBits[li>>6] |= 1 << (uint(li) & 63)
+	sc.carryCount++
+}
+
 // wakeRouter is the network-facing wake hook (used by sources when they
 // inject — the injection channel has the driving node's link delay); it
-// is a no-op on full-scan networks.
+// is a no-op on full-scan networks. The source and its router share a
+// node, so on sharded networks the wake stays within the stepping
+// shard's own scheduler.
 func (n *Network) wakeRouter(id int32) {
 	if n.sched != nil {
 		n.sched.wake(id, n.sched.delay[id])
+	} else if n.shards != nil {
+		sc := n.shards[n.shardAt[id]].sc
+		sc.wake(id, sc.delay[id])
 	}
 }
 
@@ -216,7 +289,7 @@ func (sc *scheduler) buildActive(now int64) {
 		m := sc.carryBits[w] | wb[w]
 		sc.carryBits[w] = 0
 		wb[w] = 0
-		base := int32(w << 6)
+		base := sc.base + int32(w<<6)
 		for ; m != 0; m &= m - 1 {
 			sc.active = append(sc.active, base+int32(bits.TrailingZeros64(m)))
 		}
@@ -273,10 +346,7 @@ func (n *Network) finishRouter(id int, now int64) {
 		}
 	}
 	if !r.ComputeIdle() {
-		// finishRouter runs once per listed router, so the bit is
-		// always freshly set.
-		sc.carryBits[id>>6] |= 1 << (uint(id) & 63)
-		sc.carryCount++
+		sc.carry(int32(id))
 	}
 }
 
@@ -285,7 +355,11 @@ func (n *Network) finishRouter(id int, now int64) {
 // due now — in node order. A source that goes idle parks at its exact
 // next injection cycle.
 func (n *Network) stepActiveSources(now int64) {
-	sc := n.sched
+	n.sched.stepSources(n, now)
+}
+
+// stepSources is stepActiveSources over one scheduler's node range.
+func (sc *scheduler) stepSources(n *Network, now int64) {
 	for len(sc.srcHeap) > 0 && sc.srcHeap[0].at <= now {
 		w := sc.heapPop()
 		if w.at < now {
@@ -293,7 +367,8 @@ func (n *Network) stepActiveSources(now int64) {
 			// stale wake means the scheduler lost an injection cycle.
 			panic("network: parked source woke past its injection cycle")
 		}
-		sc.srcBits[w.id>>6] |= 1 << (uint(w.id) & 63)
+		li := w.id - sc.base
+		sc.srcBits[li>>6] |= 1 << (uint(li) & 63)
 		sc.srcCount++
 	}
 	if sc.srcCount == 0 {
@@ -304,7 +379,7 @@ func (n *Network) stepActiveSources(now int64) {
 	for w := 0; w < sc.words; w++ {
 		m := sc.srcBits[w]
 		sc.srcBits[w] = 0
-		base := int32(w << 6)
+		base := sc.base + int32(w<<6)
 		for ; m != 0; m &= m - 1 {
 			sc.srcActive = append(sc.srcActive, base+int32(bits.TrailingZeros64(m)))
 		}
@@ -315,7 +390,8 @@ func (n *Network) stepActiveSources(now int64) {
 		s := n.sources[id]
 		s.step(now)
 		if s.adv == nil || s.qlen > 0 || s.inFlight > 0 {
-			sc.srcBits[id>>6] |= 1 << (uint(id) & 63)
+			li := id - sc.base
+			sc.srcBits[li>>6] |= 1 << (uint(li) & 63)
 			sc.srcCount++
 			continue
 		}
@@ -334,10 +410,15 @@ func (n *Network) stepActiveSources(now int64) {
 // parked injection, or math.MaxInt64 if no source will ever inject
 // again. The sim run loop uses it to fast-forward over quiescent spans.
 // It must be called after Step(now) (the worklists describe now+1), and
-// always answers now+1 on full-scan networks.
+// always answers now+1 on full-scan networks. On sharded networks it
+// composes the per-shard due times with the buffered window events (see
+// shard.go).
 func (n *Network) NextDue(now int64) int64 {
+	if n.shards != nil {
+		return n.nextDueSharded(now)
+	}
 	sc := n.sched
-	if sc == nil || sc.carryCount > 0 || sc.wakeCount > 0 || sc.srcCount > 0 {
+	if sc == nil || sc.busy() {
 		return now + 1
 	}
 	if len(sc.srcHeap) == 0 {

@@ -1,0 +1,383 @@
+package network
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"routersim/internal/flit"
+	"routersim/internal/link"
+	"routersim/internal/pool"
+	"routersim/internal/router"
+	"routersim/internal/topology"
+)
+
+// This file implements the lookahead-sharded engine: the network is
+// split into contiguous node ranges (shards) that step several cycles
+// independently — one goroutine each — between barriers, instead of
+// synchronizing every cycle like the two-phase parallel stepper.
+//
+// The window length is the conservative lookahead
+//
+//	L = min( min over boundary links of the driving link's delay,
+//	         CreditDelay )
+//
+// Every flit pushed by shard A during a window [T, T+L) onto a
+// boundary link of delay d arrives at d >= L cycles later, i.e. at or
+// after T+L — the next window — so shard B never needs it while the
+// window runs. Credits cross every boundary in the reverse direction
+// with delay CreditDelay >= L, so the same holds for them. (Receivers
+// additionally process credits creditLag cycles late, so CreditDelay +
+// creditLag would be an even larger credit bound; the engine keeps the
+// simpler CreditDelay.) Everything else a router or source touches is
+// shard-local: wires between same-shard routers, the injection channel,
+// the per-shard packet pool, and the per-shard active-set scheduler.
+//
+// Boundary wires are split in two so no wire is ever touched by two
+// shards: the driving router pushes onto a shard-local outbox, and the
+// barrier moves the accumulated entries — dues intact, FIFO order
+// intact — onto the receiving router's inbox and wakes the receiver in
+// its own shard's wake wheel at each flit's exact arrival cycle. A
+// moved flit was pushed at t in [T, T+L) and is due at t+d in
+// [T+d, T+L-1+d] ⊆ [T+L, T+L+wheelSize-1]: inside the receiving
+// wheel's next wheelSize cycles, so the absolute-due wake never
+// aliases another slot, and due strictly above the previous window's
+// transfers, so the inbox stays due-ordered.
+//
+// Observable effects are replayed serially so the engine is
+// byte-identical to the serial one. During a window each shard only
+// buffers its ejections (with a packet-done flag captured at the
+// ejection cycle, before later window cycles advance the count) and
+// its packet creations; Step(now) then replays the buffered events of
+// cycle `now` across shards in ascending shard order. Shards are
+// contiguous ascending node ranges and each shard buffers per cycle in
+// ascending node order, so the concatenation reproduces the serial
+// engine's node-order callback sequence exactly. Packet IDs are
+// assigned at replay — the only global counter — so creation order,
+// IDs, and every derived measurement match the serial engine bit for
+// bit.
+
+// ejectEvent is one buffered flit ejection. done is whether this flit
+// completed its packet, captured at ejection time (the packet's
+// running count keeps advancing through the rest of the window).
+type ejectEvent struct {
+	t    int64
+	f    flit.Flit
+	done bool
+}
+
+// createEvent is one buffered packet creation, awaiting its serial
+// replay (which assigns the global packet ID).
+type createEvent struct {
+	t int64
+	p *flit.Packet
+}
+
+// flitXfer is one boundary flit link: the driving shard pushes onto
+// out during the window; the barrier moves the entries onto in (the
+// wire the receiving router reads) and wakes the receiver per entry.
+type flitXfer struct {
+	out, in *link.Wire[flit.Flit]
+	dst     int32
+	wake    func(due int64)
+}
+
+// creditXfer is one boundary credit link (reverse direction). Credits
+// never wake anyone — see the scheduler invariant in sched.go.
+type creditXfer struct {
+	out, in *link.Wire[router.Credit]
+}
+
+// shard is one contiguous node range of the sharded engine: its own
+// scheduler, event buffers, packet pool, and (optionally) worker gang.
+type shard struct {
+	net *Network
+	idx int
+	sc  *scheduler
+
+	// gang and the phase closures parallelize deliver/compute inside
+	// the shard when StepWorkers > 1 (each shard owns its gang; Gang.Run
+	// is not reentrant but distinct gangs are independent).
+	gang      *pool.Gang
+	parNow    int64
+	deliverFn func(i int)
+	computeFn func(i int)
+
+	// Buffered window events, appended in (cycle, node) order; the
+	// cursors track serial replay.
+	ejects  []ejectEvent
+	ejCur   int
+	creates []createEvent
+	crCur   int
+
+	// pktFree is the shard-local packet pool. Sources allocate from
+	// their own shard's pool during the window; the serial replay frees
+	// a finished packet back to its source's shard, so pools stay
+	// balanced under asymmetric traffic.
+	pktFree []*flit.Packet
+}
+
+func (sh *shard) allocPacket() *flit.Packet {
+	if len(sh.pktFree) == 0 {
+		return &flit.Packet{}
+	}
+	p := sh.pktFree[len(sh.pktFree)-1]
+	sh.pktFree = sh.pktFree[:len(sh.pktFree)-1]
+	return p
+}
+
+// partitionNodes cuts the node range into `shards` contiguous,
+// non-empty, balanced ranges, returning the shards+1 cut points. On
+// k-ary n-cubes the cuts snap to the top dimension's stride (slabs of
+// whole hyperplanes) when that still leaves every shard non-empty:
+// only top-dimension links then cross shards, minimizing boundary
+// traffic. Any other topology gets the plain balanced split — the
+// engine is correct for arbitrary cuts, alignment is purely a
+// boundary-count optimization.
+func partitionNodes(t topology.Topology, shards int) []int {
+	nodes := t.Nodes()
+	stride := 0
+	if c, ok := t.(topology.Cube); ok && c.N > 1 {
+		if s := nodes / c.K; s*shards <= nodes {
+			stride = s
+		}
+	}
+	cuts := make([]int, shards+1)
+	for i := 1; i < shards; i++ {
+		b := i * nodes / shards
+		if stride > 1 {
+			b = (b + stride/2) / stride * stride
+		}
+		cuts[i] = b
+	}
+	cuts[shards] = nodes
+	for i := 1; i < shards; i++ {
+		if cuts[i] <= cuts[i-1] {
+			cuts[i] = cuts[i-1] + 1
+		}
+	}
+	for i := shards - 1; i >= 1; i-- {
+		if cuts[i] >= cuts[i+1] {
+			cuts[i] = cuts[i+1] - 1
+		}
+	}
+	return cuts
+}
+
+// buildShards finishes sharded-engine construction once routers, wires,
+// and sources exist: per-shard schedulers over the shared tables,
+// boundary wake closures, gangs, and the lookahead window length.
+func (n *Network) buildShards(cuts []int) {
+	tab := n.buildSchedTables()
+	n.shards = make([]*shard, len(cuts)-1)
+	for i := range n.shards {
+		sh := &shard{net: n, idx: i}
+		sh.sc = newScheduler(n, tab, cuts[i], cuts[i+1]-cuts[i])
+		if n.cfg.StepWorkers > 1 {
+			sh.gang = pool.NewGang(n.cfg.StepWorkers)
+			sh.deliverFn = func(i int) { n.routers[sh.sc.active[i]].Deliver(sh.parNow) }
+			sh.computeFn = func(i int) { n.routers[sh.sc.active[i]].Compute(sh.parNow) }
+		}
+		n.shards[i] = sh
+	}
+	for id := range n.sources {
+		n.sources[id].sh = n.shards[n.shardAt[id]]
+	}
+	for i := range n.flitXfers {
+		x := &n.flitXfers[i]
+		sc := n.shards[n.shardAt[x.dst]].sc
+		dst := x.dst
+		x.wake = func(due int64) { sc.wakeAt(dst, due) }
+	}
+	// The credit wires bound the lookahead whenever any boundary
+	// exists; boundary flit links (recorded during wiring as the
+	// minimum driving delay) can only lower it further.
+	n.lookahead = int64(n.cfg.CreditDelay)
+	if n.boundaryDelay > 0 && n.boundaryDelay < n.lookahead {
+		n.lookahead = n.boundaryDelay
+	}
+	n.shardGang = pool.NewGang(len(n.shards))
+	n.shardRunFn = func(i int) { n.shards[i].run(n.winStart, n.winEnd) }
+}
+
+// Lookahead returns the sharded engine's window length in cycles (0 on
+// unsharded networks). Exposed for tests of the heterogeneous-delay
+// lookahead rule.
+func (n *Network) Lookahead() int64 { return n.lookahead }
+
+// stepSharded advances the sharded engine to cycle now: when the
+// current window is exhausted it runs the next window [now, now+L) —
+// all shards in parallel, then the boundary exchange — and in every
+// case it replays cycle now's buffered events serially.
+func (n *Network) stepSharded(now int64) {
+	if now >= n.winEnd {
+		n.runWindow(now)
+	}
+	n.replaySharded(now)
+}
+
+// runWindow computes the window [start, start+L): every shard steps L
+// cycles against frozen boundary inboxes, then the barrier moves the
+// boundary outboxes over. Windows need no alignment — a quiescence
+// fast-forward simply opens the next window later (NextDue guarantees
+// nothing, buffered or scheduled, lives in the gap).
+func (n *Network) runWindow(start int64) {
+	for _, sh := range n.shards {
+		if sh.ejCur != len(sh.ejects) || sh.crCur != len(sh.creates) {
+			panic("network: sharded window opened with unreplayed events")
+		}
+		sh.ejects, sh.ejCur = sh.ejects[:0], 0
+		sh.creates, sh.crCur = sh.creates[:0], 0
+	}
+	n.winStart = start
+	n.winEnd = start + n.lookahead
+	if n.probed {
+		// Probes share one accumulator across routers; a probed network
+		// steps its shards serially, like the unsharded steppers.
+		for _, sh := range n.shards {
+			sh.run(n.winStart, n.winEnd)
+		}
+	} else {
+		n.shardGang.Run(len(n.shards), n.shardRunFn)
+	}
+	// The barrier: move boundary pushes to the receiving wires in
+	// construction order (ascending driving node, then port) — a fixed
+	// serial order, though order is immaterial across distinct wires
+	// and preserved within each (single producer, monotone dues).
+	for i := range n.flitXfers {
+		x := &n.flitXfers[i]
+		x.out.MoveTo(x.in, x.wake)
+	}
+	for i := range n.creditXfers {
+		x := &n.creditXfers[i]
+		x.out.MoveTo(x.in, nil)
+	}
+}
+
+// run steps one shard through the window [start, end): the per-shard
+// clone of stepActive, with ejections buffered instead of delivered and
+// cross-shard pushes left for the barrier.
+func (sh *shard) run(start, end int64) {
+	sc := sh.sc
+	for t := start; t < end; t++ {
+		sc.buildActive(t)
+		if sh.gang != nil && !sh.net.probed {
+			sh.parNow = t
+			sh.gang.Run(len(sc.active), sh.deliverFn)
+			sh.gang.Run(len(sc.active), sh.computeFn)
+			for _, id := range sc.active {
+				sh.finishRouter(int(id), t)
+			}
+		} else {
+			for _, id := range sc.active {
+				sh.net.routers[id].Step(t)
+				sh.finishRouter(int(id), t)
+			}
+		}
+		sc.stepSources(sh.net, t)
+	}
+}
+
+// finishRouter completes one stepped router's cycle inside a window:
+// ejections are buffered with their done flag, in-shard pushes wake the
+// downstream router, and cross-shard pushes stay in their boundary
+// outbox for the barrier to deliver and wake.
+func (sh *shard) finishRouter(id int, now int64) {
+	sc := sh.sc
+	r := sh.net.routers[id]
+	if ejected := r.Ejected(); len(ejected) > 0 {
+		for _, f := range ejected {
+			if f.Pkt.Dst != id {
+				panic(fmt.Sprintf("network: flit of packet to %d ejected at node %d", f.Pkt.Dst, id))
+			}
+			sh.ejects = append(sh.ejects, ejectEvent{t: now, f: f, done: f.Pkt.Done()})
+		}
+		r.ClearEjected()
+	}
+	for m := r.TakeFlitPushes(); m != 0; m &= m - 1 {
+		port := bits.TrailingZeros64(m)
+		if dst := sc.outDst[id*sc.ports+port]; dst >= 0 && sc.owns(dst) {
+			sc.wake(dst, sc.delay[id])
+		}
+	}
+	if !r.ComputeIdle() {
+		sc.carry(int32(id))
+	}
+}
+
+// replaySharded fires cycle now's buffered events on the network's
+// callbacks: every shard's ejections in ascending shard (= node) order,
+// then every shard's creations — the serial engine's exact per-cycle
+// order. Creations assign the global packet ID here, so IDs follow
+// creation order network-wide.
+func (n *Network) replaySharded(now int64) {
+	for _, sh := range n.shards {
+		for sh.ejCur < len(sh.ejects) {
+			e := &sh.ejects[sh.ejCur]
+			if e.t != now {
+				if e.t < now {
+					panic("network: sharded ejection missed its replay cycle")
+				}
+				break
+			}
+			sh.ejCur++
+			if n.OnFlitEjected != nil {
+				n.OnFlitEjected(e.f, now)
+			}
+			if e.done {
+				p := e.f.Pkt
+				if n.OnPacketDone != nil {
+					n.OnPacketDone(p, now)
+				}
+				p.Reset()
+				src := n.shards[n.shardAt[p.Src]]
+				src.pktFree = append(src.pktFree, p)
+			}
+		}
+	}
+	for _, sh := range n.shards {
+		for sh.crCur < len(sh.creates) {
+			e := &sh.creates[sh.crCur]
+			if e.t != now {
+				if e.t < now {
+					panic("network: sharded creation missed its replay cycle")
+				}
+				break
+			}
+			sh.crCur++
+			e.p.ID = n.nextPacketID
+			n.nextPacketID++
+			if cb := n.OnPacketCreated; cb != nil {
+				cb(e.p, now)
+			}
+		}
+	}
+}
+
+// nextDueSharded composes quiescence fast-forward with the windows: the
+// earliest unreplayed buffered event, else the next window start while
+// any shard still has scheduled work (worklist entries, pending wakes —
+// which cover barrier-transferred boundary flits — or busy sources),
+// else the earliest parked injection across shards.
+func (n *Network) nextDueSharded(now int64) int64 {
+	due := int64(math.MaxInt64)
+	for _, sh := range n.shards {
+		if sh.ejCur < len(sh.ejects) && sh.ejects[sh.ejCur].t < due {
+			due = sh.ejects[sh.ejCur].t
+		}
+		if sh.crCur < len(sh.creates) && sh.creates[sh.crCur].t < due {
+			due = sh.creates[sh.crCur].t
+		}
+		if sh.sc.busy() {
+			if n.winEnd < due {
+				due = n.winEnd
+			}
+		} else if h := sh.sc.srcHeap; len(h) > 0 && h[0].at < due {
+			due = h[0].at
+		}
+	}
+	if due <= now {
+		return now + 1
+	}
+	return due
+}

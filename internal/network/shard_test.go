@@ -1,0 +1,228 @@
+package network
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"routersim/internal/flit"
+	"routersim/internal/router"
+	"routersim/internal/topology"
+)
+
+// TestShardedMatchesFullScan is the sharded engine's identity matrix:
+// every topology family × load regime × shard count × within-shard
+// worker count must reproduce the full-scan reference engine's exact
+// event trace — every packet creation, flit ejection, and completion at
+// the same cycle in the same order with the same packet IDs. Run under
+// -race in CI, this also certifies the window barriers.
+func TestShardedMatchesFullScan(t *testing.T) {
+	specs := []string{"mesh:k=4", "torus", "ring:12", "hypercube:16"}
+	loads := []float64{0.1, 0.4, 0.8}
+	cycles := simCycles(4000)
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			t.Parallel()
+			topo, err := topology.New(spec, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, load := range loads {
+				cfg := Config{
+					Topo:          topo,
+					Router:        router.DefaultConfig(router.SpeculativeVC),
+					Seed:          23,
+					InjectionRate: load * topo.UniformCapacity() / 5,
+					FullScan:      true,
+				}
+				ref := eventTrace(t, cfg, cycles)
+				if len(ref) == 0 {
+					t.Fatalf("load %.1f: no traffic in reference run", load)
+				}
+				for _, shards := range []int{1, 2, 4} {
+					for _, workers := range []int{0, 2} {
+						cfg := cfg
+						cfg.FullScan = false
+						cfg.Shards = shards
+						cfg.StepWorkers = workers
+						got := eventTrace(t, cfg, cycles)
+						label := fmt.Sprintf("load %.1f shards %d workers %d", load, shards, workers)
+						compareTraces(t, label, ref, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardLookaheadHeterogeneous pins the PR 6 interaction: with
+// per-router link-delay overrides the window length must come from the
+// minimum boundary link delay, not the global FlitDelay. A 4×4 mesh
+// split into two row-slabs has its boundary between rows 1 and 2; node
+// 4 drives a delay-1 link north across it while every other link runs
+// at delay 3, so the lookahead must shrink to 1 — and the event trace
+// must still match the serial engine exactly.
+func TestShardLookaheadHeterogeneous(t *testing.T) {
+	base := Config{
+		K:             4,
+		Router:        router.DefaultConfig(router.SpeculativeVC),
+		Seed:          7,
+		InjectionRate: 0.4 * 0.5 / 5,
+		FlitDelay:     3,
+		CreditDelay:   3,
+	}
+	cycles := simCycles(5000)
+
+	// Homogeneous delay-3 boundary: the full window.
+	cfg := base
+	cfg.Shards = 2
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Lookahead(); got != 3 {
+		t.Fatalf("homogeneous lookahead = %d, want 3", got)
+	}
+	net.Close()
+
+	// A delay-1 router on the boundary: the window must shrink.
+	cfg = base
+	cfg.Shards = 2
+	cfg.Overrides = []RouterOverride{{Node: 4, VCs: base.Router.VCs, BufPerVC: base.Router.BufPerVC, LinkDelay: 1}}
+	net, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Lookahead(); got != 1 {
+		t.Fatalf("heterogeneous lookahead = %d, want 1 (node 4 drives a delay-1 boundary link)", got)
+	}
+	net.Close()
+
+	// And the shrunk window must stay byte-identical to the serial
+	// engine under the same overrides.
+	serial := base
+	serial.Overrides = cfg.Overrides
+	ref := eventTrace(t, serial, cycles)
+	if len(ref) == 0 {
+		t.Fatal("no traffic in reference run")
+	}
+	got := eventTrace(t, cfg, cycles)
+	compareTraces(t, "hetero shards=2", ref, got)
+}
+
+// TestShardedFastForward drives the sharded engine the way the sim run
+// loop does — jumping straight to NextDue over quiescent spans — and
+// checks the event trace against the serial every-cycle engine: window
+// buffering, barrier wakes, and parked sources must compose with
+// quiescence fast-forward.
+func TestShardedFastForward(t *testing.T) {
+	base := Config{
+		K:             4,
+		Router:        router.DefaultConfig(router.VirtualChannel),
+		Seed:          31,
+		InjectionRate: 0.01, // sparse: long quiescent gaps between packets
+	}
+	cycles := simCycles(30000)
+	ref := eventTrace(t, base, cycles)
+	if len(ref) == 0 {
+		t.Fatal("no traffic in reference run")
+	}
+
+	cfg := base
+	cfg.Shards = 4
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	var got []string
+	hookTrace(net, &got)
+	steps := int64(0)
+	for now := int64(0); now < cycles; steps++ {
+		net.Step(now)
+		next := net.NextDue(now)
+		if next <= now {
+			t.Fatalf("NextDue(%d) = %d; must be in the future", now, next)
+		}
+		now = next
+	}
+	compareTraces(t, "fast-forward shards=4", ref, got)
+	if steps >= cycles {
+		t.Fatalf("no fast-forward happened: %d steps over %d cycles", steps, cycles)
+	}
+}
+
+// TestShardedConfigValidation pins the sharding knob's error cases.
+func TestShardedConfigValidation(t *testing.T) {
+	rc := router.DefaultConfig(router.Wormhole)
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantSub string
+	}{
+		{"negative", Config{K: 4, Router: rc, Shards: -1}, "negative shard count"},
+		{"fullscan", Config{K: 4, Router: rc, Shards: 2, FullScan: true}, "active-set"},
+		{"too many", Config{K: 4, Router: rc, Shards: 17}, "at most one shard per node"},
+	}
+	for _, c := range cases {
+		if _, err := New(c.cfg); err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %v does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+// TestPartitionNodes pins the partitioner: slab-aligned balanced cuts
+// on cubes, plain balanced cuts elsewhere, always contiguous and
+// non-empty.
+func TestPartitionNodes(t *testing.T) {
+	mesh, err := topology.New("mesh:k=8", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := partitionNodes(mesh, 4)
+	want := []int{0, 16, 32, 48, 64}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mesh:k=8 × 4 cuts = %v, want %v", got, want)
+		}
+	}
+	hc, err := topology.New("hypercube:16", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = partitionNodes(hc, 3)
+	if got[0] != 0 || got[3] != 16 {
+		t.Fatalf("hypercube cuts = %v: must span [0, 16]", got)
+	}
+	for i := 1; i <= 3; i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("hypercube cuts = %v: shard %d empty", got, i-1)
+		}
+	}
+	// More shards than slabs: alignment must yield to non-emptiness.
+	small, err := topology.New("mesh:k=4", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = partitionNodes(small, 16)
+	for i := 1; i <= 16; i++ {
+		if got[i] != i {
+			t.Fatalf("mesh:k=4 × 16 cuts = %v: want one node per shard", got)
+		}
+	}
+}
+
+// hookTrace attaches the eventTrace recording callbacks to an existing
+// network (for tests that drive Step/NextDue by hand).
+func hookTrace(net *Network, trace *[]string) {
+	net.OnPacketCreated = func(p *flit.Packet, now int64) {
+		*trace = append(*trace, fmt.Sprintf("c %d %d %d %d", now, p.ID, p.Src, p.Dst))
+	}
+	net.OnFlitEjected = func(f flit.Flit, now int64) {
+		*trace = append(*trace, fmt.Sprintf("e %d %d %d", now, f.Pkt.ID, f.Seq))
+	}
+	net.OnPacketDone = func(p *flit.Packet, now int64) {
+		*trace = append(*trace, fmt.Sprintf("d %d %d %d", now, p.ID, p.Latency()))
+	}
+}

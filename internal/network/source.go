@@ -20,6 +20,11 @@ type source struct {
 	node int
 	inj  traffic.Injector
 	rng  *rng.RNG
+	// sh is the owning shard on sharded networks (nil otherwise):
+	// packets then come from the shard-local pool and creation events
+	// are buffered for the serial barrier replay, which assigns the
+	// global packet ID (see shard.go).
+	sh *shard
 
 	// adv, when non-nil, lets the injector consume its idle gap in one
 	// batch (ConstantRate, MMPP, Batch, trace replay). The active-set
@@ -231,6 +236,16 @@ func (s *source) generate(now int64) {
 		} else {
 			size = s.net.cfg.PacketSize
 		}
+	}
+	if sh := s.sh; sh != nil {
+		p := sh.allocPacket()
+		p.Src = s.node
+		p.Dst = dst
+		p.Size = size
+		p.CreatedAt = now
+		sh.creates = append(sh.creates, createEvent{t: now, p: p})
+		s.pushQueue(p)
+		return
 	}
 	p := s.net.allocPacket()
 	p.ID = s.net.nextPacketID

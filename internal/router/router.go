@@ -87,8 +87,12 @@ type Router struct {
 
 	// routes maps a destination node to this router's output port. It is
 	// precomputed once (network.New) and read-only afterwards, so it is
-	// safe to share between concurrently stepping routers.
-	routes []uint8
+	// safe to share between concurrently stepping routers. On networks
+	// too large for per-router tables it is nil and routeFn computes the
+	// port on demand (a pure function of (router, dst), equally safe to
+	// call concurrently).
+	routes  []uint8
+	routeFn func(dst int) int
 	// vcMaskAll has the low VCs bits set (the full candidate mask).
 	vcMaskAll uint64
 	// creditLag is the credit-processing pipeline depth in cycles,
@@ -96,8 +100,11 @@ type Router struct {
 	creditLag int64
 	// classTab, when set, restricts the output VCs a packet may be
 	// allocated on a given output port (dateline deadlock avoidance on
-	// tori), indexed dst*Ports+port. nil permits every VC.
+	// tori), indexed dst*Ports+port. nil permits every VC — unless
+	// classFn is set, the functional equivalent for networks too large
+	// for tables.
 	classTab []uint64
+	classFn  func(dst, port int) uint64
 
 	// ejected collects the flits that left through the local output port
 	// this cycle. The network drains it (in router-id order) after all
@@ -139,6 +146,8 @@ type Router struct {
 
 // New returns a router. routes maps destination node to output port
 // (routes[dst] = port); it is retained and must not be mutated after.
+// A nil routes requires SetRouteFunc before the first Step (the
+// large-network functional-routing mode).
 // Flits routed to port 0 (the local port) are ejected: they accumulate
 // in the buffer returned by Ejected until ClearEjected.
 func New(id int, cfg Config, routes []uint8) *Router {
@@ -223,6 +232,17 @@ func (r *Router) SetVCClassTable(tab []uint64) {
 	r.classTab = tab
 }
 
+// SetRouteFunc installs functional routing for networks too large for
+// per-router routing tables (routes passed to New as nil): fn must be a
+// pure function of the destination, returning the output port. Must be
+// set before the first Step.
+func (r *Router) SetRouteFunc(fn func(dst int) int) { r.routeFn = fn }
+
+// SetVCClassFunc is the functional counterpart of SetVCClassTable for
+// networks too large for per-router tables: fn must be a pure function
+// of (destination, output port) returning the candidate VC mask.
+func (r *Router) SetVCClassFunc(fn func(dst, port int) uint64) { r.classFn = fn }
+
 // vaCandidates builds the VC-allocation candidate mask for an input VC:
 // the free VCs of the routed output port (limited to the VCs the
 // downstream router actually has), intersected with the class policy.
@@ -233,6 +253,11 @@ func (r *Router) vaCandidates(vc *inputVC) uint64 {
 		hoq := vc.fifo.Peek()
 		if hoq != nil {
 			cands &= r.classTab[hoq.Pkt.Dst*r.cfg.Ports+vc.route]
+		}
+	} else if r.classFn != nil {
+		hoq := vc.fifo.Peek()
+		if hoq != nil {
+			cands &= r.classFn(hoq.Pkt.Dst, vc.route)
 		}
 	}
 	return cands
@@ -497,7 +522,11 @@ func (r *Router) routeHead(vc *inputVC, now int64) {
 	if hoq == nil || !hoq.Kind.IsHead() || hoq.EnqueuedAt >= now || vc.readyAt > now {
 		return
 	}
-	vc.route = int(r.routes[hoq.Pkt.Dst])
+	if r.routes != nil {
+		vc.route = int(r.routes[hoq.Pkt.Dst])
+	} else {
+		vc.route = r.routeFn(hoq.Pkt.Dst)
+	}
 	vc.state = vcWaitVC
 	vc.readyAt = now + 1
 }

@@ -32,8 +32,15 @@ type Cube struct {
 }
 
 // NewCube returns a k-ary n-cube mesh or torus, validating the size
-// against the package bounds.
+// against the default package bounds.
 func NewCube(k, n int, wrap bool) (Cube, error) {
+	return NewCubeCap(k, n, wrap, 0)
+}
+
+// NewCubeCap is NewCube with an explicit node-count cap: maxNodes <= 0
+// applies the MaxNodes default, anything larger opts in to big networks
+// up to MaxNodesLimit (spec parameter cap=N routes here).
+func NewCubeCap(k, n int, wrap bool, maxNodes int) (Cube, error) {
 	if k < 2 {
 		return Cube{}, fmt.Errorf("topology: cube radix %d; need k >= 2", k)
 	}
@@ -43,12 +50,12 @@ func NewCube(k, n int, wrap bool) (Cube, error) {
 	nodes := 1
 	for i := 0; i < n; i++ {
 		nodes *= k
-		if nodes > MaxNodes {
-			return Cube{}, fmt.Errorf("topology: %d-ary %d-cube exceeds %d nodes", k, n, MaxNodes)
+		if nodes > MaxNodesLimit {
+			return Cube{}, fmt.Errorf("topology: %d-ary %d-cube exceeds the absolute limit of %d nodes", k, n, MaxNodesLimit)
 		}
 	}
 	c := Cube{K: k, N: n, Wrap: wrap}
-	if err := checkSize(c.Name(), nodes, c.Ports()); err != nil {
+	if err := checkSize(c.Name(), nodes, c.Ports(), maxNodes); err != nil {
 		return Cube{}, err
 	}
 	return c, nil
@@ -78,7 +85,13 @@ func NewTorus(k int) Cube {
 // NewRing returns a bidirectional ring of the given node count — the
 // k-ary 1-cube torus, so it inherits the dateline VC classes.
 func NewRing(nodes int) (Cube, error) {
-	c, err := NewCube(nodes, 1, true)
+	return NewRingCap(nodes, 0)
+}
+
+// NewRingCap is NewRing with an explicit node-count cap (see
+// NewCubeCap).
+func NewRingCap(nodes, maxNodes int) (Cube, error) {
+	c, err := NewCubeCap(nodes, 1, true, maxNodes)
 	if err != nil {
 		return Cube{}, fmt.Errorf("topology: ring: %w", err)
 	}

@@ -22,11 +22,17 @@ type Hypercube struct {
 // NewHypercube returns the hypercube with the given node count, which
 // must be a power of two ≥ 2.
 func NewHypercube(nodes int) (Hypercube, error) {
+	return NewHypercubeCap(nodes, 0)
+}
+
+// NewHypercubeCap is NewHypercube with an explicit node-count cap (see
+// NewCubeCap).
+func NewHypercubeCap(nodes, maxNodes int) (Hypercube, error) {
 	if nodes < 2 || bits.OnesCount(uint(nodes)) != 1 {
 		return Hypercube{}, fmt.Errorf("topology: hypercube needs a power-of-two node count >= 2, got %d", nodes)
 	}
 	h := Hypercube{N: bits.Len(uint(nodes)) - 1}
-	if err := checkSize(h.Name(), nodes, h.Ports()); err != nil {
+	if err := checkSize(h.Name(), nodes, h.Ports(), maxNodes); err != nil {
 		return Hypercube{}, err
 	}
 	return h, nil

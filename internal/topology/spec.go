@@ -16,6 +16,7 @@ import (
 //	hypercube:64            6-dimensional hypercube (64 nodes)
 //	hypercube:n=6           the same, by dimension
 //	ring:16                 16-node bidirectional ring
+//	mesh:k=320,cap=102400   102,400-node mesh (cap= opts past MaxNodes)
 //
 // A bare "hypercube" or "ring" takes its node count from the radix
 // axis. Parameters separate with "," or ":" interchangeably, so specs
@@ -26,8 +27,10 @@ func Names() []string { return []string{"mesh", "torus", "ring", "hypercube"} }
 
 // specParamKeys is the single registry of spec parameter keys, shared
 // by Parse and IsParamFragment so the grammar and the CLI re-join
-// heuristic cannot drift apart.
-var specParamKeys = map[string]bool{"k": true, "n": true}
+// heuristic cannot drift apart. cap=N raises the MaxNodes default for
+// that spec (the explicit opt-in for 100k-router networks, e.g.
+// "mesh:k=320,cap=102400").
+var specParamKeys = map[string]bool{"k": true, "n": true, "cap": true}
 
 // hypercubeDimLimit bounds 1<<N against integer overflow before Build's
 // real MaxNodes check; PinnedK and Build must agree on it.
@@ -54,6 +57,9 @@ type Spec struct {
 	K int
 	// N is the stated dimension count (mesh/torus/hypercube).
 	N int
+	// Cap is the stated node-count cap (0: the MaxNodes default) — the
+	// explicit opt-in for networks beyond the default bound.
+	Cap int
 }
 
 // Parse parses a topology spec without applying context defaults.
@@ -79,7 +85,7 @@ func Parse(spec string) (Spec, error) {
 			key, val = "k", field
 		}
 		if !specParamKeys[key] {
-			return Spec{}, fmt.Errorf("topology: %s: unknown parameter %q (want k=INT, n=INT, or a bare size)", spec, field)
+			return Spec{}, fmt.Errorf("topology: %s: unknown parameter %q (want k=INT, n=INT, cap=INT, or a bare size)", spec, field)
 		}
 		v, err := strconv.Atoi(val)
 		if err != nil || v <= 0 {
@@ -93,6 +99,11 @@ func Parse(spec string) (Spec, error) {
 				return Spec{}, fmt.Errorf("topology: %s: a ring has no dimension parameter (it is the k-ary 1-cube)", spec)
 			}
 			s.N = v
+		case "cap":
+			if v > MaxNodesLimit {
+				return Spec{}, fmt.Errorf("topology: %s: cap %d exceeds the absolute limit of %d nodes", spec, v, MaxNodesLimit)
+			}
+			s.Cap = v
 		}
 	}
 	return s, nil
@@ -123,6 +134,9 @@ func (s Spec) Canonical() (shape string, pinnedK int) {
 	if (s.Base == "mesh" || s.Base == "torus") && s.N != 0 && s.N != 2 {
 		shape = fmt.Sprintf("%s:n=%d", s.Base, s.N)
 	}
+	if s.Cap != 0 {
+		shape = fmt.Sprintf("%s:cap=%d", shape, s.Cap)
+	}
 	return shape, s.PinnedK()
 }
 
@@ -139,9 +153,9 @@ func (s Spec) Build(defaultK int) (Topology, error) {
 		if n == 0 {
 			n = 2
 		}
-		return NewCube(k, n, s.Base == "torus")
+		return NewCubeCap(k, n, s.Base == "torus", s.Cap)
 	case "ring":
-		return NewRing(k)
+		return NewRingCap(k, s.Cap)
 	case "hypercube":
 		if s.N != 0 {
 			if s.K != 0 && s.K != 1<<s.N {
@@ -152,7 +166,7 @@ func (s Spec) Build(defaultK int) (Topology, error) {
 			}
 			k = 1 << s.N
 		}
-		return NewHypercube(k)
+		return NewHypercubeCap(k, s.Cap)
 	default:
 		return nil, fmt.Errorf("topology: unknown topology %q", s.Base)
 	}

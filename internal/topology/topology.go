@@ -30,10 +30,18 @@ const (
 // allocation stages index ports through 64-bit occupancy bitmasks.
 const MaxPorts = 64
 
-// MaxNodes bounds the node count of any topology: routing tables are
-// precomputed per router (O(nodes) bytes each, O(nodes²) total), so an
-// unbounded spec would silently ask for gigabytes.
+// MaxNodes is the default node-count cap of any topology: routing
+// tables are precomputed per router (O(nodes) bytes each, O(nodes²)
+// total), so an unbounded spec would silently ask for gigabytes. A spec
+// can raise the cap explicitly with a cap=N parameter (the network
+// layer switches to functional routing above MaxNodes, so the O(nodes²)
+// tables are never built for opted-in large networks).
 const MaxNodes = 1 << 14
+
+// MaxNodesLimit is the absolute ceiling no cap= opt-in can exceed:
+// above MaxNodes routing is functional (no quadratic tables), but the
+// O(nodes) router, wire, and source state still has to be addressable.
+const MaxNodesLimit = 1 << 22
 
 // Topology describes a network graph over routers with local ports. All
 // methods are pure functions of the topology's parameters: the network
@@ -98,15 +106,43 @@ func VCClassMask(v int, crossed bool) uint64 {
 }
 
 // checkSize validates a topology's node and port counts against the
-// package bounds.
-func checkSize(name string, nodes, ports int) error {
-	if nodes > MaxNodes {
-		return fmt.Errorf("topology: %s has %d nodes; max %d (routing tables are per-router)", name, nodes, MaxNodes)
+// package bounds. maxNodes <= 0 applies the MaxNodes default; any
+// stated cap is itself clamped to MaxNodesLimit.
+func checkSize(name string, nodes, ports, maxNodes int) error {
+	limit := maxNodes
+	if limit <= 0 {
+		limit = MaxNodes
+	}
+	if limit > MaxNodesLimit {
+		limit = MaxNodesLimit
+	}
+	if nodes > limit {
+		if nodes > MaxNodesLimit {
+			return fmt.Errorf("topology: %s has %d nodes; absolute limit %d", name, nodes, MaxNodesLimit)
+		}
+		return fmt.Errorf("topology: %s has %d nodes; max %d — building it preallocates ≈%s of simulator state; opt in by adding cap=%d to the topology spec",
+			name, nodes, limit, MemEstimate(nodes), nodes)
 	}
 	if ports > MaxPorts {
 		return fmt.Errorf("topology: %s needs %d router ports; max %d", name, ports, MaxPorts)
 	}
 	return nil
+}
+
+// MemEstimate is a rough preallocation estimate for a network of this
+// many nodes at the paper's parameters: a few KiB of router buffers,
+// wires, and allocator state per node, plus the O(nodes²) routing
+// tables when the network is small enough to build them (above MaxNodes
+// the network layer routes functionally instead).
+func MemEstimate(nodes int) string {
+	b := int64(nodes) * (4 << 10)
+	if nodes <= MaxNodes {
+		b += int64(nodes) * int64(nodes)
+	}
+	if b >= 1<<30 {
+		return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30))
+	}
+	return fmt.Sprintf("%.0f MiB", float64(b)/(1<<20))
 }
 
 func abs(x int) int {

@@ -257,6 +257,12 @@ type SimConfig struct {
 	// byte-identical for every value; see PERF.md.
 	StepWorkers int
 
+	// Shards selects the lookahead-sharded engine (0 or 1 = single
+	// range; > 1 = that many shards stepping windows concurrently
+	// between boundary barriers). Results are byte-identical for every
+	// value, and Shards composes with StepWorkers; see PERF.md.
+	Shards int
+
 	// FullScan selects the legacy cycle engine that visits every router
 	// and source each cycle instead of the active-set scheduler.
 	// Results are byte-identical; it exists as the reference engine for
@@ -334,6 +340,7 @@ func (c SimConfig) lower() (sim.Config, error) {
 		Pattern:     c.Pattern,
 		CreditDelay: c.CreditDelay,
 		StepWorkers: c.StepWorkers,
+		Shards:      c.Shards,
 		FullScan:    c.FullScan,
 		Seed:        c.Seed,
 	}

@@ -25,7 +25,7 @@ trap 'rm -f "$raw"' EXIT
 # minimum is the standard noise-robust statistic for microbenchmarks —
 # scheduler preemption and frequency drift only ever slow a run down).
 go test -run '^$' -benchmem -benchtime=2s -count=3 "$@" \
-    -bench 'BenchmarkNetworkCycle$|BenchmarkNetworkCycleLowLoad$|BenchmarkNetworkCycleLowLoadFullScan$|BenchmarkMatrixArbiterGrant$|BenchmarkSeparableSwitchAllocate$|BenchmarkVCAllocatorAllocate$|BenchmarkPipelineDesign$' \
+    -bench 'BenchmarkNetworkCycle$|BenchmarkNetworkCycleLowLoad$|BenchmarkNetworkCycleLowLoadFullScan$|BenchmarkNetworkCycleSharded$|BenchmarkNetworkCycleShardedBaseline$|BenchmarkMatrixArbiterGrant$|BenchmarkSeparableSwitchAllocate$|BenchmarkVCAllocatorAllocate$|BenchmarkPipelineDesign$' \
     . | tee "$raw"
 
 # Quiescence fast-forward: a drain-dominated ultra-low-load run on the
@@ -83,11 +83,18 @@ END {
 echo "wrote $out" >&2
 
 # Guard the perf trajectory: the inner-loop benchmark must not regress
-# more than 10% against the previous PR's recording (same machine
-# class). CI re-checks the same pair of checked-in files.
-prev="BENCH_$((n - 1)).json"
-if [ -f "$prev" ]; then
+# more than 10% against the most recent prior recording (same machine
+# class) — not every PR records, so walk back past gaps. CI re-checks
+# the same pair of checked-in files.
+prev=""
+for ((m = n - 1; m >= 1; m--)); do
+    if [ -f "BENCH_${m}.json" ]; then
+        prev="BENCH_${m}.json"
+        break
+    fi
+done
+if [ -n "$prev" ]; then
     "$(dirname "$0")/bench_compare.sh" "$prev" "$out"
 else
-    echo "no $prev to compare against; skipping regression check" >&2
+    echo "no prior BENCH_<n>.json to compare against; skipping regression check" >&2
 fi
