@@ -78,6 +78,44 @@ func TestNetworkStepZeroAllocLowLoad(t *testing.T) {
 	}
 }
 
+// TestNetworkStepZeroAllocSharded extends the invariant to the sharded
+// engine's steady state: per-shard packet pools stay balanced (a
+// finished packet returns to its source's shard), the boundary
+// outbox/inbox rings and replay buffers are presized and compacted in
+// place, and the barrier posts wakes through prebuilt closures — so a
+// steady-state sharded Step, barriers included, performs zero heap
+// allocations, matching the serial engine's gate above.
+func TestNetworkStepZeroAllocSharded(t *testing.T) {
+	rc := router.DefaultConfig(router.SpeculativeVC)
+	cfg := network.Config{
+		K:             16,
+		Router:        rc,
+		Seed:          1,
+		InjectionRate: 0.3 * 0.5 / 5,
+		Shards:        4,
+	}
+	net, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	now := int64(0)
+	warm := int64(8000)
+	if testing.Short() {
+		warm = 4000
+	}
+	for ; now < warm; now++ {
+		net.Step(now)
+	}
+	allocs := testing.AllocsPerRun(400, func() {
+		net.Step(now)
+		now++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state sharded Network.Step allocates %.2f times per cycle, want 0", allocs)
+	}
+}
+
 // TestNetworkStepZeroAllocCrossTopology extends the zero-allocation
 // invariant to every topology family the graph-general layer added:
 // ring, 3-D torus, and hypercube steady-state cycles must also stay off

@@ -78,10 +78,13 @@ type Config struct {
 	// tests and as the benchmark baseline. It also disables NextDue's
 	// quiescence fast-forward (NextDue always answers now+1).
 	FullScan bool
-	// Shards splits the network into that many contiguous node ranges
-	// that step lookahead-many cycles independently, one goroutine
-	// each, between bulk boundary exchanges (see shard.go) — the
-	// engine for scaling wall-clock across cores on large networks.
+	// Shards splits the network into that many balanced node sets
+	// (boundary-minimizing partitions; cube-aligned slabs when those
+	// are already optimal) that step independently, one goroutine
+	// each, between bulk boundary exchanges, windows bounded per
+	// neighbor pair by link delay and credit-loop slack (see
+	// shard.go) — the engine for scaling wall-clock across cores on
+	// large networks.
 	// Results are byte-identical to the serial engine for any shard
 	// count. 0 or 1 keeps the single-range engines; values > 1 require
 	// the active-set scheduler (FullScan off) and at most one shard
@@ -256,21 +259,18 @@ type Network struct {
 
 	// Sharded-engine state (cfg.Shards > 1; see shard.go): the shards
 	// and the node→shard map, the boundary wire pairs exchanged at
-	// each barrier, the window length and bounds, and the gang that
-	// runs the shards. boundaryDelay is the minimum driving-link delay
-	// over boundary flit links (0: none), recorded during wiring —
-	// with per-router link-delay overrides the lookahead must honour
-	// the slowest-constraining boundary link, not cfg.FlitDelay.
-	shards        []*shard
-	shardAt       []int32
-	flitXfers     []flitXfer
-	creditXfers   []creditXfer
-	boundaryDelay int64
-	lookahead     int64
-	winStart      int64
-	winEnd        int64
-	shardGang     *pool.Gang
-	shardRunFn    func(i int)
+	// each barrier, the global lookahead floor (the minimum directed
+	// shard-pair dependency bound — per-pair bounds live on the shards'
+	// dep lists), whether the partition's concatenation is global node
+	// order (replay fast path), and the gang that runs the shards.
+	shards       []*shard
+	shardAt      []int32
+	flitXfers    []flitXfer
+	creditXfers  []creditXfer
+	lookahead    int64
+	partsOrdered bool
+	shardGang    *pool.Gang
+	shardRunFn   func(i int)
 }
 
 // New builds the network. The configuration is normalized in place.
@@ -353,14 +353,41 @@ func New(cfg Config) (*Network, error) {
 
 	// The node→shard map is needed before wiring: links whose endpoints
 	// land in different shards are split into outbox/inbox pairs below.
-	var shardCuts []int
+	// depBound accumulates the minimum dependency bound per directed
+	// shard pair {on, waiter}: the waiter may run ahead of `on`'s clock
+	// by up to that many cycles (shard.go). xferCap presizes the
+	// boundary exchange wires to the worst-case per-round traffic — a
+	// shard's window never exceeds twice the largest pair bound, and a
+	// wire additionally holds up to maxDelay in-flight items — so the
+	// steady-state barrier never grows a ring.
+	var shardParts [][]int32
+	var depBound map[[2]int32]int64
+	xferCap := 0
 	if cfg.Shards > 1 {
-		shardCuts = partitionNodes(n.topo, cfg.Shards)
+		shardParts = partitionNodes(n.topo, cfg.Shards, delayAt, int64(cfg.FlitDelay))
 		n.shardAt = make([]int32, nodes)
-		for i := 0; i < cfg.Shards; i++ {
-			for id := shardCuts[i]; id < shardCuts[i+1]; id++ {
+		for i, part := range shardParts {
+			for _, id := range part {
 				n.shardAt[id] = int32(i)
 			}
+		}
+		depBound = make(map[[2]int32]int64)
+		maxDelay := int64(cfg.FlitDelay)
+		for _, d := range delayAt {
+			if d > maxDelay {
+				maxDelay = d
+			}
+		}
+		maxBound := maxDelay
+		if c := int64(cfg.CreditDelay) + int64(cfg.Router.CreditProcessDelay()); c > maxBound {
+			maxBound = c
+		}
+		xferCap = int(2*maxBound + maxDelay + 2)
+	}
+	noteDep := func(on, waiter int32, bound int64) {
+		k := [2]int32{on, waiter}
+		if b, ok := depBound[k]; !ok || bound < b {
+			depBound[k] = bound
 		}
 	}
 
@@ -383,21 +410,25 @@ func New(cfg Config) (*Network, error) {
 				// Boundary link: both directions get an outbox written
 				// only by the pushing shard and an inbox read only by
 				// the receiving shard; the barrier moves entries over
-				// (shard.go). The credit inbox keeps the credit-loop
-				// presizing; the flit outbox-side dues are what the
-				// receiver's wake wheel gets at the barrier.
+				// (shard.go). All four wires are presized to the
+				// worst-case window lead (xferCap) on top of the
+				// credit-loop bound; the flit outbox-side dues are what
+				// the receiver's wake wheel gets at the barrier. The
+				// flit link (id → next) bounds how far next's shard may
+				// outrun id's; its credit wire, popped by id's router
+				// creditLag cycles late, bounds the reverse direction
+				// at CreditDelay + creditLag.
 				creditCap := vcs(next)*buf(next) + cfg.CreditDelay
-				fOut := link.NewWire[flit.Flit](delay(id))
-				fIn := link.NewWire[flit.Flit](delay(id))
-				cOut := link.NewWireCap[router.Credit](cfg.CreditDelay, creditCap)
-				cIn := link.NewWireCap[router.Credit](cfg.CreditDelay, creditCap)
+				fOut := link.NewWireCap[flit.Flit](delay(id), xferCap)
+				fIn := link.NewWireCap[flit.Flit](delay(id), xferCap)
+				cOut := link.NewWireCap[router.Credit](cfg.CreditDelay, creditCap+xferCap)
+				cIn := link.NewWireCap[router.Credit](cfg.CreditDelay, creditCap+xferCap)
 				n.routers[id].ConnectOutput(port, fOut, cIn)
 				n.routers[next].ConnectInput(inPort, fIn, cOut)
 				n.flitXfers = append(n.flitXfers, flitXfer{out: fOut, in: fIn, dst: int32(next)})
 				n.creditXfers = append(n.creditXfers, creditXfer{out: cOut, in: cIn})
-				if d := int64(delay(id)); n.boundaryDelay == 0 || d < n.boundaryDelay {
-					n.boundaryDelay = d
-				}
+				noteDep(n.shardAt[id], n.shardAt[next], int64(delay(id)))
+				noteDep(n.shardAt[next], n.shardAt[id], int64(cfg.CreditDelay)+n.routers[id].CreditLag())
 				if vcsAt != nil || bufAt != nil {
 					n.routers[id].SetOutputPolicy(port, vcs(next), buf(next))
 				}
@@ -441,11 +472,11 @@ func New(cfg Config) (*Network, error) {
 	}
 
 	if cfg.Shards > 1 {
-		n.buildShards(shardCuts)
+		n.buildShards(shardParts, depBound)
 		return n, nil
 	}
 	if !cfg.FullScan {
-		n.sched = newScheduler(n, n.buildSchedTables(), 0, nodes)
+		n.sched = newScheduler(n, n.buildSchedTables(0), 0, nodes)
 	}
 
 	if cfg.StepWorkers > 1 {

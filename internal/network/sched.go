@@ -49,10 +49,13 @@ import (
 // run loop fast-forwards straight to it (quiescence fast-forward).
 //
 // The sharded engine (shard.go) instantiates one scheduler per shard
-// over a contiguous node range [base, base+count): the bitmaps are
-// range-local (bit = id - base) while the read-only link tables are
-// shared through schedTables. The whole-network scheduler is the
-// base=0, count=nodes special case.
+// over an arbitrary node set: a contiguous range [base, base+count)
+// keeps the bitmaps range-local (bit = id - base) with pure arithmetic
+// index mapping, while a non-contiguous set (the boundary-minimizing
+// partitioner, shard.go) carries an explicit local→global table (idOf)
+// and shares the global→local table (tab.loc). The read-only link
+// tables are shared through schedTables. The whole-network scheduler is
+// the base=0, count=nodes special case.
 
 // schedTables holds the read-only link structure every scheduler range
 // of a network shares: built once at network.New, safe for concurrent
@@ -63,18 +66,26 @@ type schedTables struct {
 	outDst []int32
 	ports  int
 	// delay[id] is the propagation delay of every link driven by router
-	// id. wheelSize is the largest delay (every wake wheel is sized to
-	// it); wheelMask is wheelSize-1 when the size is a power of two (the
-	// uniform-delay common case, usually 1), -1 otherwise: the slot
-	// computation runs on every flit push, and an AND is far cheaper
-	// than an int64 division.
+	// id. wheelSize is the largest delay — or, on sharded networks, at
+	// least maxPairBound+maxDelay, because barrier-transferred arrivals
+	// can land that far ahead of a lagging shard's clock (shard.go) —
+	// and every wake wheel is sized to it. wheelMask is wheelSize-1 when
+	// the size is a power of two (the uniform-delay common case, usually
+	// 1), -1 otherwise: the slot computation runs on every flit push,
+	// and an AND is far cheaper than an int64 division.
 	delay     []int64
 	wheelSize int64
 	wheelMask int64
+	// loc maps global node id → local index within its owning shard,
+	// set only when some shard holds a non-contiguous node set.
+	loc []int32
 }
 
 // buildSchedTables precomputes the shared downstream and delay tables.
-func (n *Network) buildSchedTables() *schedTables {
+// minWheel, when positive, raises the wake-wheel size above the largest
+// link delay (the sharded engine's transfer-lead bound); 0 keeps the
+// plain delay-sized wheel.
+func (n *Network) buildSchedTables(minWheel int64) *schedTables {
 	nodes := n.topo.Nodes()
 	ports := n.cfg.Router.Ports
 	d := int64(n.cfg.FlitDelay)
@@ -82,6 +93,9 @@ func (n *Network) buildSchedTables() *schedTables {
 		if pd > d {
 			d = pd
 		}
+	}
+	if minWheel > d {
+		d = minWheel
 	}
 	tab := &schedTables{
 		outDst:    make([]int32, nodes*ports),
@@ -112,12 +126,25 @@ func (n *Network) buildSchedTables() *schedTables {
 	return tab
 }
 
-// scheduler holds the active-set worklists of one contiguous node range.
+// scheduler holds the active-set worklists of one node set — a
+// contiguous range (idOf nil; local index = id - base) or an arbitrary
+// ascending set (idOf maps local→global, tab.loc maps global→local).
 type scheduler struct {
 	tab   *schedTables
-	base  int32 // first node of the range
+	base  int32 // first node of the range (contiguous sets)
 	count int   // nodes covered
 	words int   // ceil(count / 64)
+
+	// Sharded-network ownership: self is the owning shard's index into
+	// shardAt (the network's node→shard map); both nil/-1 on unsharded
+	// networks, where ownership is the base/count range check.
+	self    int32
+	shardAt []int32
+	// idOf, for non-contiguous node sets, maps local bitmap index →
+	// global node id (ascending); loc aliases tab.loc for the reverse
+	// map. Both nil for contiguous sets: the arithmetic fast path.
+	idOf []int32
+	loc  []int32
 
 	// Hot fields of tab, copied at construction so the per-push wake
 	// path (finishRouter) reads them without chasing the tab pointer.
@@ -178,6 +205,7 @@ func newScheduler(n *Network, tab *schedTables, base, count int) *scheduler {
 		base:       int32(base),
 		count:      count,
 		words:      words,
+		self:       -1,
 		outDst:     tab.outDst,
 		delay:      tab.delay,
 		ports:      tab.ports,
@@ -191,9 +219,49 @@ func newScheduler(n *Network, tab *schedTables, base, count int) *scheduler {
 	for i := range sc.wheelBits {
 		sc.wheelBits[i] = make([]uint64, words)
 	}
-	for id := base; id < base+count; id++ {
+	sc.parkSources(n)
+	return sc
+}
+
+// newShardScheduler builds the scheduler of shard `self` over its node
+// set (ascending). A contiguous set keeps the arithmetic index mapping;
+// anything else installs the explicit local↔global maps (tab.loc must
+// already cover every node).
+func newShardScheduler(n *Network, tab *schedTables, self int, part []int32) *scheduler {
+	words := (len(part) + 63) / 64
+	sc := &scheduler{
+		tab:        tab,
+		base:       part[0],
+		count:      len(part),
+		words:      words,
+		self:       int32(self),
+		shardAt:    n.shardAt,
+		outDst:     tab.outDst,
+		delay:      tab.delay,
+		ports:      tab.ports,
+		wheelSize:  tab.wheelSize,
+		wheelMask:  tab.wheelMask,
+		carryBits:  make([]uint64, words),
+		wheelBits:  make([][]uint64, tab.wheelSize),
+		wheelCount: make([]int, tab.wheelSize),
+		srcBits:    make([]uint64, words),
+	}
+	if int(part[len(part)-1]-part[0]) != len(part)-1 {
+		sc.idOf = part
+		sc.loc = tab.loc
+	}
+	for i := range sc.wheelBits {
+		sc.wheelBits[i] = make([]uint64, words)
+	}
+	sc.parkSources(n)
+	return sc
+}
+
+// parkSources seeds the source worklist at construction.
+func (sc *scheduler) parkSources(n *Network) {
+	for li := 0; li < sc.count; li++ {
+		id := sc.global(int32(li))
 		s := n.sources[id]
-		li := id - base
 		if s.adv == nil {
 			sc.srcBits[li>>6] |= 1 << (uint(li) & 63)
 			sc.srcCount++
@@ -205,15 +273,33 @@ func newScheduler(n *Network, tab *schedTables, base, count int) *scheduler {
 		// never stepped — exactly the full-scan behaviour, where its
 		// per-cycle Tick is a no-op.
 		if at := s.park(); at >= 0 {
-			sc.heapPush(srcWake{at: at, id: int32(id)})
+			sc.heapPush(srcWake{at: at, id: id})
 		}
 	}
-	return sc
 }
 
-// owns reports whether a (global) node id falls in this scheduler's
-// range.
+// local maps a global node id (which must be owned) to its bitmap index.
+func (sc *scheduler) local(id int32) int32 {
+	if sc.loc != nil {
+		return sc.loc[id]
+	}
+	return id - sc.base
+}
+
+// global maps a bitmap index back to the global node id.
+func (sc *scheduler) global(li int32) int32 {
+	if sc.idOf != nil {
+		return sc.idOf[li]
+	}
+	return sc.base + li
+}
+
+// owns reports whether a (global) node id belongs to this scheduler's
+// node set.
 func (sc *scheduler) owns(id int32) bool {
+	if sc.shardAt != nil {
+		return sc.shardAt[id] == sc.self
+	}
 	return id >= sc.base && id < sc.base+int32(sc.count)
 }
 
@@ -237,7 +323,7 @@ func (sc *scheduler) wakeAt(id int32, due int64) {
 		si %= sc.wheelSize
 	}
 	slot := sc.wheelBits[si]
-	li := id - sc.base
+	li := sc.local(id)
 	w, b := int(li)>>6, uint64(1)<<(uint(li)&63)
 	if slot[w]&b == 0 {
 		slot[w] |= b
@@ -250,10 +336,10 @@ func (sc *scheduler) wakeAt(id int32, due int64) {
 // cycle of a flit pushed this cycle on a link of delay d.
 func (sc *scheduler) wake(id int32, d int64) { sc.wakeAt(id, sc.now+d) }
 
-// carry marks router id (in range) self-sustained onto the next cycle.
+// carry marks router id (owned) self-sustained onto the next cycle.
 // Callers run once per listed router, so the bit is always freshly set.
 func (sc *scheduler) carry(id int32) {
-	li := id - sc.base
+	li := sc.local(id)
 	sc.carryBits[li>>6] |= 1 << (uint(li) & 63)
 	sc.carryCount++
 }
@@ -285,13 +371,28 @@ func (sc *scheduler) buildActive(now int64) {
 	}
 	wb := sc.wheelBits[slot]
 	sc.active = sc.active[:0]
-	for w := 0; w < sc.words; w++ {
-		m := sc.carryBits[w] | wb[w]
-		sc.carryBits[w] = 0
-		wb[w] = 0
-		base := sc.base + int32(w<<6)
-		for ; m != 0; m &= m - 1 {
-			sc.active = append(sc.active, base+int32(bits.TrailingZeros64(m)))
+	if sc.idOf == nil {
+		for w := 0; w < sc.words; w++ {
+			m := sc.carryBits[w] | wb[w]
+			sc.carryBits[w] = 0
+			wb[w] = 0
+			base := sc.base + int32(w<<6)
+			for ; m != 0; m &= m - 1 {
+				sc.active = append(sc.active, base+int32(bits.TrailingZeros64(m)))
+			}
+		}
+	} else {
+		// Non-contiguous node set: local bits walk ascending local
+		// index = ascending global id (idOf is sorted), so the active
+		// list keeps the full scan's node order.
+		for w := 0; w < sc.words; w++ {
+			m := sc.carryBits[w] | wb[w]
+			sc.carryBits[w] = 0
+			wb[w] = 0
+			lbase := int32(w << 6)
+			for ; m != 0; m &= m - 1 {
+				sc.active = append(sc.active, sc.idOf[lbase+int32(bits.TrailingZeros64(m))])
+			}
 		}
 	}
 	sc.carryCount = 0
@@ -367,7 +468,7 @@ func (sc *scheduler) stepSources(n *Network, now int64) {
 			// stale wake means the scheduler lost an injection cycle.
 			panic("network: parked source woke past its injection cycle")
 		}
-		li := w.id - sc.base
+		li := sc.local(w.id)
 		sc.srcBits[li>>6] |= 1 << (uint(li) & 63)
 		sc.srcCount++
 	}
@@ -376,12 +477,23 @@ func (sc *scheduler) stepSources(n *Network, now int64) {
 	}
 
 	sc.srcActive = sc.srcActive[:0]
-	for w := 0; w < sc.words; w++ {
-		m := sc.srcBits[w]
-		sc.srcBits[w] = 0
-		base := sc.base + int32(w<<6)
-		for ; m != 0; m &= m - 1 {
-			sc.srcActive = append(sc.srcActive, base+int32(bits.TrailingZeros64(m)))
+	if sc.idOf == nil {
+		for w := 0; w < sc.words; w++ {
+			m := sc.srcBits[w]
+			sc.srcBits[w] = 0
+			base := sc.base + int32(w<<6)
+			for ; m != 0; m &= m - 1 {
+				sc.srcActive = append(sc.srcActive, base+int32(bits.TrailingZeros64(m)))
+			}
+		}
+	} else {
+		for w := 0; w < sc.words; w++ {
+			m := sc.srcBits[w]
+			sc.srcBits[w] = 0
+			lbase := int32(w << 6)
+			for ; m != 0; m &= m - 1 {
+				sc.srcActive = append(sc.srcActive, sc.idOf[lbase+int32(bits.TrailingZeros64(m))])
+			}
 		}
 	}
 	sc.srcCount = 0
@@ -390,7 +502,7 @@ func (sc *scheduler) stepSources(n *Network, now int64) {
 		s := n.sources[id]
 		s.step(now)
 		if s.adv == nil || s.qlen > 0 || s.inFlight > 0 {
-			li := id - sc.base
+			li := sc.local(id)
 			sc.srcBits[li>>6] |= 1 << (uint(li) & 63)
 			sc.srcCount++
 			continue

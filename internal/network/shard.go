@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 
 	"routersim/internal/flit"
 	"routersim/internal/link"
@@ -13,46 +14,63 @@ import (
 )
 
 // This file implements the lookahead-sharded engine: the network is
-// split into contiguous node ranges (shards) that step several cycles
-// independently — one goroutine each — between barriers, instead of
-// synchronizing every cycle like the two-phase parallel stepper.
+// split into node sets (shards) that step many cycles independently —
+// one goroutine each — between barriers, instead of synchronizing every
+// cycle like the two-phase parallel stepper.
 //
-// The window length is the conservative lookahead
+// Each directed shard pair (a→b) with at least one boundary link gets
+// its own conservative lookahead bound B(a→b) = min over those links of
 //
-//	L = min( min over boundary links of the driving link's delay,
-//	         CreditDelay )
+//	delay(link)                    for flit links driven in a, and
+//	CreditDelay + creditLag(rcvr)  for credit wires popped in b
 //
-// Every flit pushed by shard A during a window [T, T+L) onto a
-// boundary link of delay d arrives at d >= L cycles later, i.e. at or
-// after T+L — the next window — so shard B never needs it while the
-// window runs. Credits cross every boundary in the reverse direction
-// with delay CreditDelay >= L, so the same holds for them. (Receivers
-// additionally process credits creditLag cycles late, so CreditDelay +
-// creditLag would be an even larger credit bound; the engine keeps the
-// simpler CreditDelay.) Everything else a router or source touches is
-// shard-local: wires between same-shard routers, the injection channel,
-// the per-shard packet pool, and the per-shard active-set scheduler.
+// because a flit pushed at cycle t arrives at t+delay, and a credit
+// pushed at t is popped at t+CreditDelay+creditLag (the receiving
+// router drains its credit wires creditLag cycles late — the
+// credit-processing pipeline, router.CreditLag). Shard b may therefore
+// run ahead of shard a's clock by up to B(a→b) cycles: every cycle
+// u < t_a + B(a→b) only consumes items a pushed strictly before t_a,
+// which earlier barriers already moved over. PERF.md § PR 8 states the
+// full safety argument.
+//
+// Stepping is round-based with per-shard clocks instead of one global
+// window: shard s has completed every cycle < s.now, and each round
+// computes its horizon
+//
+//	h_s = min( s.now + L,  min over incoming deps d of (d.on.now + d.bound) )
+//
+// from a snapshot of the clocks, steps [s.now, h_s) in parallel, then
+// one barrier moves every non-empty boundary outbox and advances the
+// clocks to their horizons. The global floor L = min over all pairs of
+// B keeps the no-incoming-lag case moving; the shard at the minimum
+// clock always satisfies every dep with at least +L, so each round
+// advances the global completion point by at least L ≥ 1 cycles —
+// heterogeneous delay overrides shrink only the pair windows they
+// actually constrain, not everyone's.
 //
 // Boundary wires are split in two so no wire is ever touched by two
 // shards: the driving router pushes onto a shard-local outbox, and the
 // barrier moves the accumulated entries — dues intact, FIFO order
 // intact — onto the receiving router's inbox and wakes the receiver in
 // its own shard's wake wheel at each flit's exact arrival cycle. A
-// moved flit was pushed at t in [T, T+L) and is due at t+d in
-// [T+d, T+L-1+d] ⊆ [T+L, T+L+wheelSize-1]: inside the receiving
-// wheel's next wheelSize cycles, so the absolute-due wake never
-// aliases another slot, and due strictly above the previous window's
-// transfers, so the inbox stays due-ordered.
+// moved flit was pushed at t ∈ [t_a, h_a) and is due at t+d, and the
+// receiver's clock can lag the sender's horizon by at most B(b→a), so
+// due − b.clock ≤ maxPairBound + maxDelay: the wake wheels are sized to
+// that bound (buildSchedTables' minWheel), so an absolute-due wake
+// never aliases another slot. Dues stay monotone per link across
+// rounds (push cycles only grow), so the inbox stays due-ordered.
 //
 // Observable effects are replayed serially so the engine is
-// byte-identical to the serial one. During a window each shard only
+// byte-identical to the serial one. During its window each shard only
 // buffers its ejections (with a packet-done flag captured at the
 // ejection cycle, before later window cycles advance the count) and
 // its packet creations; Step(now) then replays the buffered events of
-// cycle `now` across shards in ascending shard order. Shards are
-// contiguous ascending node ranges and each shard buffers per cycle in
-// ascending node order, so the concatenation reproduces the serial
-// engine's node-order callback sequence exactly. Packet IDs are
+// cycle `now` across shards. With contiguous slab partitions the
+// ascending-shard concatenation is already global node order; with the
+// boundary-minimizing partitioner's arbitrary node sets the replay
+// k-way merges the per-shard buffers on node id instead (each shard
+// buffers per cycle in ascending node order, so the merge reproduces
+// the serial engine's exact callback sequence). Packet IDs are
 // assigned at replay — the only global counter — so creation order,
 // IDs, and every derived measurement match the serial engine bit for
 // bit.
@@ -88,12 +106,28 @@ type creditXfer struct {
 	out, in *link.Wire[router.Credit]
 }
 
-// shard is one contiguous node range of the sharded engine: its own
-// scheduler, event buffers, packet pool, and (optionally) worker gang.
+// shardDep is one incoming dependency edge of a shard: the shard may
+// not step cycle u unless u < on.now + bound.
+type shardDep struct {
+	on    *shard
+	bound int64
+}
+
+// shard is one node set of the sharded engine: its own scheduler,
+// clock, event buffers, packet pool, and (optionally) worker gang.
 type shard struct {
 	net *Network
 	idx int
 	sc  *scheduler
+
+	// now is the shard's clock: every cycle < now is complete. horizon
+	// is this round's step target, computed from the clock snapshot
+	// before the shards run (see runRound).
+	now     int64
+	horizon int64
+	// deps are the incoming dependency bounds, one per neighbouring
+	// shard that drives flits or returns credits into this one.
+	deps []shardDep
 
 	// gang and the phase closures parallelize deliver/compute inside
 	// the shard when StepWorkers > 1 (each shard owns its gang; Gang.Run
@@ -104,7 +138,9 @@ type shard struct {
 	computeFn func(i int)
 
 	// Buffered window events, appended in (cycle, node) order; the
-	// cursors track serial replay.
+	// cursors track serial replay. run compacts the unreplayed tail to
+	// the front of each buffer before appending more, so the slices
+	// stop growing once the warmup high-water mark is reached.
 	ejects  []ejectEvent
 	ejCur   int
 	creates []createEvent
@@ -126,53 +162,385 @@ func (sh *shard) allocPacket() *flit.Packet {
 	return p
 }
 
-// partitionNodes cuts the node range into `shards` contiguous,
-// non-empty, balanced ranges, returning the shards+1 cut points. On
-// k-ary n-cubes the cuts snap to the top dimension's stride (slabs of
-// whole hyperplanes) when that still leaves every shard non-empty:
-// only top-dimension links then cross shards, minimizing boundary
-// traffic. Any other topology gets the plain balanced split — the
-// engine is correct for arbitrary cuts, alignment is purely a
-// boundary-count optimization.
-func partitionNodes(t topology.Topology, shards int) []int {
+// partitionNodes splits the nodes into `shards` non-empty sets, sizes
+// balanced within ±1, each set ascending. On k-ary n-cubes whose
+// balanced contiguous cuts align to the top dimension's stride (slabs
+// of whole hyperplanes — the provably minimal cut for a slab
+// decomposition) the contiguous slab split is returned directly. Any
+// other topology runs recursive bisection with greedy Kernighan–Lin
+// style refinement minimizing the cut weight Σ 1/delay over crossing
+// directed links, and keeps whichever of {refined, contiguous}
+// candidates cuts less — so the result is never worse than the old
+// contiguous slab partition.
+func partitionNodes(t topology.Topology, shards int, delayAt []int64, flitDelay int64) [][]int32 {
+	nodes := t.Nodes()
+	cuts, aligned := slabCuts(t, shards)
+	slab := make([][]int32, shards)
+	all := make([]int32, nodes)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	for i := 0; i < shards; i++ {
+		slab[i] = all[cuts[i]:cuts[i+1]]
+	}
+	if shards == 1 || aligned {
+		return slab
+	}
+	g := newPartGraph(t, delayAt, flitDelay)
+	refined := g.bisect(slab)
+	if g.cutWeight(refined) < g.cutWeight(slab) {
+		return refined
+	}
+	return slab
+}
+
+// slabCuts returns shards+1 cut points of the balanced contiguous
+// split (sizes within ±1 by construction). aligned reports whether
+// every interior cut lands on a hyperplane boundary of a
+// multi-dimensional cube (a multiple of the top dimension's stride) —
+// the case where the slab cut is already minimal and the graph
+// partitioner is skipped.
+func slabCuts(t topology.Topology, shards int) (cuts []int, aligned bool) {
 	nodes := t.Nodes()
 	stride := 0
 	if c, ok := t.(topology.Cube); ok && c.N > 1 {
-		if s := nodes / c.K; s*shards <= nodes {
-			stride = s
-		}
+		stride = nodes / c.K
 	}
-	cuts := make([]int, shards+1)
+	cuts = make([]int, shards+1)
 	for i := 1; i < shards; i++ {
-		b := i * nodes / shards
-		if stride > 1 {
-			b = (b + stride/2) / stride * stride
-		}
-		cuts[i] = b
+		cuts[i] = i * nodes / shards
 	}
 	cuts[shards] = nodes
-	for i := 1; i < shards; i++ {
-		if cuts[i] <= cuts[i-1] {
-			cuts[i] = cuts[i-1] + 1
+	aligned = stride > 1
+	for i := 1; i < shards && aligned; i++ {
+		if cuts[i]%stride != 0 {
+			aligned = false
 		}
 	}
-	for i := shards - 1; i >= 1; i-- {
-		if cuts[i] >= cuts[i+1] {
-			cuts[i] = cuts[i+1] - 1
+	return cuts, aligned
+}
+
+// partGraph is the weighted adjacency the partitioner optimizes over:
+// undirected edges between linked nodes, weighted by the total 1/delay
+// of the directed links between them — the per-cycle barrier traffic a
+// cut through that edge costs.
+type partGraph struct {
+	off []int32   // CSR row offsets, len nodes+1
+	to  []int32   // neighbour ids
+	w   []float64 // edge weights
+
+	side []int8    // scratch: 1 = left, 2 = right, 0 = outside the group
+	dval []float64 // scratch: KL gain potential per node
+	tmp  []int32   // scratch: rebuild buffer
+}
+
+func newPartGraph(t topology.Topology, delayAt []int64, flitDelay int64) *partGraph {
+	nodes := t.Nodes()
+	ports := t.Ports()
+	invDelay := func(id int32) float64 {
+		if delayAt != nil {
+			return 1 / float64(delayAt[id])
+		}
+		return 1 / float64(flitDelay)
+	}
+	deg := make([]int32, nodes+1)
+	for id := 0; id < nodes; id++ {
+		for port := 1; port < ports; port++ {
+			if next, _, ok := t.Neighbor(id, port); ok {
+				deg[id+1]++
+				deg[next+1]++
+			}
 		}
 	}
-	return cuts
+	for i := 0; i < nodes; i++ {
+		deg[i+1] += deg[i]
+	}
+	g := &partGraph{
+		off:  deg,
+		to:   make([]int32, deg[nodes]),
+		w:    make([]float64, deg[nodes]),
+		side: make([]int8, nodes),
+		dval: make([]float64, nodes),
+		tmp:  make([]int32, nodes),
+	}
+	fill := make([]int32, nodes)
+	for id := 0; id < nodes; id++ {
+		for port := 1; port < ports; port++ {
+			next, _, ok := t.Neighbor(id, port)
+			if !ok {
+				continue
+			}
+			// One directed link id→next: weight 1/delay(id), charged to
+			// both endpoints (the reverse link, if any, adds its own).
+			wgt := invDelay(int32(id))
+			i := g.off[id] + fill[id]
+			g.to[i], g.w[i] = int32(next), wgt
+			fill[id]++
+			j := g.off[next] + fill[next]
+			g.to[j], g.w[j] = int32(id), wgt
+			fill[next]++
+		}
+	}
+	return g
+}
+
+// cutWeight sums the weight of every edge crossing the partition
+// (each undirected entry pair counted once per direction, uniformly
+// for both candidates, so comparisons are exact).
+func (g *partGraph) cutWeight(parts [][]int32) float64 {
+	at := g.tmp
+	for i, part := range parts {
+		for _, id := range part {
+			at[id] = int32(i)
+		}
+	}
+	var cut float64
+	for id := range g.side {
+		for i := g.off[id]; i < g.off[id+1]; i++ {
+			if at[g.to[i]] != at[id] {
+				cut += g.w[i]
+			}
+		}
+	}
+	return cut
+}
+
+// bisect recursively splits the node list into len(sizes) parts with
+// the given target sizes, refining each two-way split with bounded
+// greedy KL swaps. The node list is permuted in place; every returned
+// part is sorted ascending.
+func (g *partGraph) bisect(parts [][]int32) [][]int32 {
+	sizes := make([]int, len(parts))
+	total := 0
+	for i, p := range parts {
+		sizes[i] = len(p)
+		total += len(p)
+	}
+	set := make([]int32, 0, total)
+	for _, p := range parts {
+		set = append(set, p...)
+	}
+	out := make([][]int32, 0, len(parts))
+	g.bisectInto(set, sizes, &out)
+	return out
+}
+
+func (g *partGraph) bisectInto(set []int32, sizes []int, out *[][]int32) {
+	if len(sizes) == 1 {
+		*out = append(*out, set)
+		return
+	}
+	pl := (len(sizes) + 1) / 2
+	nl := 0
+	for _, s := range sizes[:pl] {
+		nl += s
+	}
+	g.refine(set, nl)
+	g.bisectInto(set[:nl], sizes[:pl], out)
+	g.bisectInto(set[nl:], sizes[pl:], out)
+}
+
+// Refinement effort caps: candidate pool per side and swap rounds per
+// bisection. The greedy pair search is O(klCand²) per round; both caps
+// keep the partitioner linear-ish in practice while catching the large
+// wins (rings, hypercubes, heterogeneous boundaries).
+const (
+	klCand  = 32
+	klSwaps = 128
+)
+
+// refine improves the two-way split set[:nl] / set[nl:] with greedy
+// same-size KL swaps, then rewrites both halves sorted ascending.
+func (g *partGraph) refine(set []int32, nl int) {
+	if nl <= 0 || nl >= len(set) {
+		return
+	}
+	for i, id := range set {
+		if i < nl {
+			g.side[id] = 1
+		} else {
+			g.side[id] = 2
+		}
+	}
+	for _, id := range set {
+		g.dval[id] = g.gain(id)
+	}
+
+	var candA, candB []int32
+	for round := 0; round < klSwaps; round++ {
+		candA = g.topGain(set[:nl], candA[:0])
+		candB = g.topGain(set[nl:], candB[:0])
+		var bestA, bestB int32 = -1, -1
+		best := 0.0
+		for _, a := range candA {
+			for _, b := range candB {
+				gain := g.dval[a] + g.dval[b] - 2*g.weightBetween(a, b)
+				if gain > best+1e-12 {
+					best, bestA, bestB = gain, a, b
+				}
+			}
+		}
+		if bestA < 0 {
+			break
+		}
+		g.side[bestA], g.side[bestB] = 2, 1
+		g.recompute(bestA)
+		g.recompute(bestB)
+	}
+
+	// Rebuild both halves: stash the right side in the scratch buffer,
+	// compact the left side in place (the write cursor never passes the
+	// read cursor), then append the stashed right side. Each half is
+	// sorted ascending — the parts must come out in global node order
+	// for the replay merge.
+	right := g.tmp[:0]
+	w := 0
+	for _, id := range set {
+		if g.side[id] == 1 {
+			set[w] = id
+			w++
+		} else {
+			right = append(right, id)
+		}
+	}
+	copy(set[w:], right)
+	sortInt32(set[:nl])
+	sortInt32(set[nl:])
+	for _, id := range set {
+		g.side[id] = 0
+	}
+}
+
+// gain is the KL D-value of a node: external minus internal edge
+// weight within the current group.
+func (g *partGraph) gain(id int32) float64 {
+	s := g.side[id]
+	var d float64
+	for i := g.off[id]; i < g.off[id+1]; i++ {
+		switch g.side[g.to[i]] {
+		case 0:
+		case s:
+			d -= g.w[i]
+		default:
+			d += g.w[i]
+		}
+	}
+	return d
+}
+
+// recompute refreshes the D-values of a moved node and its in-group
+// neighbours.
+func (g *partGraph) recompute(id int32) {
+	g.dval[id] = g.gain(id)
+	for i := g.off[id]; i < g.off[id+1]; i++ {
+		if nb := g.to[i]; g.side[nb] != 0 {
+			g.dval[nb] = g.gain(nb)
+		}
+	}
+}
+
+// topGain returns up to klCand node ids of one side with the highest
+// D-values (ties broken by ascending id, deterministically).
+func (g *partGraph) topGain(side []int32, cand []int32) []int32 {
+	for _, id := range side {
+		if len(cand) == klCand {
+			worst := cand[klCand-1]
+			if g.dval[id] < g.dval[worst] || (g.dval[id] == g.dval[worst] && id > worst) {
+				continue
+			}
+		}
+		cand = append(cand, id)
+		for i := len(cand) - 1; i > 0; i-- {
+			a, b := cand[i-1], cand[i]
+			if g.dval[a] > g.dval[b] || (g.dval[a] == g.dval[b] && a < b) {
+				break
+			}
+			cand[i-1], cand[i] = b, a
+		}
+		if len(cand) > klCand {
+			cand = cand[:klCand]
+		}
+	}
+	return cand
+}
+
+// weightBetween sums the edge weight between two specific nodes.
+func (g *partGraph) weightBetween(a, b int32) float64 {
+	var w float64
+	for i := g.off[a]; i < g.off[a+1]; i++ {
+		if g.to[i] == b {
+			w += g.w[i]
+		}
+	}
+	return w
+}
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 }
 
 // buildShards finishes sharded-engine construction once routers, wires,
-// and sources exist: per-shard schedulers over the shared tables,
-// boundary wake closures, gangs, and the lookahead window length.
-func (n *Network) buildShards(cuts []int) {
-	tab := n.buildSchedTables()
-	n.shards = make([]*shard, len(cuts)-1)
+// and sources exist: per-shard schedulers over the shared tables, the
+// dependency bounds collected during wiring, boundary wake closures,
+// gangs, and the global lookahead floor.
+func (n *Network) buildShards(parts [][]int32, depBound map[[2]int32]int64) {
+	// The wake wheels must absorb barrier transfers landing up to
+	// maxPairBound+maxDelay cycles ahead of a lagging receiver's clock;
+	// rounding to a power of two keeps the slot computation an AND.
+	maxDelay := int64(n.cfg.FlitDelay)
+	for _, d := range n.delayAt {
+		if d > maxDelay {
+			maxDelay = d
+		}
+	}
+	n.lookahead = int64(math.MaxInt64)
+	maxBound := int64(0)
+	for _, b := range depBound {
+		if b < n.lookahead {
+			n.lookahead = b
+		}
+		if b > maxBound {
+			maxBound = b
+		}
+	}
+	if len(depBound) == 0 {
+		// No boundary at all (disconnected shards): any positive floor
+		// works; keep the old single-window pace.
+		n.lookahead = int64(n.cfg.CreditDelay)
+	}
+	minWheel := int64(1)
+	for minWheel < maxBound+maxDelay {
+		minWheel <<= 1
+	}
+	tab := n.buildSchedTables(minWheel)
+
+	// partsOrdered: ascending concatenation of the parts is exactly
+	// 0..nodes-1, so the replay can concatenate instead of merging.
+	n.partsOrdered = true
+	next := int32(0)
+	for _, part := range parts {
+		for _, id := range part {
+			if id != next {
+				n.partsOrdered = false
+			}
+			next++
+		}
+	}
+	if !n.partsOrdered {
+		tab.loc = make([]int32, n.topo.Nodes())
+		for _, part := range parts {
+			for li, id := range part {
+				tab.loc[id] = int32(li)
+			}
+		}
+	}
+
+	n.shards = make([]*shard, len(parts))
 	for i := range n.shards {
 		sh := &shard{net: n, idx: i}
-		sh.sc = newScheduler(n, tab, cuts[i], cuts[i+1]-cuts[i])
+		sh.sc = newShardScheduler(n, tab, i, parts[i])
+		sh.ejects = make([]ejectEvent, 0, 64)
+		sh.creates = make([]createEvent, 0, 64)
 		if n.cfg.StepWorkers > 1 {
 			sh.gang = pool.NewGang(n.cfg.StepWorkers)
 			sh.deliverFn = func(i int) { n.routers[sh.sc.active[i]].Deliver(sh.parNow) }
@@ -180,6 +548,20 @@ func (n *Network) buildShards(cuts []int) {
 		}
 		n.shards[i] = sh
 	}
+	// Dependency edges, sorted by source shard for a deterministic
+	// horizon computation order.
+	keys := make([][2]int32, 0, len(depBound))
+	for k := range depBound {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return keys[i][0] < keys[j][0] || (keys[i][0] == keys[j][0] && keys[i][1] < keys[j][1])
+	})
+	for _, k := range keys {
+		on, waiter := k[0], k[1]
+		n.shards[waiter].deps = append(n.shards[waiter].deps, shardDep{on: n.shards[on], bound: depBound[k]})
+	}
+
 	for id := range n.sources {
 		n.sources[id].sh = n.shards[n.shardAt[id]]
 	}
@@ -189,53 +571,107 @@ func (n *Network) buildShards(cuts []int) {
 		dst := x.dst
 		x.wake = func(due int64) { sc.wakeAt(dst, due) }
 	}
-	// The credit wires bound the lookahead whenever any boundary
-	// exists; boundary flit links (recorded during wiring as the
-	// minimum driving delay) can only lower it further.
-	n.lookahead = int64(n.cfg.CreditDelay)
-	if n.boundaryDelay > 0 && n.boundaryDelay < n.lookahead {
-		n.lookahead = n.boundaryDelay
-	}
 	n.shardGang = pool.NewGang(len(n.shards))
-	n.shardRunFn = func(i int) { n.shards[i].run(n.winStart, n.winEnd) }
+	n.shardRunFn = func(i int) {
+		sh := n.shards[i]
+		sh.run(sh.now, sh.horizon)
+	}
 }
 
-// Lookahead returns the sharded engine's window length in cycles (0 on
-// unsharded networks). Exposed for tests of the heterogeneous-delay
-// lookahead rule.
+// Lookahead returns the sharded engine's global window floor in cycles
+// (0 on unsharded networks): the minimum dependency bound over every
+// directed shard pair — each round advances the slowest shard by at
+// least this much. Individual pairs may tolerate more; see
+// PairLookahead.
 func (n *Network) Lookahead() int64 { return n.lookahead }
 
-// stepSharded advances the sharded engine to cycle now: when the
-// current window is exhausted it runs the next window [now, now+L) —
-// all shards in parallel, then the boundary exchange — and in every
-// case it replays cycle now's buffered events serially.
+// PairLookahead returns how many cycles shard `to` may run ahead of
+// shard `from`'s clock — the minimum bound over the boundary links
+// from `from` into `to` (flit links driven in `from`, credit wires of
+// links driven in `to`) — or 0 when no such boundary exists. Exposed
+// for tests of the per-pair heterogeneous lookahead rule.
+func (n *Network) PairLookahead(from, to int) int64 {
+	for _, d := range n.shards[to].deps {
+		if d.on.idx == from {
+			return d.bound
+		}
+	}
+	return 0
+}
+
+// stepSharded advances the sharded engine to cycle now: rounds run
+// until every shard's clock has passed now (with a quiescence
+// fast-forward jumping the clocks over dead air), then cycle now's
+// buffered events replay serially.
 func (n *Network) stepSharded(now int64) {
-	if now >= n.winEnd {
-		n.runWindow(now)
+	if n.minShardClock() <= now {
+		n.advanceShards(now)
 	}
 	n.replaySharded(now)
 }
 
-// runWindow computes the window [start, start+L): every shard steps L
-// cycles against frozen boundary inboxes, then the barrier moves the
-// boundary outboxes over. Windows need no alignment — a quiescence
-// fast-forward simply opens the next window later (NextDue guarantees
-// nothing, buffered or scheduled, lives in the gap).
-func (n *Network) runWindow(start int64) {
-	for _, sh := range n.shards {
-		if sh.ejCur != len(sh.ejects) || sh.crCur != len(sh.creates) {
-			panic("network: sharded window opened with unreplayed events")
+// minShardClock is the global completion point: every cycle strictly
+// below it is complete in every shard.
+func (n *Network) minShardClock() int64 {
+	m := n.shards[0].now
+	for _, sh := range n.shards[1:] {
+		if sh.now < m {
+			m = sh.now
 		}
-		sh.ejects, sh.ejCur = sh.ejects[:0], 0
-		sh.creates, sh.crCur = sh.creates[:0], 0
 	}
-	n.winStart = start
-	n.winEnd = start + n.lookahead
+	return m
+}
+
+// advanceShards runs rounds until cycle now is complete everywhere.
+// When every shard is quiescent (no worklist entries, no pending
+// wakes) the clocks jump straight to the earliest parked injection (or
+// past now), skipping the empty rounds; NextDue guarantees the run
+// loop never steps past buffered events, and stepping a quiescent
+// shard is a no-op regardless of them.
+func (n *Network) advanceShards(now int64) {
+	idle := true
+	for _, sh := range n.shards {
+		if sh.sc.busy() {
+			idle = false
+			break
+		}
+	}
+	if idle {
+		jump := now + 1
+		for _, sh := range n.shards {
+			if h := sh.sc.srcHeap; len(h) > 0 && h[0].at < jump {
+				jump = h[0].at
+			}
+		}
+		for _, sh := range n.shards {
+			if sh.now < jump {
+				sh.now = jump
+			}
+		}
+	}
+	for n.minShardClock() <= now {
+		n.runRound()
+	}
+}
+
+// runRound is one barrier round: horizons from the clock snapshot, all
+// shards step their windows in parallel, then the barrier moves every
+// non-empty boundary outbox and the clocks advance.
+func (n *Network) runRound() {
+	for _, sh := range n.shards {
+		h := sh.now + n.lookahead
+		for _, d := range sh.deps {
+			if t := d.on.now + d.bound; t < h {
+				h = t
+			}
+		}
+		sh.horizon = h
+	}
 	if n.probed {
 		// Probes share one accumulator across routers; a probed network
 		// steps its shards serially, like the unsharded steppers.
 		for _, sh := range n.shards {
-			sh.run(n.winStart, n.winEnd)
+			sh.run(sh.now, sh.horizon)
 		}
 	} else {
 		n.shardGang.Run(len(n.shards), n.shardRunFn)
@@ -244,22 +680,52 @@ func (n *Network) runWindow(start int64) {
 	// construction order (ascending driving node, then port) — a fixed
 	// serial order, though order is immaterial across distinct wires
 	// and preserved within each (single producer, monotone dues).
+	// Empty outboxes — the common case once traffic localizes — skip
+	// the move entirely.
 	for i := range n.flitXfers {
 		x := &n.flitXfers[i]
-		x.out.MoveTo(x.in, x.wake)
+		if x.out.Len() > 0 {
+			x.out.MoveTo(x.in, x.wake)
+		}
 	}
 	for i := range n.creditXfers {
 		x := &n.creditXfers[i]
-		x.out.MoveTo(x.in, nil)
+		if x.out.Len() > 0 {
+			x.out.MoveTo(x.in, nil)
+		}
+	}
+	for _, sh := range n.shards {
+		if sh.horizon > sh.now {
+			sh.now = sh.horizon
+		}
 	}
 }
 
 // run steps one shard through the window [start, end): the per-shard
-// clone of stepActive, with ejections buffered instead of delivered and
-// cross-shard pushes left for the barrier.
+// clone of stepActive, with ejections buffered instead of delivered,
+// cross-shard pushes left for the barrier, and shard-local quiescent
+// gaps skipped to the next parked injection.
 func (sh *shard) run(start, end int64) {
+	if end <= start {
+		return
+	}
+	sh.compact()
 	sc := sh.sc
 	for t := start; t < end; t++ {
+		if sc.carryCount == 0 && sc.wakeCount == 0 && sc.srcCount == 0 {
+			// Shard-locally quiescent: nothing can happen before the
+			// earliest parked injection (pending wakes cover every
+			// in-flight arrival, including barrier transfers).
+			if len(sc.srcHeap) == 0 {
+				return
+			}
+			if at := sc.srcHeap[0].at; at > t {
+				if at >= end {
+					return
+				}
+				t = at
+			}
+		}
 		sc.buildActive(t)
 		if sh.gang != nil && !sh.net.probed {
 			sh.parNow = t
@@ -275,6 +741,21 @@ func (sh *shard) run(start, end int64) {
 			}
 		}
 		sc.stepSources(sh.net, t)
+	}
+}
+
+// compact moves the unreplayed buffered events to the front of their
+// slices, reclaiming the replayed prefix without reallocating.
+func (sh *shard) compact() {
+	if sh.ejCur > 0 {
+		k := copy(sh.ejects, sh.ejects[sh.ejCur:])
+		sh.ejects = sh.ejects[:k]
+		sh.ejCur = 0
+	}
+	if sh.crCur > 0 {
+		k := copy(sh.creates, sh.creates[sh.crCur:])
+		sh.creates = sh.creates[:k]
+		sh.crCur = 0
 	}
 }
 
@@ -305,60 +786,128 @@ func (sh *shard) finishRouter(id int, now int64) {
 	}
 }
 
+// fireEject replays one buffered ejection on the network callbacks,
+// returning a finished packet to its source shard's pool. The source
+// shard is read before Reset zeroes the packet.
+func (n *Network) fireEject(e *ejectEvent, now int64) {
+	if n.OnFlitEjected != nil {
+		n.OnFlitEjected(e.f, now)
+	}
+	if e.done {
+		p := e.f.Pkt
+		if n.OnPacketDone != nil {
+			n.OnPacketDone(p, now)
+		}
+		home := n.shards[n.shardAt[p.Src]]
+		p.Reset()
+		home.pktFree = append(home.pktFree, p)
+	}
+}
+
+// fireCreate replays one buffered packet creation, assigning the
+// global packet ID.
+func (n *Network) fireCreate(e *createEvent, now int64) {
+	e.p.ID = n.nextPacketID
+	n.nextPacketID++
+	if cb := n.OnPacketCreated; cb != nil {
+		cb(e.p, now)
+	}
+}
+
 // replaySharded fires cycle now's buffered events on the network's
-// callbacks: every shard's ejections in ascending shard (= node) order,
-// then every shard's creations — the serial engine's exact per-cycle
-// order. Creations assign the global packet ID here, so IDs follow
-// creation order network-wide.
+// callbacks in the serial engine's exact per-cycle order: every
+// ejection in ascending node order, then every creation. With ordered
+// (contiguous slab) partitions, ascending shard order is ascending
+// node order and the replay concatenates; otherwise the per-shard
+// buffers — each already ascending by node within the cycle — k-way
+// merge on node id.
 func (n *Network) replaySharded(now int64) {
-	for _, sh := range n.shards {
-		for sh.ejCur < len(sh.ejects) {
+	if n.partsOrdered {
+		for _, sh := range n.shards {
+			for sh.ejCur < len(sh.ejects) {
+				e := &sh.ejects[sh.ejCur]
+				if e.t != now {
+					if e.t < now {
+						panic("network: sharded ejection missed its replay cycle")
+					}
+					break
+				}
+				sh.ejCur++
+				n.fireEject(e, now)
+			}
+		}
+		for _, sh := range n.shards {
+			for sh.crCur < len(sh.creates) {
+				e := &sh.creates[sh.crCur]
+				if e.t != now {
+					if e.t < now {
+						panic("network: sharded creation missed its replay cycle")
+					}
+					break
+				}
+				sh.crCur++
+				n.fireCreate(e, now)
+			}
+		}
+		return
+	}
+	for {
+		var best *shard
+		bestNode := int32(math.MaxInt32)
+		for _, sh := range n.shards {
+			if sh.ejCur >= len(sh.ejects) {
+				continue
+			}
 			e := &sh.ejects[sh.ejCur]
 			if e.t != now {
 				if e.t < now {
 					panic("network: sharded ejection missed its replay cycle")
 				}
-				break
+				continue
 			}
-			sh.ejCur++
-			if n.OnFlitEjected != nil {
-				n.OnFlitEjected(e.f, now)
-			}
-			if e.done {
-				p := e.f.Pkt
-				if n.OnPacketDone != nil {
-					n.OnPacketDone(p, now)
-				}
-				p.Reset()
-				src := n.shards[n.shardAt[p.Src]]
-				src.pktFree = append(src.pktFree, p)
+			if node := int32(e.f.Pkt.Dst); node < bestNode {
+				bestNode, best = node, sh
 			}
 		}
+		if best == nil {
+			break
+		}
+		e := &best.ejects[best.ejCur]
+		best.ejCur++
+		n.fireEject(e, now)
 	}
-	for _, sh := range n.shards {
-		for sh.crCur < len(sh.creates) {
+	for {
+		var best *shard
+		bestNode := int32(math.MaxInt32)
+		for _, sh := range n.shards {
+			if sh.crCur >= len(sh.creates) {
+				continue
+			}
 			e := &sh.creates[sh.crCur]
 			if e.t != now {
 				if e.t < now {
 					panic("network: sharded creation missed its replay cycle")
 				}
-				break
+				continue
 			}
-			sh.crCur++
-			e.p.ID = n.nextPacketID
-			n.nextPacketID++
-			if cb := n.OnPacketCreated; cb != nil {
-				cb(e.p, now)
+			if node := int32(e.p.Src); node < bestNode {
+				bestNode, best = node, sh
 			}
 		}
+		if best == nil {
+			break
+		}
+		e := &best.creates[best.crCur]
+		best.crCur++
+		n.fireCreate(e, now)
 	}
 }
 
-// nextDueSharded composes quiescence fast-forward with the windows: the
-// earliest unreplayed buffered event, else the next window start while
-// any shard still has scheduled work (worklist entries, pending wakes —
-// which cover barrier-transferred boundary flits — or busy sources),
-// else the earliest parked injection across shards.
+// nextDueSharded composes quiescence fast-forward with the per-shard
+// clocks: the earliest unreplayed buffered event, else the earliest
+// busy shard's next-unexecuted cycle (pending wakes cover
+// barrier-transferred boundary flits), else the earliest parked
+// injection across shards.
 func (n *Network) nextDueSharded(now int64) int64 {
 	due := int64(math.MaxInt64)
 	for _, sh := range n.shards {
@@ -369,8 +918,8 @@ func (n *Network) nextDueSharded(now int64) int64 {
 			due = sh.creates[sh.crCur].t
 		}
 		if sh.sc.busy() {
-			if n.winEnd < due {
-				due = n.winEnd
+			if sh.now < due {
+				due = sh.now
 			}
 		} else if h := sh.sc.srcHeap; len(h) > 0 && h[0].at < due {
 			due = h[0].at

@@ -204,6 +204,13 @@ func New(id int, cfg Config, routes []uint8) *Router {
 // ID returns the router's node id.
 func (r *Router) ID() int { return r.id }
 
+// CreditLag returns the credit-processing pipeline depth in cycles: the
+// router pops its credit wires that many cycles late (a credit due at t
+// is consumed at t+CreditLag). The sharded engine reads it to widen its
+// credit-side lookahead bound to CreditDelay+CreditLag per boundary
+// link (see network/shard.go).
+func (r *Router) CreditLag() int64 { return r.creditLag }
+
 // Config returns the router's configuration.
 func (r *Router) Config() Config { return r.cfg }
 

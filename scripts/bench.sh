@@ -24,8 +24,10 @@ trap 'rm -f "$raw"' EXIT
 # Three repetitions; the JSON records each benchmark's best run (the
 # minimum is the standard noise-robust statistic for microbenchmarks —
 # scheduler preemption and frequency drift only ever slow a run down).
-go test -run '^$' -benchmem -benchtime=2s -count=3 "$@" \
-    -bench 'BenchmarkNetworkCycle$|BenchmarkNetworkCycleLowLoad$|BenchmarkNetworkCycleLowLoadFullScan$|BenchmarkNetworkCycleSharded$|BenchmarkNetworkCycleShardedBaseline$|BenchmarkMatrixArbiterGrant$|BenchmarkSeparableSwitchAllocate$|BenchmarkVCAllocatorAllocate$|BenchmarkPipelineDesign$' \
+# -timeout covers the sharded pair's steady-state warm-ups (8,000
+# cycles of a 4,096-router network per measurement probe).
+go test -run '^$' -benchmem -benchtime=2s -count=3 -timeout=60m "$@" \
+    -bench 'BenchmarkNetworkCycle$|BenchmarkNetworkCycleLowLoad$|BenchmarkNetworkCycleLowLoadFullScan$|BenchmarkNetworkCycleSharded$|BenchmarkNetworkCycleShardedBaseline$|BenchmarkNetworkCycleShardedLowLoad$|BenchmarkMatrixArbiterGrant$|BenchmarkSeparableSwitchAllocate$|BenchmarkVCAllocatorAllocate$|BenchmarkPipelineDesign$' \
     . | tee "$raw"
 
 # Quiescence fast-forward: a drain-dominated ultra-low-load run on the

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # scripts/bench_compare.sh <old.json> <new.json> [max-regression-pct]
 #
-# Compares the BenchmarkNetworkCycle ns/op of two BENCH_<n>.json files
-# (the simulator's inner-loop cost) and fails when the newer file shows
-# a regression beyond the threshold (default 10%). Both files must come
+# Compares the ns/op of the gated benchmarks across two BENCH_<n>.json
+# files — BenchmarkNetworkCycle (the simulator's inner-loop cost) and
+# BenchmarkNetworkCycleSharded (the parallel engine's window cost) —
+# and fails when the newer file shows a regression beyond the threshold
+# (default 10%). A gated benchmark absent from the older file is skipped
+# with a note (it post-dates that recording). Both files must come
 # from the same machine class to be meaningful — which holds for the
 # checked-in per-PR trajectory, recorded on the CI-class box. Run by
 # scripts/bench.sh after recording a new file, and by the CI bench-smoke
@@ -28,15 +31,20 @@ def ns_per_op(path, name):
             return b["ns/op"]
     return None
 
-name = "BenchmarkNetworkCycle"
-old_ns = ns_per_op(old_path, name)
-new_ns = ns_per_op(new_path, name)
-if old_ns is None or new_ns is None:
-    sys.exit(f"{name} missing from {old_path if old_ns is None else new_path}")
-
-delta = 100.0 * (new_ns - old_ns) / old_ns
-print(f"{name}: {old_ns:g} ns/op ({old_path}) -> {new_ns:g} ns/op ({new_path}): "
-      f"{delta:+.1f}% (limit +{limit:g}%)")
-if delta > limit:
-    sys.exit(f"regression: {name} slowed {delta:.1f}% > {limit:g}% allowed")
+failures = []
+for name in ("BenchmarkNetworkCycle", "BenchmarkNetworkCycleSharded"):
+    old_ns = ns_per_op(old_path, name)
+    new_ns = ns_per_op(new_path, name)
+    if new_ns is None:
+        sys.exit(f"{name} missing from {new_path}")
+    if old_ns is None:
+        print(f"{name}: not in {old_path} (pre-dates this benchmark); skipping")
+        continue
+    delta = 100.0 * (new_ns - old_ns) / old_ns
+    print(f"{name}: {old_ns:g} ns/op ({old_path}) -> {new_ns:g} ns/op ({new_path}): "
+          f"{delta:+.1f}% (limit +{limit:g}%)")
+    if delta > limit:
+        failures.append(f"{name} slowed {delta:.1f}% > {limit:g}% allowed")
+if failures:
+    sys.exit("regression: " + "; ".join(failures))
 EOF
