@@ -7,6 +7,7 @@
 //	netsim -router spec-vc -vcs 2 -buf 4 -load 0.4
 //	netsim -router wormhole -buf 8 -load 0.45 -packets 100000
 //	netsim -router spec-vc -pattern transpose -topo torus -load 0.3
+//	netsim -router spec-vc -routing adaptive:minimal -faults 'link:3-7@cycle=1000' -load 0.3
 //	netsim -router spec-vc -probe-turnaround -load 0.9
 //	netsim -router vc -load 0.4 -json
 package main
@@ -32,6 +33,8 @@ func main() {
 	source := flag.String("source", "", "injection process: const, bernoulli, mmpp:on=X,off=Y, batch:size=N, trace:file=PATH (replay; ignores -load)")
 	sizes := flag.String("sizes", "", "packet-size distribution: fixed:N, uniform:min=A,max=B, bimodal:small=S,large=L,p=P (empty = every packet is -packetsize flits)")
 	overrides := flag.String("overrides", "", "per-router overrides, ';'-separated SEL:k=v groups (SEL = id, LO-HI, or '*'): e.g. '0:vcs=4,buf=8;3-5:delay=2'")
+	routing := flag.String("routing", "", "routing policy: dor (default, the paper's deterministic dimension-order routing) or adaptive:minimal")
+	faults := flag.String("faults", "", "fault-injection spec, ';'-separated events: link:A-B@cycle=N, router:R@cycle=N, rand:links=K[,seed=S]@cycle=N, rand:routers=K[,seed=S]@cycle=N")
 	record := flag.String("record", "", "record the run's packet workload to this trace file (.jsonl/.json = JSONL, else binary)")
 	stepWorkers := flag.Int("step-workers", 0, "deterministic parallel stepper workers (0 or 1 = serial engine; results are identical for every value)")
 	shards := flag.Int("shards", 0, "lookahead-sharded engine shard count (0 or 1 = single-range engine; results are identical for every value)")
@@ -69,7 +72,8 @@ func main() {
 		// specs, recording, nor JSON output; reject rather than silently
 		// ignore those flags.
 		if *topo != "mesh" || *pattern != "uniform" || *jsonOut ||
-			*source != "" || *sizes != "" || *overrides != "" || *record != "" || *stepWorkers != 0 || *shards != 0 {
+			*source != "" || *sizes != "" || *overrides != "" || *routing != "" || *faults != "" ||
+			*record != "" || *stepWorkers != 0 || *shards != 0 {
 			fmt.Fprintln(os.Stderr, "-probe-turnaround supports only -topo mesh, -pattern uniform, the default workload, and text output")
 			os.Exit(2)
 		}
@@ -91,6 +95,8 @@ func main() {
 		Source:      *source,
 		Sizes:       *sizes,
 		Overrides:   *overrides,
+		Routing:     *routing,
+		Faults:      *faults,
 		Load:        *load,
 	}
 	opts := routersim.MatrixOptions{
@@ -132,6 +138,9 @@ func main() {
 	if sc.Source != "" || sc.Sizes != "" || sc.Overrides != "" {
 		fmt.Printf("  workload  source=%q sizes=%q overrides=%q\n", sc.Source, sc.Sizes, sc.Overrides)
 	}
+	if sc.Routing != "" || sc.Faults != "" {
+		fmt.Printf("  routing   policy=%q faults=%q\n", sc.Routing, sc.Faults)
+	}
 	if *record != "" {
 		fmt.Printf("  recorded  packet trace -> %s\n", *record)
 	}
@@ -143,6 +152,10 @@ func main() {
 	if res.Latency.Censored > 0 {
 		fmt.Printf("  censored  %d tagged packets undrained: latency columns are lower bounds\n",
 			res.Latency.Censored)
+	}
+	if res.Unroutable > 0 {
+		fmt.Printf("  dropped   %d unroutable packets (%d flits) drained at discovery\n",
+			res.Unroutable, res.DroppedFlits)
 	}
 	fmt.Printf("  cycles    %d (saturated=%t)\n", res.Cycles, res.Saturated)
 	if r.Model != nil {

@@ -12,6 +12,7 @@
 //	sweep -topos mesh,torus:k=4:n=3,hypercube:64,ring:16 -routers spec-vc -json -
 //	sweep -sources const,mmpp:on=20,off=60 -sizes bimodal:small=1,large=9,p=0.1 -csv -
 //	sweep -overrides '|0:vcs=4,buf=8;3-5:delay=2' -routers vc -loads 0.2,0.4 -csv -
+//	sweep -routing dor,adaptive:minimal -faults '|link:3-7@cycle=1000' -csv -
 //
 // Saturation mode replaces the loads axis with an adaptive bisection,
 // emitting each scenario's knee (saturation load, delivered throughput,
@@ -61,6 +62,8 @@ func main() {
 	sources := flag.String("sources", "", "comma-separated injection processes: const, bernoulli, mmpp:on=X,off=Y, batch:size=N, trace:file=PATH (empty = const; a bare KEY=VALUE fragment continues the previous spec)")
 	sizes := flag.String("sizes", "", "comma-separated packet-size distributions: fixed:N, uniform:min=A,max=B, bimodal:small=S,large=L,p=P (empty = every packet is -packetsize flits)")
 	overrides := flag.String("overrides", "", "'|'-separated per-router override specs, each ';'-separated SEL:k=v groups, e.g. '0:vcs=4,buf=8;3-5:delay=2|*:buf=2' (empty list entry = uniform network)")
+	routing := flag.String("routing", "", "comma-separated routing policies: dor, adaptive:minimal (empty = dor, the paper's deterministic dimension-order routing)")
+	faults := flag.String("faults", "", "'|'-separated fault-injection specs, each ';'-separated events like 'link:3-7@cycle=1000;router:12@cycle=2000' or 'rand:links=2,seed=9@cycle=500' (empty list entry = fault-free network)")
 	loads := flag.String("loads", "0.2", "loads as fractions of capacity: comma list or lo:hi:step range")
 
 	// Saturation-search mode: replace the loads axis with an adaptive
@@ -95,6 +98,7 @@ func main() {
 			"routers": true, "topos": true, "k": true, "patterns": true,
 			"vcs": true, "bufs": true, "packetsize": true, "credit-delays": true,
 			"step-workers": true, "shards": true, "sources": true, "sizes": true, "overrides": true,
+			"routing": true, "faults": true,
 			"loads": true, "warmup": true, "packets": true,
 			"workers": true, "json": true, "quiet": true,
 			"saturation": true, "sat-tol": true, "exact": true, "ci-target": true,
@@ -122,6 +126,8 @@ func main() {
 		Sources:      splitWorkloadList(*sources),
 		Sizes:        splitWorkloadList(*sizes),
 		Overrides:    splitPipeList(*overrides),
+		Routings:     splitList(*routing),
+		Faults:       splitPipeList(*faults),
 		Loads:        parseLoads(*loads),
 	}
 	opts := routersim.MatrixOptions{
@@ -159,6 +165,7 @@ func main() {
 		len(matrix.PacketSizes) * len(matrix.CreditDelays) * len(matrix.StepWorkers) *
 		len(matrix.Shards) *
 		axisLen(matrix.Sources) * axisLen(matrix.Sizes) * axisLen(matrix.Overrides) *
+		axisLen(matrix.Routings) * axisLen(matrix.Faults) *
 		len(matrix.Loads)
 	jobs := matrix.Size()
 	if jobs < requested {

@@ -63,6 +63,18 @@ type Packet struct {
 	// records the cycle the final flit was ejected.
 	Ejected   int
 	EjectedAt int64
+
+	// Dropped marks a packet the routing stage declared unroutable (its
+	// destination is unreachable on the live graph after faults). Its
+	// flits drain through the nearest ejection port and are counted as
+	// dropped, not delivered.
+	Dropped bool
+	// EscapeOnly pins the packet to table (escape-layer) routing for the
+	// rest of its life. The adaptive policy sets it when a fault leaves
+	// no live productive candidate: from then on every hop follows the
+	// rerouted tables, whose strictly shortest live paths bound the
+	// remaining hop count and rule out livelock.
+	EscapeOnly bool
 }
 
 // Done reports whether every flit of the packet has been ejected.

@@ -72,8 +72,8 @@ func (s *JSONStream) Close() error {
 // counts tagged packets the cycle cap cut off (nonzero ⇒ the latency
 // columns are lower bounds, not measurements); mean_ci and accepted_ci
 // are 95% batch-means confidence half-widths.
-const CSVHeader = "index,router,topology,k,pattern,vcs,buf_per_vc,packet_size,credit_delay,step_workers,shards,source,sizes,overrides,load,seed," +
-	"ports,model_stages,offered,accepted,accepted_ci,mean_latency,mean_ci,p50,p95,max_latency,packets,censored,cycles,saturated,error"
+const CSVHeader = "index,router,topology,k,pattern,vcs,buf_per_vc,packet_size,credit_delay,step_workers,shards,source,sizes,overrides,routing,faults,load,seed," +
+	"ports,model_stages,offered,accepted,accepted_ci,mean_latency,mean_ci,p50,p95,max_latency,packets,censored,unroutable,dropped_flits,cycles,saturated,error"
 
 // WriteCSV serializes results as CSV in job-index order, with the same
 // determinism guarantee as WriteJSON.
@@ -92,7 +92,7 @@ func WriteCSV(w io.Writer, results []JobResult) error {
 func writeCSVRow(w io.Writer, r JobResult) error {
 	sc := r.Scenario
 	var offered, accepted, acceptedCI, mean, meanCI float64
-	var p50, p95, max, cycles int64
+	var p50, p95, max, cycles, unroutable, droppedFlits int64
 	var packets, censored int
 	saturated := false
 	if r.Result != nil {
@@ -104,6 +104,8 @@ func writeCSVRow(w io.Writer, r JobResult) error {
 		p50, p95, max = r.Result.Latency.P50, r.Result.Latency.P95, r.Result.Latency.MaxLatency
 		packets = r.Result.Latency.Packets
 		censored = r.Result.Latency.Censored
+		unroutable = r.Result.Unroutable
+		droppedFlits = r.Result.DroppedFlits
 		cycles = r.Result.Cycles
 		saturated = r.Result.Saturated
 	}
@@ -113,13 +115,13 @@ func writeCSVRow(w io.Writer, r JobResult) error {
 	if r.Model != nil {
 		ports, modelStages = r.Model.Ports, r.Model.Stages
 	}
-	_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%s,%s,%s,%s,%d,%d,%d,%s,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%t,%s\n",
+	_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%s,%s,%s,%s,%s,%s,%d,%d,%d,%s,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%t,%s\n",
 		r.Index, csvEscape(sc.Router), csvEscape(sc.Topology), sc.K, csvEscape(sc.Pattern), sc.VCs, sc.BufPerVC,
 		sc.PacketSize, sc.CreditDelay, sc.StepWorkers, sc.Shards,
-		csvEscape(sc.Source), csvEscape(sc.Sizes), csvEscape(sc.Overrides), fmtFloat(sc.Load), r.Seed,
+		csvEscape(sc.Source), csvEscape(sc.Sizes), csvEscape(sc.Overrides), csvEscape(sc.Routing), csvEscape(sc.Faults), fmtFloat(sc.Load), r.Seed,
 		ports, modelStages,
 		fmtFloat(offered), fmtFloat(accepted), fmtFloat(acceptedCI), fmtFloat(mean), fmtFloat(meanCI),
-		p50, p95, max, packets, censored, cycles, saturated, csvEscape(r.Error))
+		p50, p95, max, packets, censored, unroutable, droppedFlits, cycles, saturated, csvEscape(r.Error))
 	return err
 }
 

@@ -185,7 +185,7 @@ func FindSaturations(m Matrix, opts Options, so SearchOptions) ([]SaturationResu
 }
 
 // SaturationCSVHeader is the column set of WriteSaturationCSV.
-const SaturationCSVHeader = "index,router,topology,k,pattern,vcs,buf_per_vc,packet_size,credit_delay,step_workers,shards,seed," +
+const SaturationCSVHeader = "index,router,topology,k,pattern,vcs,buf_per_vc,packet_size,credit_delay,step_workers,shards,routing,faults,seed," +
 	"saturation_load,upper_bound,throughput,probes,cycles,error"
 
 // WriteSaturationCSV serializes saturation-search results as CSV, one
@@ -196,9 +196,10 @@ func WriteSaturationCSV(w io.Writer, results []SaturationResult) error {
 	}
 	for _, r := range results {
 		sc := r.Scenario
-		_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%d,%s,%s,%s,%d,%d,%s\n",
+		_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%s,%s,%d,%s,%s,%s,%d,%d,%s\n",
 			r.Index, csvEscape(sc.Router), csvEscape(sc.Topology), sc.K, csvEscape(sc.Pattern),
-			sc.VCs, sc.BufPerVC, sc.PacketSize, sc.CreditDelay, sc.StepWorkers, sc.Shards, r.Seed,
+			sc.VCs, sc.BufPerVC, sc.PacketSize, sc.CreditDelay, sc.StepWorkers, sc.Shards,
+			csvEscape(sc.Routing), csvEscape(sc.Faults), r.Seed,
 			fmtFloat(r.Load), fmtFloat(r.Upper), fmtFloat(r.Throughput),
 			len(r.Probes), r.Cycles, csvEscape(r.Error))
 		if err != nil {

@@ -67,6 +67,14 @@ type Scenario struct {
 	// (network.ParseOverrides): ';'-separated SEL:k=v,... groups, e.g.
 	// "0:vcs=4,buf=8;3-5:delay=2". Empty means a uniform network.
 	Overrides string `json:"overrides,omitempty"`
+	// Routing is the routing-policy spec (network.ParseRouting): empty
+	// or "dor" is deterministic dimension-order routing;
+	// "adaptive:minimal" is minimal-adaptive routing over escape VCs.
+	Routing string `json:"routing,omitempty"`
+	// Faults is the fault-injection spec (network.ParseFaults):
+	// ';'-separated events like "link:3-7@cycle=1000", "router:12@cycle=0",
+	// "rand:links=2,seed=9@cycle=500". Empty means no faults.
+	Faults string `json:"faults,omitempty"`
 	// Load is the offered load as a fraction of capacity.
 	Load float64 `json:"load"`
 }
@@ -89,6 +97,8 @@ type Matrix struct {
 	Sources      []string  `json:"sources,omitempty"`
 	Sizes        []string  `json:"sizes,omitempty"`
 	Overrides    []string  `json:"overrides,omitempty"`
+	Routings     []string  `json:"routings,omitempty"`
+	Faults       []string  `json:"faults,omitempty"`
 	Loads        []float64 `json:"loads"`
 }
 
@@ -135,6 +145,12 @@ func (m Matrix) Normalize() Matrix {
 	if len(m.Overrides) == 0 {
 		m.Overrides = []string{""}
 	}
+	if len(m.Routings) == 0 {
+		m.Routings = []string{""}
+	}
+	if len(m.Faults) == 0 {
+		m.Faults = []string{""}
+	}
 	if len(m.Loads) == 0 {
 		m.Loads = []float64{0.2}
 	}
@@ -153,62 +169,57 @@ func (m Matrix) Size() int { return len(m.Expand()) }
 // router crossed with several VC counts) appear once.
 func (m Matrix) Expand() []Scenario {
 	m = m.Normalize()
+	// One odometer digit per axis, routers outermost, loads innermost —
+	// the same fixed expansion order the nested loops always had, so job
+	// indices, derived seeds, and serialized output are unchanged.
+	axes := []int{
+		len(m.Routers), len(m.Topologies), len(m.Ks), len(m.Patterns),
+		len(m.VCs), len(m.BufsPerVC), len(m.PacketSizes), len(m.CreditDelays),
+		len(m.StepWorkers), len(m.Shards), len(m.Sources), len(m.Sizes),
+		len(m.Overrides), len(m.Routings), len(m.Faults), len(m.Loads),
+	}
+	total := 1
+	for _, n := range axes {
+		total *= n
+	}
 	var out []Scenario
 	seen := make(map[Scenario]bool)
-	for _, rk := range m.Routers {
-		for _, topo := range m.Topologies {
-			for _, k := range m.Ks {
-				for _, pat := range m.Patterns {
-					for _, vcs := range m.VCs {
-						for _, buf := range m.BufsPerVC {
-							for _, size := range m.PacketSizes {
-								for _, cd := range m.CreditDelays {
-									for _, sw := range m.StepWorkers {
-										for _, sh := range m.Shards {
-											for _, src := range m.Sources {
-												for _, sz := range m.Sizes {
-													for _, ov := range m.Overrides {
-														for _, load := range m.Loads {
-															sc := Scenario{
-																Router:      rk,
-																Topology:    topo,
-																K:           k,
-																Pattern:     pat,
-																VCs:         vcs,
-																BufPerVC:    buf,
-																PacketSize:  size,
-																CreditDelay: cd,
-																StepWorkers: sw,
-																Shards:      sh,
-																Source:      src,
-																Sizes:       sz,
-																Overrides:   ov,
-																Load:        load,
-															}
-															sc = sc.canonical()
-															// The VCs axis does not apply to non-VC
-															// kinds: pin to 1 so the label is truthful
-															// (a hand-built Scenario skips this and is
-															// rejected by SimConfig instead).
-															if kind, ok := router.ParseKind(sc.Router); ok && !kind.UsesVCs() {
-																sc.VCs = 1
-															}
-															if !seen[sc] {
-																seen[sc] = true
-																out = append(out, sc)
-															}
-														}
-													}
-												}
-											}
-										}
-									}
-								}
-							}
-						}
-					}
-				}
+	idx := make([]int, len(axes))
+	for j := 0; j < total; j++ {
+		sc := Scenario{
+			Router:      m.Routers[idx[0]],
+			Topology:    m.Topologies[idx[1]],
+			K:           m.Ks[idx[2]],
+			Pattern:     m.Patterns[idx[3]],
+			VCs:         m.VCs[idx[4]],
+			BufPerVC:    m.BufsPerVC[idx[5]],
+			PacketSize:  m.PacketSizes[idx[6]],
+			CreditDelay: m.CreditDelays[idx[7]],
+			StepWorkers: m.StepWorkers[idx[8]],
+			Shards:      m.Shards[idx[9]],
+			Source:      m.Sources[idx[10]],
+			Sizes:       m.Sizes[idx[11]],
+			Overrides:   m.Overrides[idx[12]],
+			Routing:     m.Routings[idx[13]],
+			Faults:      m.Faults[idx[14]],
+			Load:        m.Loads[idx[15]],
+		}
+		sc = sc.canonical()
+		// The VCs axis does not apply to non-VC kinds: pin to 1 so the
+		// label is truthful (a hand-built Scenario skips this and is
+		// rejected by SimConfig instead).
+		if kind, ok := router.ParseKind(sc.Router); ok && !kind.UsesVCs() {
+			sc.VCs = 1
+		}
+		if !seen[sc] {
+			seen[sc] = true
+			out = append(out, sc)
+		}
+		for a := len(idx) - 1; a >= 0; a-- {
+			if idx[a]++; idx[a] < axes[a] {
+				break
 			}
+			idx[a] = 0
 		}
 	}
 	return out
@@ -290,6 +301,15 @@ func (s Scenario) canonical() Scenario {
 			s.Sizes = sizer.Name()
 		}
 	}
+	// Routing and fault specs canonicalize to their one spelling ("dor"
+	// → "", "adaptive" → "adaptive:minimal", link endpoints low-high).
+	// Parse errors are left for SimConfig to report.
+	if canon, err := network.CanonicalRouting(s.Routing); err == nil {
+		s.Routing = canon
+	}
+	if canon, err := network.CanonicalFaults(s.Faults); err == nil {
+		s.Faults = canon
+	}
 	return s
 }
 
@@ -311,6 +331,8 @@ func (s Scenario) Matrix() Matrix {
 		Sources:      []string{s.Source},
 		Sizes:        []string{s.Sizes},
 		Overrides:    []string{s.Overrides},
+		Routings:     []string{s.Routing},
+		Faults:       []string{s.Faults},
 		Loads:        []float64{s.Load},
 	}
 }
@@ -346,6 +368,12 @@ func (s Scenario) Label() string {
 	}
 	if s.Overrides != "" {
 		extra += "/hetero[" + s.Overrides + "]"
+	}
+	if s.Routing != "" {
+		extra += "/" + s.Routing
+	}
+	if s.Faults != "" {
+		extra += "/faults[" + s.Faults + "]"
 	}
 	return fmt.Sprintf("%s/%s/%s/%dvcs×%dbuf%s%s/load=%.2f",
 		s.Router, topo, s.Pattern, s.VCs, s.BufPerVC, stepper, extra, s.Load)
@@ -420,6 +448,8 @@ func (s Scenario) SimConfig(seed uint64, pr Protocol) (sim.Config, error) {
 		Source:      srcSpec,
 		Sizes:       sizer,
 		Overrides:   overrides,
+		Routing:     s.Routing,
+		Faults:      s.Faults,
 		Topo:        topo,
 		Seed:        seed,
 	}

@@ -54,6 +54,19 @@ type Config struct {
 	// BufPerVC, and link delay (see ParseOverrides). Later entries win
 	// on conflict.
 	Overrides []RouterOverride
+	// Routing selects the routing policy: "" or "dor" for the paper's
+	// deterministic dimension-order routing (precomputed tables,
+	// bit-identical to every run before policies existed), or
+	// "adaptive:minimal" for minimal-adaptive routing over escape VCs
+	// (see routing.go). Adaptive routing needs a VC router kind, at
+	// least VCClasses()+1 VCs, uniform VC counts, and a network small
+	// enough for routing tables (topology.MaxNodes).
+	Routing string
+	// Faults is the deterministic fault-injection plan: ';'-separated
+	// events like "link:3-7@cycle=1000", "router:12@cycle=0", or seeded
+	// random draws "rand:links=2,seed=9@cycle=500" (see faults.go).
+	// Empty means no faults. Faulted networks require routing tables.
+	Faults string
 	// FlitDelay is the link propagation delay in cycles (paper: 1).
 	FlitDelay int
 	// CreditDelay is the credit propagation delay in cycles (paper: 1;
@@ -93,6 +106,11 @@ type Config struct {
 	Shards int
 	// Seed makes the simulation exactly reproducible.
 	Seed uint64
+
+	// routing and faultPlan are the parsed forms of Routing and Faults,
+	// filled by Normalize.
+	routing   routingMode
+	faultPlan *FaultPlan
 }
 
 // Normalize fills defaults and validates.
@@ -150,6 +168,39 @@ func (c *Config) Normalize() error {
 	// stays a real parameter for direct router construction; here any
 	// stated value, including DefaultConfig's 2-D mesh 5, is replaced.)
 	c.Router.Ports = c.Topo.Ports()
+	mode, err := ParseRouting(c.Routing)
+	if err != nil {
+		return fmt.Errorf("network: %w", err)
+	}
+	c.routing = mode
+	fp, err := ParseFaults(c.Faults)
+	if err != nil {
+		return fmt.Errorf("network: %w", err)
+	}
+	c.faultPlan = fp
+	// Both features route through the precomputed tables (the policy
+	// candidate filter and the fault reroute rewrite them in place), so
+	// neither composes with the functional routing of cap-raised
+	// networks.
+	if (c.routing != routeDOR || c.faultPlan != nil) && c.Topo.Nodes() > topology.MaxNodes {
+		return fmt.Errorf("network: adaptive routing and fault injection need routing tables; %s has %d nodes (max %d)",
+			c.Topo.Name(), c.Topo.Nodes(), topology.MaxNodes)
+	}
+	if c.routing == routeAdaptiveMinimal {
+		if !c.Router.Kind.UsesVCs() {
+			return fmt.Errorf("network: adaptive routing splits VCs into escape and adaptive layers; %v routers have no VCs", c.Router.Kind)
+		}
+		esc := c.Topo.VCClasses()
+		if c.Router.VCs < esc+1 {
+			return fmt.Errorf("network: adaptive routing on %s needs at least %d VCs (%d escape + 1 adaptive), got %d",
+				c.Topo.Name(), esc+1, esc, c.Router.VCs)
+		}
+		for _, o := range c.Overrides {
+			if o.VCs != 0 {
+				return fmt.Errorf("network: adaptive routing needs a uniform escape/adaptive VC split; per-router VC overrides conflict")
+			}
+		}
+	}
 	if c.Bernoulli && (c.Source.Kind == "" || c.Source.Kind == "const") {
 		c.Source = traffic.SourceSpec{Kind: "bernoulli"}
 	}
@@ -191,7 +242,12 @@ func (c *Config) Normalize() error {
 		if !c.Router.Kind.UsesVCs() {
 			return fmt.Errorf("network: %v routers deadlock on a %s; use a VC router kind", c.Router.Kind, c.Topo.Name())
 		}
-		if c.Router.VCs < classes || c.Router.VCs%classes != 0 {
+		// Under adaptive routing the escape layer holds exactly one VC
+		// per dateline class and the rest are adaptive, so any count
+		// >= classes+1 (checked above) works; under dimension-order
+		// routing all VCs are datelined and must split evenly.
+		if c.routing != routeAdaptiveMinimal &&
+			(c.Router.VCs < classes || c.Router.VCs%classes != 0) {
 			return fmt.Errorf("network: %s VC classes need a positive multiple of %d VCs, got %d",
 				c.Topo.Name(), classes, c.Router.VCs)
 		}
@@ -240,6 +296,20 @@ type Network struct {
 	// pktFree is the packet pool: packets are recycled when their last
 	// flit is ejected, so a steady-state Step allocates nothing.
 	pktFree []*flit.Packet
+
+	// routeTab aliases every router's routing-table row (table mode
+	// only): fault application rewrites the rows in place at engine
+	// barriers, and the adaptive policies read them. deadOut is the
+	// per-node dead-output-port mask (nil on unfaulted networks).
+	// faults is the resolved fault plan with its application cursor.
+	routeTab [][]uint8
+	deadOut  []uint64
+	faults   *faultState
+
+	// unroutable counts packets dropped because fault injection left
+	// their destination unreachable; droppedFlits counts their flits.
+	unroutable   int64
+	droppedFlits int64
 
 	// gang and the prebuilt phase closures implement the deterministic
 	// parallel stepper. parNow carries the cycle into the closures
@@ -318,6 +388,9 @@ func New(cfg Config) (*Network, error) {
 	useTables := nodes <= topology.MaxNodes
 	ports := cfg.Router.Ports
 	n.routers = make([]*router.Router, nodes)
+	if useTables {
+		n.routeTab = make([][]uint8, nodes)
+	}
 	for id := 0; id < nodes; id++ {
 		rcfg := cfg.Router
 		rcfg.VCs = vcs(id)
@@ -337,8 +410,9 @@ func New(cfg Config) (*Network, error) {
 		for dst := 0; dst < nodes; dst++ {
 			routes[dst] = uint8(n.topo.Route(id, dst))
 		}
+		n.routeTab[id] = routes
 		n.routers[id] = router.New(id, rcfg, routes)
-		if hasClasses {
+		if hasClasses && cfg.routing == routeDOR {
 			// VC overrides are rejected on class topologies (Normalize),
 			// so the class masks see one uniform VC count.
 			classTab := make([]uint64, nodes*ports)
@@ -348,6 +422,34 @@ func New(cfg Config) (*Network, error) {
 				}
 			}
 			n.routers[id].SetVCClassTable(classTab)
+		}
+	}
+
+	// Fault plans resolve against the concrete topology (seeded random
+	// draws become named kills here, before any engine state exists, so
+	// every engine sees the same plan); adaptive policies share the
+	// routers' table rows and the dead-port mask.
+	if cfg.faultPlan != nil {
+		fs, err := resolveFaults(cfg.faultPlan, n.topo, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("network: %w", err)
+		}
+		n.faults = fs
+		n.deadOut = make([]uint64, nodes)
+	}
+	if cfg.routing == routeAdaptiveMinimal {
+		esc := n.topo.VCClasses()
+		for id := 0; id < nodes; id++ {
+			n.routers[id].SetRoutingPolicy(&adaptivePolicy{
+				n:          n,
+				id:         id,
+				topo:       n.topo,
+				routes:     n.routeTab[id],
+				escClasses: esc,
+				adaptMask:  topology.FullVCMask(cfg.Router.VCs) &^ topology.FullVCMask(esc),
+				fullMask:   topology.FullVCMask(cfg.Router.VCs),
+				wrap:       esc > 1,
+			})
 		}
 	}
 
@@ -545,6 +647,16 @@ func (n *Network) Router(id int) *router.Router { return n.routers[id] }
 // SourceQueueLen returns the source-queue depth at a node (for tests).
 func (n *Network) SourceQueueLen(id int) int { return n.sources[id].queueLen() }
 
+// Unroutable returns the number of packets dropped because fault
+// injection left their destination unreachable. Zero on unfaulted
+// networks.
+func (n *Network) Unroutable() int64 { return n.unroutable }
+
+// DroppedFlits returns the number of flits belonging to unroutable
+// packets that drained through ejection ports. Zero on unfaulted
+// networks.
+func (n *Network) DroppedFlits() int64 { return n.droppedFlits }
+
 // SetProbes installs buffer-turnaround probes on every router. Probes
 // share one accumulator, so a probed network always steps serially.
 func (n *Network) SetProbes(t *stats.Turnaround) {
@@ -564,8 +676,15 @@ func (n *Network) SetProbes(t *stats.Turnaround) {
 // identical for any worker count.
 func (n *Network) Step(now int64) {
 	if n.shards != nil {
-		n.stepSharded(now)
+		n.stepSharded(now) // applies due faults at its shard barriers
 		return
+	}
+	if n.faults != nil {
+		// Single-clock engines apply faults lazily at the next executed
+		// cycle: a quiescence fast-forward can only skip cycles with no
+		// routing decisions, so applying on arrival is observationally
+		// identical to applying exactly on the fault cycle.
+		n.applyFaults(now)
 	}
 	if n.sched != nil {
 		n.stepActive(now)
@@ -605,7 +724,23 @@ func (n *Network) Step(now int64) {
 
 func (n *Network) handleEject(at int, f flit.Flit, now int64) {
 	if f.Pkt.Dst != at {
-		panic(fmt.Sprintf("network: flit of packet %d (dst %d) ejected at node %d", f.Pkt.ID, f.Pkt.Dst, at))
+		if !f.Pkt.Dropped {
+			panic(fmt.Sprintf("network: flit of packet %d (dst %d) ejected at node %d", f.Pkt.ID, f.Pkt.Dst, at))
+		}
+		// Unroutable drain: a fault severed the destination, so the
+		// packet drained through this router's ejection port. Its flits
+		// count as dropped, not delivered (OnFlitEjected stays silent so
+		// throughput excludes them); completion still fires OnPacketDone
+		// so the measurement layer can retire tagged packets.
+		n.droppedFlits++
+		if f.Pkt.Done() {
+			n.unroutable++
+			if n.OnPacketDone != nil {
+				n.OnPacketDone(f.Pkt, now)
+			}
+			n.freePacket(f.Pkt)
+		}
+		return
 	}
 	if n.OnFlitEjected != nil {
 		n.OnFlitEjected(f, now)

@@ -1,0 +1,152 @@
+package network
+
+import (
+	"fmt"
+
+	"routersim/internal/flit"
+	"routersim/internal/router"
+	"routersim/internal/topology"
+)
+
+// This file implements the network-level routing policies behind
+// Config.Routing. The default, "dor", is the paper's deterministic
+// dimension-order routing and keeps the routers' precomputed scalar
+// tables — bit-identical to every run before policies existed. The
+// alternative, "adaptive:minimal", is minimal-adaptive routing with an
+// escape layer (Duato's methodology): the VC space is split into escape
+// VCs (the low topology.VCClasses() VCs, which run the deterministic
+// table with its dateline classes) and adaptive VCs (the rest, free to
+// take any productive port from topology.RouteCandidates). Head flits
+// alternate VC-allocation attempts between the adaptive layer (even
+// attempts, port chosen by emptiest-downstream credit count) and the
+// escape layer (odd attempts, table port only); since a packet blocked
+// on the adaptive layer always retries the escape layer next cycle, and
+// the escape layer alone is deadlock-free, the whole network is.
+
+// routingMode is the parsed form of Config.Routing.
+type routingMode uint8
+
+const (
+	// routeDOR is deterministic dimension-order (table) routing.
+	routeDOR routingMode = iota
+	// routeAdaptiveMinimal is minimal-adaptive routing over escape VCs.
+	routeAdaptiveMinimal
+)
+
+// ParseRouting parses a routing-policy spec: "" or "dor" for
+// dimension-order routing, "adaptive" or "adaptive:minimal" for
+// minimal-adaptive routing with escape VCs.
+func ParseRouting(spec string) (routingMode, error) {
+	switch spec {
+	case "", "dor":
+		return routeDOR, nil
+	case "adaptive", "adaptive:minimal":
+		return routeAdaptiveMinimal, nil
+	default:
+		return routeDOR, fmt.Errorf("routing: unknown policy %q (want dor or adaptive:minimal)", spec)
+	}
+}
+
+// CanonicalRouting parses a routing spec and returns its canonical
+// spelling ("" for the default dimension-order routing). The harness
+// uses it for scenario labels and dedup.
+func CanonicalRouting(spec string) (string, error) {
+	mode, err := ParseRouting(spec)
+	if err != nil {
+		return "", err
+	}
+	if mode == routeAdaptiveMinimal {
+		return "adaptive:minimal", nil
+	}
+	return "", nil
+}
+
+// adaptivePolicy is the per-router router.RoutingPolicy implementing
+// minimal-adaptive routing with escape VCs. One instance per router; the
+// scratch buffer makes Route allocation-free, and every field it reads
+// is either router-local (credit counts), immutable (topology), or only
+// rewritten at fault barriers while no router is stepping (routeTab,
+// deadOut) — the determinism contract of router.RoutingPolicy.
+type adaptivePolicy struct {
+	n      *Network
+	id     int
+	topo   topology.Topology
+	routes []uint8 // this router's live table row (aliases n.routeTab[id])
+
+	escClasses int    // topology VC classes; escape layer = VCs [0, escClasses)
+	adaptMask  uint64 // adaptive layer = VCs [escClasses, VCs)
+	fullMask   uint64 // all VCs (used when draining unroutable packets)
+	wrap       bool   // escape masks are per-hop dateline classes
+
+	buf [topology.MaxPorts]uint8 // RouteCandidates scratch
+}
+
+// escMask returns the escape-layer VC mask for a hop through port: VC 0
+// on classless topologies, the dateline class within the low escClasses
+// VCs on wrap topologies.
+func (ap *adaptivePolicy) escMask(dst, port int) uint64 {
+	if !ap.wrap {
+		return 1
+	}
+	return ap.topo.VCMask(ap.id, dst, port, ap.escClasses)
+}
+
+// Route implements router.RoutingPolicy.
+func (ap *adaptivePolicy) Route(r *router.Router, p *flit.Packet, attempt int) (int, uint64) {
+	dst := p.Dst
+	table := ap.routes[dst]
+	if table == router.Unroutable {
+		// Destination unreachable on the live graph: drain through this
+		// router's ejection port, counted as dropped.
+		p.Dropped = true
+		return topology.PortLocal, ap.fullMask
+	}
+	dead := ap.n.deadOut // nil on unfaulted networks
+	if p.EscapeOnly || attempt&1 == 1 {
+		// Escape attempt: the table port on the escape VCs. On a faulted
+		// network the packet is pinned to the table from its first escape
+		// attempt on: the rerouted tables are loop-free up*/down* routes,
+		// so
+		// the remaining hop count is bounded, whereas mixing table hops
+		// (which may move away from dst in the original metric) with
+		// adaptive hops (minimal in that metric) could orbit forever. On
+		// an unfaulted network the table is itself minimal, so no pinning
+		// is needed.
+		if dead != nil {
+			p.EscapeOnly = true
+		}
+		return int(table), ap.escMask(dst, int(table))
+	}
+	// Adaptive attempt: among the turn-model-legal productive ports,
+	// pick the one with the most free downstream credits on the adaptive
+	// layer (ties to the lowest port — deterministic). Under faults,
+	// dead ports and next hops that lost their path to dst are skipped.
+	cands := ap.topo.RouteCandidates(ap.id, dst, ap.buf[:0])
+	best, bestCredits := -1, -1
+	for _, port := range cands {
+		if dead != nil {
+			if dead[ap.id]&(1<<uint64(port)) != 0 {
+				continue
+			}
+			if next, _, ok := ap.topo.Neighbor(ap.id, int(port)); !ok || ap.n.routeTab[next][dst] == router.Unroutable {
+				continue
+			}
+		}
+		if c := r.FreeCreditsMask(int(port), ap.adaptMask); c > bestCredits {
+			best, bestCredits = int(port), c
+		}
+	}
+	if best < 0 {
+		// A fault severed every productive candidate: fall back to the
+		// escape table for the rest of the packet's life.
+		p.EscapeOnly = true
+		return int(table), ap.escMask(dst, int(table))
+	}
+	mask := ap.adaptMask
+	if best == int(table) {
+		// The adaptive choice coincides with the escape direction: the
+		// escape VCs of that hop are legal too, widening allocation.
+		mask |= ap.escMask(dst, best)
+	}
+	return best, mask
+}

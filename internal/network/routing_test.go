@@ -1,0 +1,172 @@
+package network
+
+import (
+	"testing"
+
+	"routersim/internal/flit"
+	"routersim/internal/router"
+	"routersim/internal/topology"
+	"routersim/internal/traffic"
+)
+
+func TestParseRoutingCanonical(t *testing.T) {
+	cases := []struct{ spec, want string }{
+		{"", ""},
+		{"dor", ""},
+		{"adaptive", "adaptive:minimal"},
+		{"adaptive:minimal", "adaptive:minimal"},
+	}
+	for _, c := range cases {
+		got, err := CanonicalRouting(c.spec)
+		if err != nil {
+			t.Errorf("CanonicalRouting(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("CanonicalRouting(%q) = %q, want %q", c.spec, got, c.want)
+		}
+	}
+	for _, bad := range []string{"adaptive:full", "xy", "random"} {
+		if _, err := ParseRouting(bad); err == nil {
+			t.Errorf("ParseRouting(%q): expected error, got none", bad)
+		}
+	}
+}
+
+// TestAdaptiveConfigValidation pins the configuration gates: adaptive
+// routing needs a VC router kind, room for at least one adaptive VC
+// above the escape classes, and a uniform VC split.
+func TestAdaptiveConfigValidation(t *testing.T) {
+	// Wormhole routers have no VCs to split.
+	cfg := testConfig(router.Wormhole, 0.02)
+	cfg.Routing = "adaptive:minimal"
+	if err := cfg.Normalize(); err == nil {
+		t.Error("adaptive on wormhole: expected error, got none")
+	}
+
+	// A torus needs 2 escape classes + 1 adaptive VC; 2 VCs are too few.
+	topo, err := topology.New("torus", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := router.DefaultConfig(router.VirtualChannel)
+	rc.VCs = 2
+	tcfg := Config{Topo: topo, Router: rc, InjectionRate: 0.02, Routing: "adaptive:minimal"}
+	if err := tcfg.Normalize(); err == nil {
+		t.Error("adaptive on torus with 2 VCs: expected error, got none")
+	}
+
+	// Per-router VC overrides break the uniform escape/adaptive split.
+	ocfg := testConfig(router.VirtualChannel, 0.02)
+	ocfg.Routing = "adaptive:minimal"
+	ocfg.Overrides = []RouterOverride{{Node: 0, VCs: 4, BufPerVC: 4}}
+	if err := ocfg.Normalize(); err == nil {
+		t.Error("adaptive with per-router VC override: expected error, got none")
+	}
+}
+
+// TestAdaptiveSoak is the satellite livelock/deadlock soak: adversarial
+// patterns (hotspot, transpose) at 95% of capacity on a mesh, a torus,
+// and a hypercube, all under adaptive routing. Far past saturation the
+// network must keep delivering — a deadlock freezes completions and a
+// livelock starves them, so the gate is sustained progress in every
+// window of the run.
+func TestAdaptiveSoak(t *testing.T) {
+	cycles := simCycles(15000)
+	window := cycles / 8
+	topos := []struct {
+		spec string
+		vcs  int
+	}{
+		{"mesh:k=8", 2},
+		{"torus:k=4", 4},
+		{"hypercube:16", 2},
+	}
+	for _, tp := range topos {
+		for _, pattern := range []string{"hotspot", "transpose"} {
+			tp, pattern := tp, pattern
+			t.Run(tp.spec+"/"+pattern, func(t *testing.T) {
+				t.Parallel()
+				topo, err := topology.New(tp.spec, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pat, err := traffic.New(pattern, topo.Nodes())
+				if err != nil {
+					t.Fatal(err)
+				}
+				rc := router.DefaultConfig(router.SpeculativeVC)
+				rc.VCs = tp.vcs
+				cfg := Config{
+					Topo:          topo,
+					Router:        rc,
+					Seed:          29,
+					Pattern:       pat,
+					InjectionRate: 0.95 * topo.UniformCapacity() / 5,
+					Routing:       "adaptive:minimal",
+				}
+				n, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer n.Close()
+				var done, doneAtWindowStart int64
+				n.OnPacketDone = func(p *flit.Packet, now int64) { done++ }
+				for now := int64(0); now < cycles; now++ {
+					n.Step(now)
+					if now > 0 && now%window == 0 {
+						if done == doneAtWindowStart {
+							t.Fatalf("no packet completed in cycles [%d,%d): wedged at 95%% load", now-window, now)
+						}
+						doneAtWindowStart = done
+					}
+				}
+				if done == 0 {
+					t.Fatal("no packets completed at all")
+				}
+			})
+		}
+	}
+}
+
+// TestAdaptiveMatchesCapacityAtLowLoad sanity-checks that adaptive
+// routing delivers everything a sub-saturation uniform workload offers:
+// same packet count as dor, no drops, no stalls.
+func TestAdaptiveDeliversAtLowLoad(t *testing.T) {
+	cycles := simCycles(4000)
+	for _, spec := range []string{"mesh:k=4", "torus", "hypercube:16"} {
+		topo, err := topology.New(spec, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc := router.DefaultConfig(router.VirtualChannel)
+		if topo.VCClasses() > 1 {
+			rc.VCs = 4
+		}
+		cfg := Config{
+			Topo:          topo,
+			Router:        rc,
+			Seed:          7,
+			InjectionRate: 0.2 * topo.UniformCapacity() / 5,
+			Routing:       "adaptive:minimal",
+		}
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		created, done := 0, 0
+		n.OnPacketCreated = func(p *flit.Packet, now int64) { created++ }
+		n.OnPacketDone = func(p *flit.Packet, now int64) { done++ }
+		for now := int64(0); now < cycles; now++ {
+			n.Step(now)
+		}
+		n.Close()
+		if created == 0 {
+			t.Fatalf("%s: no traffic", spec)
+		}
+		// All but the in-flight tail must have completed.
+		if done < created*9/10 {
+			t.Errorf("%s: only %d of %d packets completed at 20%% load", spec, done, created)
+		}
+	}
+}

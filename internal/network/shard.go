@@ -79,8 +79,12 @@ import (
 // completed its packet, captured at ejection time (the packet's
 // running count keeps advancing through the rest of the window).
 type ejectEvent struct {
-	t    int64
-	f    flit.Flit
+	t int64
+	f flit.Flit
+	// at is the ejecting node: the destination for delivered flits, the
+	// dropping router for unroutable drains. The replay merge orders on
+	// it, matching the serial engine's ascending-node ejection order.
+	at   int32
 	done bool
 }
 
@@ -643,6 +647,13 @@ func (n *Network) advanceShards(now int64) {
 				jump = h[0].at
 			}
 		}
+		if n.faults != nil {
+			// The skipped span is quiescent — no routing decisions — so
+			// fault cycles inside it apply now (cycle by cycle, see
+			// applyFaults), keeping the clocks-never-pass-an-unapplied-
+			// fault invariant without running empty rounds.
+			n.applyFaults(jump)
+		}
 		for _, sh := range n.shards {
 			if sh.now < jump {
 				sh.now = jump
@@ -658,12 +669,25 @@ func (n *Network) advanceShards(now int64) {
 // shards step their windows in parallel, then the barrier moves every
 // non-empty boundary outbox and the clocks advance.
 func (n *Network) runRound() {
+	// Fault application is a barrier-only mutation: horizons below are
+	// clamped to the next unapplied fault cycle, so no shard ever steps
+	// a cycle whose routing decisions should already see the fault.
+	// When the slowest clock reaches that cycle, every clock equals it
+	// (the clamp pinned them there), and the tables rewrite here, with
+	// no shard running.
+	if n.faults != nil {
+		n.applyFaults(n.minShardClock())
+	}
+	nextFault := n.faults.nextFaultCycle()
 	for _, sh := range n.shards {
 		h := sh.now + n.lookahead
 		for _, d := range sh.deps {
 			if t := d.on.now + d.bound; t < h {
 				h = t
 			}
+		}
+		if h > nextFault {
+			h = nextFault
 		}
 		sh.horizon = h
 	}
@@ -768,10 +792,10 @@ func (sh *shard) finishRouter(id int, now int64) {
 	r := sh.net.routers[id]
 	if ejected := r.Ejected(); len(ejected) > 0 {
 		for _, f := range ejected {
-			if f.Pkt.Dst != id {
+			if f.Pkt.Dst != id && !f.Pkt.Dropped {
 				panic(fmt.Sprintf("network: flit of packet to %d ejected at node %d", f.Pkt.Dst, id))
 			}
-			sh.ejects = append(sh.ejects, ejectEvent{t: now, f: f, done: f.Pkt.Done()})
+			sh.ejects = append(sh.ejects, ejectEvent{t: now, f: f, at: int32(id), done: f.Pkt.Done()})
 		}
 		r.ClearEjected()
 	}
@@ -790,7 +814,16 @@ func (sh *shard) finishRouter(id int, now int64) {
 // returning a finished packet to its source shard's pool. The source
 // shard is read before Reset zeroes the packet.
 func (n *Network) fireEject(e *ejectEvent, now int64) {
-	if n.OnFlitEjected != nil {
+	if e.f.Pkt.Dropped {
+		// Unroutable drain: counted, not delivered — OnFlitEjected stays
+		// silent so throughput excludes the flits, mirroring the serial
+		// engine's handleEject.
+		n.droppedFlits++
+		if !e.done {
+			return
+		}
+		n.unroutable++
+	} else if n.OnFlitEjected != nil {
 		n.OnFlitEjected(e.f, now)
 	}
 	if e.done {
@@ -865,7 +898,7 @@ func (n *Network) replaySharded(now int64) {
 				}
 				continue
 			}
-			if node := int32(e.f.Pkt.Dst); node < bestNode {
+			if node := e.at; node < bestNode {
 				bestNode, best = node, sh
 			}
 		}

@@ -16,6 +16,28 @@ import (
 // buffer was freed.
 type Credit struct{ VC int8 }
 
+// Unroutable is the routing-table sentinel for a destination with no
+// live path (a fault partitioned the network). The routing stage sends
+// such packets to the local ejection port with Pkt.Dropped set; the
+// network counts them instead of delivering them. Port indices are < 64,
+// so the sentinel can never collide with a real port.
+const Unroutable = 0xFF
+
+// RoutingPolicy chooses the output port and the output-VC candidate
+// mask for a head flit, replacing the router's table/function lookup.
+// Route is invoked when the head first reaches the routing stage
+// (attempt 0) and again on every VC-allocation retry (attempt counts
+// prior failed attempts), so a policy can adapt to congestion — e.g.
+// re-pick by credit count, or alternate between adaptive candidates and
+// a DOR escape class. It runs inside the router's compute phase and
+// must only read router-local state (r's credit counters, p) plus
+// immutable or barrier-synchronized shared tables; it must be
+// deterministic and allocation-free. A policy that declares p
+// unroutable must set p.Dropped and return the local port 0.
+type RoutingPolicy interface {
+	Route(r *Router, p *flit.Packet, attempt int) (port int, vcMask uint64)
+}
+
 // vcState is the per-input-VC channel state (invc_state in the paper;
 // inpc_state for wormhole routers, which have one VC per port).
 type vcState uint8
@@ -39,6 +61,14 @@ type inputVC struct {
 	route   int   // output port chosen by the routing stage
 	outVC   int8  // allocated output VC (valid in vcActive)
 	readyAt int64 // earliest cycle of the next pipeline action
+
+	// cands is the output-VC candidate mask chosen by the routing
+	// policy together with route (policy mode only; the dor fast path
+	// derives candidates from the class tables instead).
+	cands uint64
+	// attempts counts the VC-allocation attempts of the waiting head,
+	// letting the policy alternate between adaptive and escape choices.
+	attempts int32
 
 	// turnaround probe bookkeeping (active only when probe != nil)
 	popTimes  []int64
@@ -85,14 +115,19 @@ type Router struct {
 	// ignore quiet ports entirely.
 	occPorts uint64
 
-	// routes maps a destination node to this router's output port. It is
-	// precomputed once (network.New) and read-only afterwards, so it is
-	// safe to share between concurrently stepping routers. On networks
-	// too large for per-router tables it is nil and routeFn computes the
-	// port on demand (a pure function of (router, dst), equally safe to
-	// call concurrently).
+	// routes maps a destination node to this router's output port — the
+	// dor policy's precomputed form. It is built once (network.New) and
+	// only ever rewritten at fault-application barriers while no router
+	// is stepping, so it is safe to share between concurrently stepping
+	// routers. On networks too large for per-router tables it is nil and
+	// routeFn computes the port on demand (a pure function of
+	// (router, dst), equally safe to call concurrently).
 	routes  []uint8
 	routeFn func(dst int) int
+	// policy, when set, replaces the routes/routeFn lookup for head
+	// routing and VC-allocation retries (see RoutingPolicy). nil keeps
+	// the dor fast path.
+	policy RoutingPolicy
 	// vcMaskAll has the low VCs bits set (the full candidate mask).
 	vcMaskAll uint64
 	// creditLag is the credit-processing pipeline depth in cycles,
@@ -144,10 +179,25 @@ type Router struct {
 	whReleases  []int  // wormhole port releases registered this cycle
 }
 
-// New returns a router. routes maps destination node to output port
-// (routes[dst] = port); it is retained and must not be mutated after.
-// A nil routes requires SetRouteFunc before the first Step (the
-// large-network functional-routing mode).
+// New returns a router. Routing is a three-tier policy layer, picked in
+// this order at the routing stage:
+//
+//  1. SetRoutingPolicy installs a RoutingPolicy that chooses output
+//     port and VC candidates per head flit and per retry (the adaptive
+//     policies live in the network package).
+//  2. Otherwise routes — destination node to output port
+//     (routes[dst] = port) — is the default dimension-ordered ("dor")
+//     policy in its precomputed form. The scalar table lookup IS the
+//     dor policy: it stays a direct indexed load rather than an
+//     interface call so the default path keeps its bit-identical,
+//     zero-allocation behaviour. An entry of Unroutable marks a
+//     destination severed by fault injection; such heads are routed to
+//     the ejection port and dropped. The slice is retained; after New
+//     it may only be rewritten while the network is barrier-stopped
+//     (fault application).
+//  3. A nil routes requires SetRouteFunc before the first Step (the
+//     large-network functional dor mode).
+//
 // Flits routed to port 0 (the local port) are ejected: they accumulate
 // in the buffer returned by Ejected until ClearEjected.
 func New(id int, cfg Config, routes []uint8) *Router {
@@ -239,23 +289,51 @@ func (r *Router) SetVCClassTable(tab []uint64) {
 	r.classTab = tab
 }
 
-// SetRouteFunc installs functional routing for networks too large for
-// per-router routing tables (routes passed to New as nil): fn must be a
-// pure function of the destination, returning the output port. Must be
-// set before the first Step.
+// SetRouteFunc installs the functional form of the dor policy for
+// networks too large for per-router routing tables (routes passed to
+// New as nil): fn must be a pure function of the destination, returning
+// the output port. It is the lowest policy tier — an installed
+// RoutingPolicy takes precedence (see New). Must be set before the
+// first Step.
 func (r *Router) SetRouteFunc(fn func(dst int) int) { r.routeFn = fn }
 
 // SetVCClassFunc is the functional counterpart of SetVCClassTable for
 // networks too large for per-router tables: fn must be a pure function
-// of (destination, output port) returning the candidate VC mask.
+// of (destination, output port) returning the candidate VC mask. Like
+// the class table, it only applies on the dor fast path — a
+// RoutingPolicy returns its own candidate mask per head instead.
 func (r *Router) SetVCClassFunc(fn func(dst, port int) uint64) { r.classFn = fn }
+
+// SetRoutingPolicy installs a per-head routing policy, overriding the
+// routes/routeFn dor lookup (see RoutingPolicy and New). Only router
+// kinds with per-VC input state support policies (the wormhole kinds
+// have no VC-allocation stage to retry from); the network layer
+// enforces this. Must be set before the first Step.
+func (r *Router) SetRoutingPolicy(p RoutingPolicy) { r.policy = p }
+
+// FreeCreditsMask returns output port out's downstream credits summed
+// over the VCs in mask — the deterministic congestion signal adaptive
+// policies break ties with.
+func (r *Router) FreeCreditsMask(out int, mask uint64) int {
+	op := &r.out[out]
+	total := 0
+	for m := mask & op.vcMask; m != 0; m &= m - 1 {
+		total += op.credits[bits.TrailingZeros64(m)]
+	}
+	return total
+}
 
 // vaCandidates builds the VC-allocation candidate mask for an input VC:
 // the free VCs of the routed output port (limited to the VCs the
-// downstream router actually has), intersected with the class policy.
+// downstream router actually has), intersected with the class policy —
+// the routing policy's per-head mask when one is installed, the
+// precomputed dateline class tables otherwise.
 func (r *Router) vaCandidates(vc *inputVC) uint64 {
 	op := &r.out[vc.route]
 	cands := ^op.vcBusy & op.vcMask
+	if r.policy != nil {
+		return cands & vc.cands
+	}
 	if r.classTab != nil {
 		hoq := vc.fifo.Peek()
 		if hoq != nil {
@@ -529,13 +607,36 @@ func (r *Router) routeHead(vc *inputVC, now int64) {
 	if hoq == nil || !hoq.Kind.IsHead() || hoq.EnqueuedAt >= now || vc.readyAt > now {
 		return
 	}
-	if r.routes != nil {
-		vc.route = int(r.routes[hoq.Pkt.Dst])
-	} else {
+	switch {
+	case r.policy != nil:
+		vc.route, vc.cands = r.policy.Route(r, hoq.Pkt, 0)
+		vc.attempts = 0
+	case r.routes != nil:
+		pt := r.routes[hoq.Pkt.Dst]
+		if pt == Unroutable {
+			pt = 0 // drain to the local port; counted, not delivered
+			hoq.Pkt.Dropped = true
+		}
+		vc.route = int(pt)
+	default:
 		vc.route = r.routeFn(hoq.Pkt.Dst)
 	}
 	vc.state = vcWaitVC
 	vc.readyAt = now + 1
+}
+
+// repick re-invokes the routing policy for a head still waiting on VC
+// allocation, letting it adapt to the credit and busy state of this
+// cycle (and alternate toward its escape class). A no-op on the dor
+// fast path.
+func (r *Router) repick(vc *inputVC) {
+	if r.policy == nil {
+		return
+	}
+	if hoq := vc.fifo.Peek(); hoq != nil {
+		vc.route, vc.cands = r.policy.Route(r, hoq.Pkt, int(vc.attempts))
+		vc.attempts++
+	}
 }
 
 // routeHeads performs the routing/decode stage for every idle input VC.

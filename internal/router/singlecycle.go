@@ -78,6 +78,7 @@ func (r *Router) stepSingleCycleVC(now int64) {
 			if vc.hoqEligible(now) == nil {
 				continue
 			}
+			r.repick(vc)
 			r.vaReqs = append(r.vaReqs, allocator.VCRequest{In: in, VC: c, Out: vc.route, Candidates: r.vaCandidates(vc)})
 		}
 	}

@@ -36,6 +36,7 @@ func (r *Router) allocSpec(now int64) {
 			}
 			switch {
 			case vc.state == vcWaitVC && vc.readyAt <= now:
+				r.repick(vc)
 				r.vaReqs = append(r.vaReqs, allocator.VCRequest{
 					In: in, VC: c, Out: vc.route, Candidates: r.vaCandidates(vc),
 				})

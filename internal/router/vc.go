@@ -33,6 +33,7 @@ func (r *Router) allocateVCs(now int64) {
 			if vc.state != vcWaitVC || vc.readyAt > now {
 				continue
 			}
+			r.repick(vc)
 			r.vaReqs = append(r.vaReqs, allocator.VCRequest{
 				In: in, VC: c, Out: vc.route, Candidates: r.vaCandidates(vc),
 			})

@@ -96,6 +96,12 @@ type Result struct {
 	// MinTurnaround is the smallest observed buffer-turnaround interval
 	// (0 unless Config.Probe).
 	MinTurnaround int64 `json:"min_turnaround"`
+	// Unroutable counts packets dropped because fault injection left
+	// their destination unreachable; DroppedFlits counts their flits.
+	// Both are always zero on unfaulted configurations. Dropped tagged
+	// packets retire from the sample without contributing a latency.
+	Unroutable   int64 `json:"unroutable,omitempty"`
+	DroppedFlits int64 `json:"dropped_flits,omitempty"`
 }
 
 // Runner executes simulations from one base configuration. It is the
@@ -224,8 +230,12 @@ func (r *Runner) Run() (Result, error) {
 	net.OnPacketDone = func(p *flit.Packet, now int64) {
 		if p.Tagged {
 			taggedDone++
-			lat.Add(p.Latency())
-			latBatch.Add(float64(p.Latency()))
+			// A dropped (unroutable) packet retires the sample slot but
+			// never arrived, so it contributes no latency observation.
+			if !p.Dropped {
+				lat.Add(p.Latency())
+				latBatch.Add(float64(p.Latency()))
+			}
 		}
 	}
 
@@ -313,6 +323,8 @@ func (r *Runner) Run() (Result, error) {
 		Tagged:        tagged,
 		TaggedDone:    taggedDone,
 		MinTurnaround: turn.Min(),
+		Unroutable:    net.Unroutable(),
+		DroppedFlits:  net.DroppedFlits(),
 	}
 	if _, half, ok := thBatch.CI(); ok {
 		res.AcceptedCI = half / capacity

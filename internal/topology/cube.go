@@ -227,6 +227,52 @@ func forward(c, d, k int) bool {
 	return fwd <= k-fwd
 }
 
+// RouteCandidates implements Topology. On a mesh the set follows the
+// negative-first turn model: while any dimension still needs a negative
+// correction, only the productive negative ports are offered (a packet
+// may pick any order among them); once every remaining correction is
+// positive, all productive positive ports are offered. Negative-first
+// forbids every positive→negative turn, which leaves the channel
+// dependency graph acyclic, so even the adaptive layer alone cannot
+// deadlock on a mesh. On a torus or ring each unmatched dimension
+// offers its shorter-way port (ties toward positive, matching Route);
+// the ring cycles this leaves are broken by the dateline VC classes on
+// the escape layer, not by turn restrictions.
+func (c Cube) RouteCandidates(cur, dst int, buf []uint8) []uint8 {
+	if c.Wrap {
+		for d := 0; d < c.N; d++ {
+			x, t := c.Coord(cur, d), c.Coord(dst, d)
+			if x == t {
+				continue
+			}
+			if forward(x, t, c.K) {
+				buf = append(buf, uint8(1+2*d))
+			} else {
+				buf = append(buf, uint8(2+2*d))
+			}
+		}
+		return buf
+	}
+	n := len(buf)
+	neg := false
+	for d := 0; d < c.N; d++ {
+		x, t := c.Coord(cur, d), c.Coord(dst, d)
+		if x == t {
+			continue
+		}
+		if t < x {
+			if !neg {
+				buf = buf[:n] // drop buffered positive ports
+				neg = true
+			}
+			buf = append(buf, uint8(2+2*d))
+		} else if !neg {
+			buf = append(buf, uint8(1+2*d))
+		}
+	}
+	return buf
+}
+
 // PortName implements Topology. 2-D cubes keep the paper's compass
 // labels; higher dimensions use x/y/z then d<i> with +/- direction.
 func (c Cube) PortName(port int) string {

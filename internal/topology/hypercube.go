@@ -108,3 +108,15 @@ func (h Hypercube) VCClasses() int { return 1 }
 
 // VCMask implements Topology: no class restriction.
 func (h Hypercube) VCMask(cur, dst, port, v int) uint64 { return FullVCMask(v) }
+
+// RouteCandidates implements Topology: every differing address bit is a
+// productive hop, and a minimal-adaptive packet may correct them in any
+// order. The arbitrary order can close dependency cycles among the
+// adaptive channels, so deadlock freedom rests on the escape layer,
+// which runs pure e-cube (strictly increasing dimension) order.
+func (h Hypercube) RouteCandidates(cur, dst int, buf []uint8) []uint8 {
+	for diff := uint(cur ^ dst); diff != 0; diff &= diff - 1 {
+		buf = append(buf, uint8(1+bits.TrailingZeros(diff)))
+	}
+	return buf
+}

@@ -86,6 +86,22 @@ type Topology interface {
 	// the hop through port. Topologies with VCClasses() == 1 return the
 	// full mask; v must be a positive multiple of VCClasses().
 	VCMask(cur, dst, port, v int) uint64
+	// RouteCandidates appends to buf the output ports an adaptive
+	// minimal router at cur may legally offer a packet heading to dst,
+	// and returns the extended slice (pass buf[:0] to reuse storage; no
+	// allocation when capacity suffices). Every candidate is productive
+	// (it lies on some minimal path), and the set obeys the family's
+	// turn-model legality so that adaptive choice can never close a
+	// dependency cycle outside the escape layer: meshes restrict to the
+	// negative-first turn model (all productive negative-direction
+	// ports, or — only when none remain — the productive positive
+	// ports), wrap topologies offer the shorter way around each
+	// unmatched ring (dateline VC classes break the remaining ring
+	// cycles on the escape layer), and hypercubes offer every differing
+	// dimension (the escape layer runs pure e-cube order). The set is
+	// non-empty whenever cur != dst; RouteCandidates(cur, cur, buf)
+	// returns buf with nothing appended.
+	RouteCandidates(cur, dst int, buf []uint8) []uint8
 }
 
 // FullVCMask returns the unrestricted candidate mask over v VCs.

@@ -252,6 +252,16 @@ type SimConfig struct {
 	// Traffic (nil = uniform random, the paper's workload).
 	Pattern TrafficPattern
 
+	// Routing is the routing-policy spec: empty or "dor" for the paper's
+	// deterministic dimension-order routing, "adaptive:minimal" for
+	// minimal-adaptive routing over escape VCs.
+	Routing string
+
+	// Faults is the deterministic fault-injection spec: ';'-separated
+	// events such as "link:3-7@cycle=1000", "router:12@cycle=0", or
+	// "rand:links=2,seed=9@cycle=500". Empty means no faults.
+	Faults string
+
 	// StepWorkers selects the deterministic parallel network stepper
 	// (0 or 1 = serial engine; > 1 = that many workers). Results are
 	// byte-identical for every value; see PERF.md.
@@ -342,6 +352,8 @@ func (c SimConfig) lower() (sim.Config, error) {
 		StepWorkers: c.StepWorkers,
 		Shards:      c.Shards,
 		FullScan:    c.FullScan,
+		Routing:     c.Routing,
+		Faults:      c.Faults,
 		Seed:        c.Seed,
 	}
 	ncfg.InjectionRate = sim.RateForLoad(c.LoadFraction, ncfg)
