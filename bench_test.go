@@ -311,6 +311,16 @@ func BenchmarkNetworkCycle(b *testing.B) {
 	benchCycles(b, network.Config{K: 8, Router: rc, Seed: 1, InjectionRate: 0.4 * 0.5 / 5}, 2000)
 }
 
+// BenchmarkNetworkCycleAudit is the same network with the invariant
+// auditor firing every 100 cycles — the amortized cost of a
+// self-checking run. The audit-off benchmark above must stay at
+// 0 allocs/op: with auditing disabled the only hot-path residue is
+// two int64 counter increments.
+func BenchmarkNetworkCycleAudit(b *testing.B) {
+	rc := router.DefaultConfig(router.SpeculativeVC)
+	benchCycles(b, network.Config{K: 8, Router: rc, Seed: 1, InjectionRate: 0.4 * 0.5 / 5, Audit: 100}, 2000)
+}
+
 // lowLoadCfg is a 1,024-router mesh at 5% load: the light-duty regime
 // (zero-load latency points, sub-saturation saturation-search probes)
 // where per-cycle cost should scale with in-flight work, not node

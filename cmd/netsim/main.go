@@ -16,9 +16,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"routersim"
 )
+
+// handleSignals converts SIGINT/SIGTERM into a clean exit with the
+// conventional 128+signal code (netsim holds no profiles or
+// checkpoint state; the handler exists so scripted runs observe the
+// standard termination status).
+func handleSignals() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		fmt.Fprintf(os.Stderr, "netsim: caught %v; exiting\n", sig)
+		code := 130 // 128 + SIGINT
+		if sig == syscall.SIGTERM {
+			code = 143
+		}
+		os.Exit(code)
+	}()
+}
 
 func main() {
 	kindStr := flag.String("router", "spec-vc", "router: wormhole, vc, spec-vc, wormhole-1cycle, vc-1cycle")
@@ -38,6 +58,7 @@ func main() {
 	record := flag.String("record", "", "record the run's packet workload to this trace file (.jsonl/.json = JSONL, else binary)")
 	stepWorkers := flag.Int("step-workers", 0, "deterministic parallel stepper workers (0 or 1 = serial engine; results are identical for every value)")
 	shards := flag.Int("shards", 0, "lookahead-sharded engine shard count (0 or 1 = single-range engine; results are identical for every value)")
+	audit := flag.Int("audit", 0, "check engine conservation invariants every N cycles (0 = off; results are identical either way)")
 	warmup := flag.Int64("warmup", 10000, "warm-up cycles")
 	packets := flag.Int("packets", 20000, "tagged sample size")
 	exact := flag.Bool("exact", false, "store every latency sample for exact percentiles (default streams with O(1) memory)")
@@ -46,6 +67,7 @@ func main() {
 	probe := flag.Bool("probe-turnaround", false, "measure the buffer turnaround time (Figure 16)")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
 	flag.Parse()
+	handleSignals()
 
 	kind, ok := routersim.ParseRouterKind(*kindStr)
 	if !ok {
@@ -77,7 +99,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-probe-turnaround supports only -topo mesh, -pattern uniform, the default workload, and text output")
 			os.Exit(2)
 		}
-		runProbe(*kindStr, *vcs, *buf, *k, *pkt, *creditDelay, *load, *warmup, *packets, *seed, *exact, *ciTarget)
+		runProbe(*kindStr, *vcs, *buf, *k, *pkt, *creditDelay, *load, *warmup, *packets, *seed, *exact, *ciTarget, *audit)
 		return
 	}
 
@@ -100,7 +122,8 @@ func main() {
 		Load:        *load,
 	}
 	opts := routersim.MatrixOptions{
-		Seed: *seed,
+		Seed:  *seed,
+		Audit: *audit,
 		Protocol: routersim.MatrixProtocol{
 			Warmup: *warmup, Packets: *packets,
 			Exact: *exact, CITarget: *ciTarget,
@@ -167,11 +190,12 @@ func main() {
 // runProbe measures the buffer-turnaround time (the credit-loop length
 // of Figure 16), which needs the probe path of the facade rather than a
 // plain harness job.
-func runProbe(kindStr string, vcs, buf, k, pkt, creditDelay int, load float64, warmup int64, packets int, seed uint64, exact bool, ciTarget float64) {
+func runProbe(kindStr string, vcs, buf, k, pkt, creditDelay int, load float64, warmup int64, packets int, seed uint64, exact bool, ciTarget float64, audit int) {
 	kind, _ := routersim.ParseRouterKind(kindStr)
 	cfg := routersim.DefaultSimConfig(kind)
 	cfg.ExactLatency = exact
 	cfg.CITarget = ciTarget
+	cfg.Audit = audit
 	if vcs > 0 {
 		cfg.VCs = vcs
 	}

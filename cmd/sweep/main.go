@@ -33,10 +33,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 
 	"routersim"
 	"routersim/internal/topology"
@@ -71,6 +74,12 @@ func main() {
 	saturation := flag.Bool("saturation", false, "find each scenario's saturation load by adaptive bisection instead of sweeping -loads; emits one row per scenario")
 	satTol := flag.Float64("sat-tol", 0.01, "load resolution of the -saturation bisection (fraction of capacity)")
 
+	// Crash safety: checkpoint/resume, invariant auditing, panic retry.
+	ckptDir := flag.String("checkpoint", "", "persist each completed job to this directory (atomic, content-addressed); a killed sweep resumes with -resume")
+	resume := flag.Bool("resume", false, "load completed jobs from the -checkpoint directory and run only the remainder (output stays byte-identical to an uninterrupted run)")
+	audit := flag.Int("audit", 0, "check engine conservation invariants every N cycles in every job (0 = off; results are identical either way)")
+	retries := flag.Int("retries", 0, "retry budget for panicking jobs (0 = one retry, negative = none); errors are never retried")
+
 	// Profiling: hot-path investigation without ad-hoc harness hacking.
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
@@ -89,6 +98,11 @@ func main() {
 
 	startProfiles(*cpuProfile, *memProfile)
 	defer stopProfiles()
+	handleSignals()
+
+	if *resume && *ckptDir == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint DIR (the store to resume from)"))
+	}
 
 	if *figure != "" || *all {
 		// Figure mode reproduces the paper's fixed curves; the matrix
@@ -102,6 +116,7 @@ func main() {
 			"loads": true, "warmup": true, "packets": true,
 			"workers": true, "json": true, "quiet": true,
 			"saturation": true, "sat-tol": true, "exact": true, "ci-target": true,
+			"checkpoint": true, "resume": true, "audit": true, "retries": true,
 		}
 		flag.Visit(func(f *flag.Flag) {
 			if matrixOnly[f.Name] {
@@ -133,6 +148,8 @@ func main() {
 	opts := routersim.MatrixOptions{
 		Workers: *workers,
 		Seed:    *seed,
+		Audit:   *audit,
+		Retries: *retries,
 		Protocol: routersim.MatrixProtocol{
 			Warmup: *warmup, Packets: *packets,
 			Exact: *exact, CITarget: *ciTarget,
@@ -142,9 +159,13 @@ func main() {
 	if *saturation {
 		// The search owns the load axis; an explicit grid is a mode mix,
 		// and a trace dictates its own rate, leaving nothing to bisect.
+		// Checkpointing covers matrix jobs, not bisection probes.
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "loads" {
 				fatal(fmt.Errorf("-loads does not apply to -saturation (the bisection owns the load axis)"))
+			}
+			if f.Name == "checkpoint" || f.Name == "resume" {
+				fatal(fmt.Errorf("-%s applies to matrix mode only, not -saturation (search probes are not checkpointed)", f.Name))
 			}
 		})
 		for _, src := range matrix.Sources {
@@ -177,7 +198,25 @@ func main() {
 		opts.Progress = routersim.MatrixProgressPrinter(os.Stderr)
 	}
 
-	results, err := routersim.RunMatrix(matrix, opts)
+	var results []routersim.MatrixResult
+	var err error
+	if *ckptDir != "" {
+		store, serr := routersim.OpenCheckpointStore(*ckptDir)
+		if serr != nil {
+			fatal(serr)
+		}
+		if n, lerr := store.Len(); lerr != nil {
+			fatal(lerr)
+		} else if n > 0 && !*resume {
+			// An already-populated store means a prior (possibly killed)
+			// sweep; continuing it must be an explicit choice, not an
+			// accident of directory reuse.
+			fatal(fmt.Errorf("checkpoint dir %s already holds %d completed job(s); pass -resume to continue that sweep, or point -checkpoint at an empty directory", *ckptDir, n))
+		}
+		results, err = routersim.RunMatrixResumable(matrix, opts, store)
+	} else {
+		results, err = routersim.RunMatrix(matrix, opts)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -447,8 +486,12 @@ func writeTo(path string, fn func(*os.File) error) {
 
 // profileStop finalizes any active profiles; every exit path (including
 // the os.Exit ones, which skip deferred calls) must run it so the
-// profile files are complete.
-var profileStop func()
+// profile files are complete. The mutex makes stopProfiles idempotent
+// and safe to race from the signal handler against a normal exit.
+var (
+	profileMu   sync.Mutex
+	profileStop func()
+)
 
 // startProfiles begins CPU profiling and arranges the heap snapshot.
 func startProfiles(cpuPath, memPath string) {
@@ -464,8 +507,9 @@ func startProfiles(cpuPath, memPath string) {
 		}
 		cpuFile = f
 	}
+	profileMu.Lock()
+	defer profileMu.Unlock()
 	profileStop = func() {
-		profileStop = nil
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			cpuFile.Close()
@@ -486,9 +530,34 @@ func startProfiles(cpuPath, memPath string) {
 }
 
 func stopProfiles() {
-	if profileStop != nil {
-		profileStop()
+	profileMu.Lock()
+	fn := profileStop
+	profileStop = nil
+	profileMu.Unlock()
+	if fn != nil {
+		fn()
 	}
+}
+
+// handleSignals converts SIGINT/SIGTERM into a graceful shutdown:
+// active profiles are finalized before exiting with the conventional
+// 128+signal code. Checkpoint entries need no flushing — each
+// completed job was already persisted atomically — so a killed
+// -checkpoint sweep loses only its in-flight jobs and a rerun with
+// -resume picks up from the last completed one.
+func handleSignals() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		fmt.Fprintf(os.Stderr, "sweep: caught %v; finalizing profiles and exiting\n", sig)
+		stopProfiles()
+		code := 130 // 128 + SIGINT
+		if sig == syscall.SIGTERM {
+			code = 143
+		}
+		os.Exit(code)
+	}()
 }
 
 func fatal(err error) {

@@ -1,0 +1,42 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzCheckpointDecode feeds arbitrary bytes to the store-entry
+// decoder. The invariants: Decode never panics, anything it accepts
+// survives an Encode→Decode round trip bit-exactly, and re-framing an
+// accepted payload reproduces the input (the format has exactly one
+// encoding per payload). Seeds cover the valid shape plus every
+// rejection path — truncation, bit flips, wrong version, bad magic.
+func FuzzCheckpointDecode(f *testing.F) {
+	valid := Encode([]byte(`{"index":3,"seed":12345,"result":{"latency":29.84}}`))
+	f.Add(valid)
+	f.Add(Encode(nil))
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(valid[:headerSize])
+	f.Add(valid[:len(valid)-1])
+	flip := append([]byte{}, valid...)
+	flip[headerSize+4] ^= 0x10
+	f.Add(flip)
+	wrongVer := append([]byte{}, valid...)
+	binary.BigEndian.PutUint16(wrongVer[len(magic):], Version+7)
+	f.Add(wrongVer)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Decode(data)
+		if err != nil {
+			return // malformed input must error, not panic — reaching here is the pass
+		}
+		if again, err := Decode(Encode(payload)); err != nil || !bytes.Equal(again, payload) {
+			t.Fatalf("round trip not identity: err=%v", err)
+		}
+		if !bytes.Equal(Encode(payload), data) {
+			t.Fatalf("accepted entry is not the canonical encoding of its payload")
+		}
+	})
+}

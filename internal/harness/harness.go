@@ -52,6 +52,23 @@ type Options struct {
 	// OnResult, when non-nil, streams results in job-index order as soon
 	// as every earlier job has finished. It is never called concurrently.
 	OnResult func(r JobResult)
+	// Audit, when > 0, enables the network engine's invariant auditor
+	// in every job at that cycle interval (network.Config.Audit). It is
+	// an execution option: results are byte-identical with auditing on
+	// or off, so audited jobs share checkpoint entries with unaudited
+	// ones.
+	Audit int
+	// Retries bounds how many times a panicking job is retried before
+	// its failure is recorded as a structured JobError result: 0 means
+	// the default single retry, a negative value disables retries, and
+	// a positive value allows that many. Retries back off with a capped
+	// exponential delay. Jobs that return an error (rather than panic)
+	// are never retried — config errors are deterministic.
+	Retries int
+
+	// runFn replaces the job executor (tests only: deterministic panic
+	// and retry injection). nil runs the real simulation.
+	runFn func(i int, sc Scenario, opts Options) JobResult
 }
 
 // JobResult is the outcome of one scenario job. Wall is excluded from
@@ -71,8 +88,14 @@ type JobResult struct {
 	// topology port count and VC count (nil for router kinds the model
 	// does not describe, i.e. the single-cycle baselines).
 	Model *DelayModel `json:"delay_model,omitempty"`
-	// Error is the job's failure, if any.
+	// Error is the job's failure, if any. A recovered panic reports as
+	// "panic: <message>" here (so every error-display path works
+	// unchanged) with the structured details in Failure.
 	Error string `json:"error,omitempty"`
+	// Failure carries the structured record of a recovered panic:
+	// message, normalized stack, scenario label, attempt count. nil for
+	// successful jobs and plain (non-panic) errors.
+	Failure *JobError `json:"failure,omitempty"`
 	// Wall is the job's wall-clock run time (progress reporting only).
 	Wall time.Duration `json:"-"`
 }
@@ -95,7 +118,7 @@ func Run(m Matrix, opts Options) ([]JobResult, error) {
 		cursor int
 	)
 	pool.Run(len(scenarios), opts.Workers, func(i int) {
-		results[i] = runJob(i, scenarios[i], opts)
+		results[i] = executeJob(i, scenarios[i], opts)
 		if opts.Progress == nil && opts.OnResult == nil {
 			return
 		}
@@ -179,6 +202,7 @@ func runJob(i int, sc Scenario, opts Options) (jr JobResult) {
 		jr.Error = err.Error()
 		return jr
 	}
+	cfg.Net.Audit = opts.Audit
 	res, err := sim.NewRunner(cfg).Run()
 	if err != nil {
 		jr.Error = err.Error()

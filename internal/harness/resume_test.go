@@ -1,0 +1,358 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"routersim/internal/checkpoint"
+	"routersim/internal/rng"
+	"routersim/internal/sim"
+)
+
+func resumeMatrix() Matrix {
+	return Matrix{
+		Routers: []string{"wormhole", "vc"},
+		Loads:   []float64{0.1, 0.3},
+	}
+}
+
+// render serializes results both ways; resume identity is a claim
+// about output bytes, not in-memory structs.
+func render(t *testing.T, results []JobResult) (jsonB, csvB []byte) {
+	t.Helper()
+	var jb, cb bytes.Buffer
+	if err := WriteJSON(&jb, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&cb, results); err != nil {
+		t.Fatal(err)
+	}
+	return jb.Bytes(), cb.Bytes()
+}
+
+// TestResumeIdentity: an interrupted-then-resumed sweep must emit
+// byte-identical JSON and CSV to an uninterrupted one, at any worker
+// count — both from a cold store (everything runs) and from a store
+// holding a partial prior run (only the remainder runs).
+func TestResumeIdentity(t *testing.T) {
+	m := resumeMatrix()
+	opts := tinyOptions()
+	base, err := Run(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, wantCSV := render(t, base)
+
+	for _, workers := range []int{1, 2, 8} {
+		store, err := checkpoint.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := opts
+		o.Workers = workers
+		var streamed []JobResult
+		o.OnResult = func(r JobResult) { streamed = append(streamed, r) }
+		results, err := RunResumable(m, o, store)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		gotJSON, gotCSV := render(t, results)
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Fatalf("workers=%d: cold-store JSON diverges from plain Run", workers)
+		}
+		if !bytes.Equal(gotCSV, wantCSV) {
+			t.Fatalf("workers=%d: cold-store CSV diverges from plain Run", workers)
+		}
+		sj, _ := render(t, streamed)
+		if !bytes.Equal(sj, wantJSON) {
+			t.Fatalf("workers=%d: OnResult stream diverges from returned results", workers)
+		}
+		if n, err := store.Len(); err != nil || n != len(base) {
+			t.Fatalf("workers=%d: store holds %d entries (err %v), want %d", workers, n, err, len(base))
+		}
+
+		// Interrupt simulation: drop some persisted entries, resume, and
+		// check that only the dropped jobs re-run and the bytes still match.
+		removed := removeSomeEntries(t, store.Dir(), 2)
+		var ran int
+		var mu sync.Mutex
+		o.OnResult = nil
+		o.Progress = func(done, total int, r JobResult) { mu.Lock(); ran++; mu.Unlock() }
+		resumed, err := RunResumable(m, o, store)
+		if err != nil {
+			t.Fatalf("workers=%d resume: %v", workers, err)
+		}
+		if ran != removed {
+			t.Errorf("workers=%d: resume ran %d jobs, want %d (the interrupted remainder)", workers, ran, removed)
+		}
+		gotJSON, gotCSV = render(t, resumed)
+		if !bytes.Equal(gotJSON, wantJSON) || !bytes.Equal(gotCSV, wantCSV) {
+			t.Fatalf("workers=%d: resumed output diverges from uninterrupted run", workers)
+		}
+	}
+}
+
+// removeSomeEntries deletes n checkpoint entries from dir, simulating
+// a sweep killed before those jobs persisted. Returns how many it
+// removed.
+func removeSomeEntries(t *testing.T, dir string, n int) int {
+	t.Helper()
+	names := entryNames(t, dir)
+	if len(names) < n {
+		t.Fatalf("store has %d entries, need %d to remove", len(names), n)
+	}
+	for _, name := range names[:n] {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func entryNames(t *testing.T, dir string) []string {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), ".ck") {
+			names = append(names, de.Name())
+		}
+	}
+	return names
+}
+
+// TestResumeSkipsQuarantined: a corrupted store entry is quarantined,
+// its job re-runs, and the output is unchanged — disk rot costs a
+// re-run, never wrong numbers and never a crash.
+func TestResumeSkipsQuarantined(t *testing.T) {
+	m := resumeMatrix()
+	opts := tinyOptions()
+	store, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := RunResumable(m, opts, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, wantCSV := render(t, base)
+
+	names := entryNames(t, store.Dir())
+	path := filepath.Join(store.Dir(), names[0])
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var ran int
+	opts.Progress = func(done, total int, r JobResult) { ran++ }
+	resumed, err := RunResumable(m, opts, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Quarantined() != 1 {
+		t.Errorf("Quarantined() = %d, want 1", store.Quarantined())
+	}
+	if ran != 1 {
+		t.Errorf("resume ran %d jobs, want 1 (the quarantined one)", ran)
+	}
+	gotJSON, gotCSV := render(t, resumed)
+	if !bytes.Equal(gotJSON, wantJSON) || !bytes.Equal(gotCSV, wantCSV) {
+		t.Fatal("output after quarantine diverges from clean run")
+	}
+	if _, err := os.Stat(path + checkpoint.QuarantineExt); err != nil {
+		t.Errorf("corrupt entry not moved aside: %v", err)
+	}
+}
+
+// fakeResult builds a minimal successful JobResult the resume
+// verifier accepts: correct index, canonical scenario, derived seed,
+// non-nil Result.
+func fakeResult(i int, sc Scenario, opts Options) JobResult {
+	return JobResult{
+		Index:    i,
+		Scenario: sc,
+		Seed:     rng.Derive(opts.Seed, uint64(i)),
+		Result:   &sim.Result{Cycles: int64(1000 + i)},
+	}
+}
+
+// TestPanicIsolation: one deliberately panicking job must land as a
+// structured JobError row while every other job completes, and the
+// failed row must not be persisted — a resume retries it.
+func TestPanicIsolation(t *testing.T) {
+	m := resumeMatrix()
+	opts := tinyOptions()
+	opts.Retries = -1
+	opts.runFn = func(i int, sc Scenario, o Options) JobResult {
+		if i == 1 {
+			panic("synthetic job failure")
+		}
+		return fakeResult(i, sc, o)
+	}
+	store, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunResumable(m, opts, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if i == 1 {
+			continue
+		}
+		if r.Error != "" || r.Result == nil {
+			t.Errorf("job %d: collateral damage from job 1's panic: %+v", i, r)
+		}
+	}
+	bad := results[1]
+	if bad.Error != "panic: synthetic job failure" {
+		t.Errorf("Error = %q, want panic message", bad.Error)
+	}
+	if bad.Failure == nil {
+		t.Fatal("panicked job carries no structured Failure")
+	}
+	if bad.Failure.Scenario != m.Expand()[1].Label() {
+		t.Errorf("Failure.Scenario = %q, want %q", bad.Failure.Scenario, m.Expand()[1].Label())
+	}
+	if bad.Failure.Message != "synthetic job failure" {
+		t.Errorf("Failure.Message = %q", bad.Failure.Message)
+	}
+	if bad.Failure.Attempts != 1 {
+		t.Errorf("Failure.Attempts = %d, want 1 with retries disabled", bad.Failure.Attempts)
+	}
+	if !strings.Contains(bad.Failure.Stack, "recover_test.go") &&
+		!strings.Contains(bad.Failure.Stack, "resume_test.go") {
+		t.Errorf("stack does not reach the panic site:\n%s", bad.Failure.Stack)
+	}
+	if regexp.MustCompile(`goroutine \d`).MatchString(bad.Failure.Stack) {
+		t.Errorf("stack keeps a nondeterministic goroutine ID:\n%s", bad.Failure.Stack)
+	}
+	// Hex addresses are masked so identical failures serialize
+	// identically across runs.
+	for _, line := range strings.Split(bad.Failure.Stack, "\n") {
+		if i := strings.Index(line, "0x"); i >= 0 && !strings.HasPrefix(line[i:], "0x…") {
+			t.Errorf("unmasked address in stack line %q", line)
+		}
+	}
+	if n, err := store.Len(); err != nil || n != len(results)-1 {
+		t.Errorf("store holds %d entries (err %v); the failed job must not be persisted", n, err)
+	}
+
+	// The resume retries exactly the failed job — this time it succeeds.
+	var reran []int
+	opts.runFn = func(i int, sc Scenario, o Options) JobResult {
+		reran = append(reran, i)
+		return fakeResult(i, sc, o)
+	}
+	opts.Workers = 1
+	again, err := RunResumable(m, opts, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reran) != 1 || reran[0] != 1 {
+		t.Errorf("resume re-ran jobs %v, want [1]", reran)
+	}
+	if again[1].Error != "" || again[1].Result == nil {
+		t.Errorf("retried job still failing: %+v", again[1])
+	}
+}
+
+// TestRetrySemantics exercises the retry budget through the plain Run
+// path: default single retry recovers a transient panic, a negative
+// budget disables retries, and a positive budget is honored exactly.
+func TestRetrySemantics(t *testing.T) {
+	m := Matrix{Routers: []string{"wormhole"}, Loads: []float64{0.1}}
+
+	t.Run("default-retry-recovers-transient", func(t *testing.T) {
+		attempts := 0
+		opts := tinyOptions()
+		opts.Workers = 1
+		opts.runFn = func(i int, sc Scenario, o Options) JobResult {
+			attempts++
+			if attempts == 1 {
+				panic("transient")
+			}
+			return fakeResult(i, sc, o)
+		}
+		results, err := Run(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[0].Error != "" || results[0].Failure != nil {
+			t.Errorf("transient panic not absorbed by the default retry: %+v", results[0])
+		}
+		if attempts != 2 {
+			t.Errorf("job ran %d times, want 2", attempts)
+		}
+	})
+
+	t.Run("negative-disables", func(t *testing.T) {
+		attempts := 0
+		opts := tinyOptions()
+		opts.Workers = 1
+		opts.Retries = -1
+		opts.runFn = func(i int, sc Scenario, o Options) JobResult {
+			attempts++
+			panic("persistent")
+		}
+		results, err := Run(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attempts != 1 {
+			t.Errorf("job ran %d times with retries disabled, want 1", attempts)
+		}
+		if results[0].Failure == nil || results[0].Failure.Attempts != 1 {
+			t.Errorf("failure row wrong: %+v", results[0].Failure)
+		}
+	})
+
+	t.Run("positive-budget-exact", func(t *testing.T) {
+		attempts := 0
+		opts := tinyOptions()
+		opts.Workers = 1
+		opts.Retries = 2
+		opts.runFn = func(i int, sc Scenario, o Options) JobResult {
+			attempts++
+			panic("persistent")
+		}
+		results, err := Run(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attempts != 3 {
+			t.Errorf("job ran %d times with a 2-retry budget, want 3", attempts)
+		}
+		if results[0].Failure == nil || results[0].Failure.Attempts != 3 {
+			t.Errorf("failure row wrong: %+v", results[0].Failure)
+		}
+	})
+
+	t.Run("plain-errors-not-retried", func(t *testing.T) {
+		// A scenario the simulation rejects returns an error, not a panic;
+		// it must fail once, immediately, with no Failure record.
+		bad := Matrix{Routers: []string{"no-such-router"}, Loads: []float64{0.1}}
+		opts := tinyOptions()
+		results, err := Run(bad, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[0].Error == "" || results[0].Failure != nil {
+			t.Errorf("config error row wrong: %+v", results[0])
+		}
+	})
+}

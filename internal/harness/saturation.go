@@ -133,6 +133,7 @@ func findSaturation(index int, sc Scenario, opts Options, so SearchOptions) Satu
 			sr.Error = err.Error()
 			return sr
 		}
+		cfg.Net.Audit = opts.Audit
 		res, err := sim.NewRunner(cfg).Run()
 		if err != nil {
 			sr.Error = err.Error()

@@ -143,6 +143,16 @@ func (w *Wire[T]) MoveTo(dst *Wire[T], onItem func(due int64)) {
 	w.buf[w.head].due = neverDue
 }
 
+// Scan calls fn for every in-flight item in FIFO order without
+// consuming anything. It is the audit mode's census primitive: the
+// invariant checker counts flits and credits still on the wire — due
+// or not — without perturbing delivery.
+func (w *Wire[T]) Scan(fn func(v T)) {
+	for i := 0; i < w.n; i++ {
+		fn(w.buf[(w.head+i)&w.mask].v)
+	}
+}
+
 // Pop removes and returns the oldest item due at or before cycle now.
 // It returns ok=false when nothing (more) is due. Draining a wire is a
 // loop over Pop, which keeps the hot path free of closure calls:

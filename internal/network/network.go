@@ -106,6 +106,14 @@ type Config struct {
 	Shards int
 	// Seed makes the simulation exactly reproducible.
 	Seed uint64
+	// Audit, when > 0, turns on the engine invariant auditor: every
+	// Audit cycles the network verifies flit conservation, per-wire
+	// credit conservation, and buffer occupancy bounds, and panics with
+	// a diagnostic snapshot on the first violation (see audit.go). The
+	// checks are observationally side-effect free — results are
+	// byte-identical with auditing on or off, on every engine. 0 (the
+	// default) keeps the audit entirely off the hot path.
+	Audit int
 
 	// routing and faultPlan are the parsed forms of Routing and Faults,
 	// filled by Normalize.
@@ -141,6 +149,9 @@ func (c *Config) Normalize() error {
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("network: negative shard count %d", c.Shards)
+	}
+	if c.Audit < 0 {
+		return fmt.Errorf("network: negative audit interval %d", c.Audit)
 	}
 	if c.Pattern == nil {
 		c.Pattern = traffic.Uniform{}
@@ -341,6 +352,19 @@ type Network struct {
 	partsOrdered bool
 	shardGang    *pool.Gang
 	shardRunFn   func(i int)
+
+	// Invariant-auditor state (audit.go). auditEvery is cfg.Audit as an
+	// int64 (0 = off): the single branch the hot path pays when the
+	// auditor is disabled. auditNextAt is the next audit deadline — a
+	// cycle number on single-clock engines, a shard-clock value on the
+	// sharded engine (MaxInt64 there when auditing is off, so the
+	// round-horizon clamp is unconditional). auditInjected/auditDrained
+	// are the single-clock engines' flit-conservation counters; the
+	// sharded engine counts per shard so the increments stay race-free.
+	auditEvery    int64
+	auditNextAt   int64
+	auditInjected int64
+	auditDrained  int64
 }
 
 // New builds the network. The configuration is normalized in place.
@@ -349,6 +373,7 @@ func New(cfg Config) (*Network, error) {
 		return nil, err
 	}
 	n := &Network{cfg: cfg, topo: cfg.Topo}
+	n.auditEvery = int64(cfg.Audit)
 	nodes := n.topo.Nodes()
 	master := rng.New(cfg.Seed)
 
@@ -676,7 +701,7 @@ func (n *Network) SetProbes(t *stats.Turnaround) {
 // identical for any worker count.
 func (n *Network) Step(now int64) {
 	if n.shards != nil {
-		n.stepSharded(now) // applies due faults at its shard barriers
+		n.stepSharded(now) // applies faults and audits at its shard barriers
 		return
 	}
 	if n.faults != nil {
@@ -688,8 +713,19 @@ func (n *Network) Step(now int64) {
 	}
 	if n.sched != nil {
 		n.stepActive(now)
-		return
+	} else {
+		n.stepFullScan(now)
 	}
+	// Audit deadlines are absolute cycle numbers (not now%K) so the
+	// sim layer's quiescence fast-forward advances toward the next
+	// deadline instead of hopping over every multiple of K forever.
+	if n.auditEvery > 0 && now >= n.auditNextAt {
+		n.runAudit(now)
+		n.auditNextAt = now + n.auditEvery
+	}
+}
+
+func (n *Network) stepFullScan(now int64) {
 	if n.gang != nil && !n.probed {
 		n.parNow = now
 		n.gang.Run(len(n.routers), n.deliverFn)
@@ -723,6 +759,7 @@ func (n *Network) Step(now int64) {
 }
 
 func (n *Network) handleEject(at int, f flit.Flit, now int64) {
+	n.auditDrained++ // every ejected flit — delivered or dropped — has left the network
 	if f.Pkt.Dst != at {
 		if !f.Pkt.Dropped {
 			panic(fmt.Sprintf("network: flit of packet %d (dst %d) ejected at node %d", f.Pkt.ID, f.Pkt.Dst, at))

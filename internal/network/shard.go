@@ -155,6 +155,13 @@ type shard struct {
 	// a finished packet back to its source's shard, so pools stay
 	// balanced under asymmetric traffic.
 	pktFree []*flit.Packet
+
+	// injected/drained are this shard's flit-conservation counters
+	// (audit.go): flits its sources pushed onto injection wires and
+	// flits its routers ejected. Kept per shard so the window-time
+	// increments are race-free; the auditor sums them at barriers.
+	injected int64
+	drained  int64
 }
 
 func (sh *shard) allocPacket() *flit.Packet {
@@ -580,6 +587,14 @@ func (n *Network) buildShards(parts [][]int32, depBound map[[2]int32]int64) {
 		sh := n.shards[i]
 		sh.run(sh.now, sh.horizon)
 	}
+	// Audit deadlines on the sharded engine are shard-clock values; the
+	// round-horizon clamp in runRound is unconditional, so a disabled
+	// auditor parks the deadline at infinity like an exhausted fault
+	// plan.
+	n.auditNextAt = math.MaxInt64
+	if n.auditEvery > 0 {
+		n.auditNextAt = n.auditEvery
+	}
 }
 
 // Lookahead returns the sharded engine's global window floor in cycles
@@ -659,6 +674,15 @@ func (n *Network) advanceShards(now int64) {
 				sh.now = jump
 			}
 		}
+		// A quiescence jump may overshoot the audit deadline; the skipped
+		// span had no events, so skip the (trivially clean) audit and
+		// move the deadline past the jump — a stale deadline would pin
+		// every future horizon below the clocks.
+		if n.auditEvery > 0 {
+			if mc := n.minShardClock(); mc >= n.auditNextAt {
+				n.auditNextAt = mc + n.auditEvery
+			}
+		}
 	}
 	for n.minShardClock() <= now {
 		n.runRound()
@@ -688,6 +712,14 @@ func (n *Network) runRound() {
 		}
 		if h > nextFault {
 			h = nextFault
+		}
+		// The audit deadline pins horizons the same way a fault cycle
+		// does: no shard steps past it, so when the slowest clock reaches
+		// it every clock equals it, the barrier below has flushed the
+		// boundary outboxes, and the auditor sees one consistent global
+		// state. auditNextAt is MaxInt64 when auditing is off.
+		if h > n.auditNextAt {
+			h = n.auditNextAt
 		}
 		sh.horizon = h
 	}
@@ -721,6 +753,15 @@ func (n *Network) runRound() {
 	for _, sh := range n.shards {
 		if sh.horizon > sh.now {
 			sh.now = sh.horizon
+		}
+	}
+	// Clocks never pass the audit deadline (the horizon clamp), so
+	// reaching it means every clock equals it: audit the converged
+	// barrier state, then release the pin.
+	if n.auditEvery > 0 {
+		if mc := n.minShardClock(); mc >= n.auditNextAt {
+			n.runAudit(mc - 1)
+			n.auditNextAt = mc + n.auditEvery
 		}
 	}
 }
@@ -796,6 +837,7 @@ func (sh *shard) finishRouter(id int, now int64) {
 				panic(fmt.Sprintf("network: flit of packet to %d ejected at node %d", f.Pkt.Dst, id))
 			}
 			sh.ejects = append(sh.ejects, ejectEvent{t: now, f: f, at: int32(id), done: f.Pkt.Done()})
+			sh.drained++ // counted at ejection, not replay: the flit left the wires here
 		}
 		r.ClearEjected()
 	}

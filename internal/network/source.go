@@ -190,6 +190,14 @@ func (s *source) step(now int64) {
 		s.flitOut.Push(now, f)
 		s.net.wakeRouter(int32(s.node))
 		s.credits[vc]--
+		// Flit-conservation census (audit.go): count at the push, the
+		// moment the flit enters the network's wires. Sharded sources
+		// count on their own shard to keep the increment race-free.
+		if sh := s.sh; sh != nil {
+			sh.injected++
+		} else {
+			s.net.auditInjected++
+		}
 		st.next++
 		if st.next == len(st.flits) {
 			s.busy[vc] = false

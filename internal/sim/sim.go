@@ -64,6 +64,19 @@ type Config struct {
 	// trace record/replay workflow. The capture sees the exact workload,
 	// so replaying it reproduces the run event for event.
 	Record *trace.Recorder
+	// StallCycles tunes the progress watchdog: with packets outstanding
+	// but no flit ejected for this many consecutive cycles, the run
+	// aborts with a LivelockError carrying a diagnostic snapshot
+	// instead of spinning to the cycle cap. 0 derives the allowance
+	// from the topology's drain budget (drainAllowance — generous for
+	// any configuration that can drain at all); a negative value
+	// disables the watchdog.
+	StallCycles int64
+	// NetHook, when non-nil, observes the freshly built network before
+	// the run starts — a seam for tests to install custom routing
+	// policies or inspect engine state. It must not retain the network
+	// past the run.
+	NetHook func(*network.Network)
 }
 
 // Result reports one simulation run. The json tags keep the harness's
@@ -145,6 +158,29 @@ func drainAllowance(ncfg network.Config) int64 {
 	return scaled
 }
 
+// LivelockError reports a progress-watchdog abort: packets were
+// outstanding but no flit left the network for the full stall
+// allowance. Snapshot is the network's diagnostic state at the abort —
+// active routers, in-flight flit totals, per-VC credit state — the
+// evidence a deadlock/livelock report needs.
+type LivelockError struct {
+	// Cycle is the cycle the watchdog fired on; LastProgress is the
+	// last cycle a flit was ejected (-1: never).
+	Cycle        int64
+	LastProgress int64
+	// Allowance is the stall allowance that expired.
+	Allowance int64
+	// Outstanding is the number of packets created but not retired.
+	Outstanding int64
+	// Snapshot is the network's diagnostic state at the abort.
+	Snapshot string
+}
+
+func (e *LivelockError) Error() string {
+	return fmt.Sprintf("sim: no delivery progress for %d cycles (cycle %d, last progress %d, %d packets outstanding) — livelock or deadlock; network state:\n%s",
+		e.Cycle-e.LastProgress, e.Cycle, e.LastProgress, e.Outstanding, e.Snapshot)
+}
+
 // Run executes one simulation to completion.
 func (r *Runner) Run() (Result, error) {
 	cfg := r.cfg
@@ -160,6 +196,13 @@ func (r *Runner) Run() (Result, error) {
 	}
 	defer net.Close()
 	ncfg := net.Config()
+	if cfg.NetHook != nil {
+		cfg.NetHook(net)
+	}
+	stall := cfg.StallCycles
+	if stall == 0 {
+		stall = drainAllowance(ncfg)
+	}
 
 	capacity := net.Capacity()
 	offeredFlits := ncfg.InjectionRate * ncfg.MeanFlitsPerPacket()
@@ -214,8 +257,19 @@ func (r *Runner) Run() (Result, error) {
 		net.SetProbes(&turn)
 	}
 
+	// Watchdog state: createdPkts/donePkts track outstanding work (done
+	// includes dropped-packet retirements) and lastProgress the last
+	// cycle a flit left the network. All maintained inside the existing
+	// callbacks — the network hot path pays nothing for the watchdog.
+	var (
+		createdPkts  int64
+		donePkts     int64
+		lastProgress int64 = -1
+	)
+
 	rec := cfg.Record
 	net.OnPacketCreated = func(p *flit.Packet, now int64) {
+		createdPkts++
 		if rec != nil {
 			rec.Record(now, p.Src, p.Dst, p.Size, p.ID)
 		}
@@ -225,9 +279,12 @@ func (r *Runner) Run() (Result, error) {
 		}
 	}
 	net.OnFlitEjected = func(f flit.Flit, now int64) {
+		lastProgress = now
 		th.Eject(now)
 	}
 	net.OnPacketDone = func(p *flit.Packet, now int64) {
+		donePkts++
+		lastProgress = now // dropped-packet drains eject no flits but are progress
 		if p.Tagged {
 			taggedDone++
 			// A dropped (unroutable) packet retires the sample slot but
@@ -251,7 +308,23 @@ func (r *Runner) Run() (Result, error) {
 			measureStart = now
 			th.Open(now)
 		}
+		if stall > 0 && createdPkts == donePkts {
+			// Nothing outstanding: the stall clock starts fresh. Updated
+			// before the Step so a packet created this cycle — possibly
+			// after a long quiescence fast-forward — measures its stall
+			// from here, not from the last delivery before the gap.
+			lastProgress = now - 1
+		}
 		net.Step(now)
+		if stall > 0 && createdPkts > donePkts && now-lastProgress > stall {
+			return Result{}, &LivelockError{
+				Cycle:        now,
+				LastProgress: lastProgress,
+				Allowance:    stall,
+				Outstanding:  createdPkts - donePkts,
+				Snapshot:     net.DiagSnapshot(),
+			}
+		}
 		if !measuring {
 			// Quiescence fast-forward: with no flit in any buffer or on
 			// any wire and every source parked, nothing can happen until

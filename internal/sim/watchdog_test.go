@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"routersim/internal/flit"
+	"routersim/internal/network"
+	"routersim/internal/router"
+	"routersim/internal/topology"
+)
+
+// spinPolicy never ejects: every head is routed out port 1 regardless
+// of destination, so flits orbit the ring forever — a synthetic
+// livelock for the progress watchdog to catch.
+type spinPolicy struct{ mask uint64 }
+
+func (p spinPolicy) Route(r *router.Router, pkt *flit.Packet, attempt int) (int, uint64) {
+	return 1, p.mask
+}
+
+func spinConfig(t *testing.T) Config {
+	t.Helper()
+	ring, err := topology.NewCube(8, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := router.DefaultConfig(router.VirtualChannel)
+	rc.VCs = 2
+	rc.BufPerVC = 4
+	return Config{
+		Net: network.Config{
+			Topo:          ring,
+			Router:        rc,
+			InjectionRate: 0.02,
+			Seed:          9,
+		},
+		WarmupCycles:   50,
+		MeasurePackets: 10,
+	}
+}
+
+// TestWatchdogAbortsLivelock installs the spin policy and expects the
+// run to abort with a LivelockError carrying a diagnostic snapshot
+// instead of spinning to the cycle cap.
+func TestWatchdogAbortsLivelock(t *testing.T) {
+	cfg := spinConfig(t)
+	cfg.StallCycles = 400
+	cfg.NetHook = func(n *network.Network) {
+		for id := 0; id < n.Nodes(); id++ {
+			n.Router(id).SetRoutingPolicy(spinPolicy{mask: topology.FullVCMask(2)})
+		}
+	}
+	_, err := Run(cfg)
+	var le *LivelockError
+	if !errors.As(err, &le) {
+		t.Fatalf("Run = %v, want LivelockError", err)
+	}
+	if le.Cycle-le.LastProgress <= le.Allowance {
+		t.Errorf("fired at %d cycles stalled, allowance %d", le.Cycle-le.LastProgress, le.Allowance)
+	}
+	if le.Outstanding <= 0 {
+		t.Errorf("Outstanding = %d, want > 0", le.Outstanding)
+	}
+	if !strings.Contains(le.Snapshot, "routers active") {
+		t.Errorf("snapshot missing router census:\n%s", le.Snapshot)
+	}
+	if !strings.Contains(le.Error(), "no delivery progress") {
+		t.Errorf("Error() = %q", le.Error())
+	}
+}
+
+// TestWatchdogDisabled: a negative StallCycles turns the watchdog off —
+// the same livelocked run then grinds to its cycle cap and comes back
+// saturated rather than erroring.
+func TestWatchdogDisabled(t *testing.T) {
+	cfg := spinConfig(t)
+	cfg.StallCycles = -1
+	cfg.MaxCycles = 1500
+	cfg.NetHook = func(n *network.Network) {
+		for id := 0; id < n.Nodes(); id++ {
+			n.Router(id).SetRoutingPolicy(spinPolicy{mask: topology.FullVCMask(2)})
+		}
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run with watchdog disabled = %v, want capped result", err)
+	}
+	if !res.Saturated {
+		t.Error("livelocked run at its cap should report saturated")
+	}
+}
+
+// TestWatchdogQuietOnHealthyRuns: the default allowance never trips on
+// a healthy low-load run, including ones with long quiescent gaps
+// between injections (the stall clock must reset across idle spans).
+func TestWatchdogQuietOnHealthyRuns(t *testing.T) {
+	cfg := lowLoadCfg(router.VirtualChannel, 4, 4)
+	runLoad(t, cfg, 0.02) // fails the test if Run errors
+}

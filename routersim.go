@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 
+	"routersim/internal/checkpoint"
 	"routersim/internal/core"
 	"routersim/internal/harness"
 	"routersim/internal/network"
@@ -180,6 +181,31 @@ func RecordScenario(sc Scenario, opts MatrixOptions, path string) (MatrixResult,
 	return harness.RunScenarioRecorded(sc, opts, path)
 }
 
+// CheckpointStore is an on-disk, content-addressed store of completed
+// matrix-job results: entries are keyed by engine version, canonical
+// scenario, derived seed, and measurement protocol; writes are atomic
+// (temp file + rename) and checksummed; corrupt entries are
+// quarantined, never trusted and never fatal.
+type CheckpointStore = checkpoint.Store
+
+// MatrixJobError is the structured record of a recovered job panic:
+// scenario label, panic message, normalized stack, attempt count.
+type MatrixJobError = harness.JobError
+
+// OpenCheckpointStore opens (creating if needed) a checkpoint
+// directory for resumable matrix runs.
+func OpenCheckpointStore(dir string) (*CheckpointStore, error) { return checkpoint.Open(dir) }
+
+// RunMatrixResumable is RunMatrix with crash-safe persistence: every
+// successful job is checkpointed as it finishes, and a rerun against
+// the same store loads completed jobs and runs only the remainder. An
+// interrupted-then-resumed sweep emits byte-identical JSON and CSV to
+// an uninterrupted one, at any worker count. Failed jobs are never
+// persisted, so a resume retries them.
+func RunMatrixResumable(m ScenarioMatrix, opts MatrixOptions, store *CheckpointStore) ([]MatrixResult, error) {
+	return harness.RunResumable(m, opts, store)
+}
+
 // WriteMatrixJSON serializes matrix results as one JSON array with a
 // byte-deterministic payload.
 func WriteMatrixJSON(w io.Writer, results []MatrixResult) error {
@@ -284,6 +310,20 @@ type SimConfig struct {
 	MeasurePackets int   // paper: 100,000
 	Seed           uint64
 
+	// Audit, when > 0, enables the engine's invariant auditor at that
+	// cycle interval: flit conservation, per-wire credit conservation,
+	// and buffer-occupancy bounds are checked across the whole network
+	// every Audit cycles, on every engine variant. A violation panics
+	// with a diagnostic snapshot. Results are byte-identical with
+	// auditing on or off.
+	Audit int
+
+	// StallCycles tunes the progress watchdog: the run aborts with a
+	// diagnostic error when no packet is delivered for this many cycles
+	// while packets are outstanding. 0 uses a diameter-scaled default;
+	// negative disables the watchdog.
+	StallCycles int64
+
 	// ExactLatency stores every latency sample for exact percentiles
 	// (the paper-figure reproduction mode); the default streams samples
 	// into a log-binned histogram with O(1) memory (exact mean/max,
@@ -355,12 +395,14 @@ func (c SimConfig) lower() (sim.Config, error) {
 		Routing:     c.Routing,
 		Faults:      c.Faults,
 		Seed:        c.Seed,
+		Audit:       c.Audit,
 	}
 	ncfg.InjectionRate = sim.RateForLoad(c.LoadFraction, ncfg)
 	return sim.Config{
 		Net:            ncfg,
 		WarmupCycles:   c.WarmupCycles,
 		MeasurePackets: c.MeasurePackets,
+		StallCycles:    c.StallCycles,
 		ExactLatency:   c.ExactLatency,
 		CITarget:       c.CITarget,
 	}, nil

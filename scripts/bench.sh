@@ -27,7 +27,7 @@ trap 'rm -f "$raw"' EXIT
 # -timeout covers the sharded pair's steady-state warm-ups (8,000
 # cycles of a 4,096-router network per measurement probe).
 go test -run '^$' -benchmem -benchtime=2s -count=3 -timeout=60m "$@" \
-    -bench 'BenchmarkNetworkCycle$|BenchmarkNetworkCycleLowLoad$|BenchmarkNetworkCycleLowLoadFullScan$|BenchmarkNetworkCycleSharded$|BenchmarkNetworkCycleShardedBaseline$|BenchmarkNetworkCycleShardedLowLoad$|BenchmarkMatrixArbiterGrant$|BenchmarkSeparableSwitchAllocate$|BenchmarkVCAllocatorAllocate$|BenchmarkPipelineDesign$' \
+    -bench 'BenchmarkNetworkCycle$|BenchmarkNetworkCycleAudit$|BenchmarkNetworkCycleLowLoad$|BenchmarkNetworkCycleLowLoadFullScan$|BenchmarkNetworkCycleSharded$|BenchmarkNetworkCycleShardedBaseline$|BenchmarkNetworkCycleShardedLowLoad$|BenchmarkMatrixArbiterGrant$|BenchmarkSeparableSwitchAllocate$|BenchmarkVCAllocatorAllocate$|BenchmarkPipelineDesign$' \
     . | tee "$raw"
 
 # Quiescence fast-forward: a drain-dominated ultra-low-load run on the
